@@ -1,0 +1,62 @@
+// Populates the shared result cache for every experiment the other bench
+// binaries read: the full (tuner x app x cluster x data size) comparison
+// grid plus the Section 5.10 composites. Named so that a glob over
+// build/bench/* runs it first; later binaries then hit the cache.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  std::printf("Populating the LOCAT experiment cache (one-time; all other\n"
+              "bench binaries reuse it). This tunes 5 applications x 5 data\n"
+              "sizes x 2 clusters with LOCAT and four baselines...\n");
+  std::fflush(stdout);
+
+  std::vector<locat::harness::CellSpec> specs;
+  for (const char* cluster : {"x86", "arm"}) {
+    for (auto& spec : locat::bench::ComparisonGrid(cluster)) {
+      specs.push_back(spec);
+    }
+  }
+  // Section 5.10 composites on TPC-DS, 500 GB, x86.
+  for (const char* base : {"Tuneful", "DAC", "GBO-RL", "QTune"}) {
+    for (const char* mode : {"", "+QCSA", "+IICP", "+QIT"}) {
+      locat::harness::CellSpec spec;
+      spec.tuner = std::string(base) + mode;
+      spec.app = "TPC-DS";
+      spec.cluster = "x86";
+      spec.datasize_gb = 500.0;
+      specs.push_back(spec);
+    }
+  }
+  // Figure 15: LOCAT with all parameters (IICP off) on TPC-DS.
+  for (double ds : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+    locat::harness::CellSpec spec;
+    spec.tuner = "LOCAT-AP";
+    spec.app = "TPC-DS";
+    spec.cluster = "x86";
+    spec.datasize_gb = ds;
+    specs.push_back(spec);
+  }
+
+  int done = 0;
+  for (const auto& spec : specs) {
+    locat::bench::Runner().Run(spec);
+    ++done;
+    if (done % 25 == 0) {
+      locat::bench::Runner().Save();
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      std::printf("  ...%d / %zu cells (%.0f s elapsed)\n", done,
+                  specs.size(), secs);
+      std::fflush(stdout);
+    }
+  }
+  locat::bench::Runner().Save();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::printf("Cache ready: %zu cells in %.0f s.\n", specs.size(), secs);
+  return 0;
+}

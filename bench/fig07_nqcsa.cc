@@ -1,0 +1,56 @@
+// Figure 7: how the observed CV changes with the number of QCSA samples
+// N_QCSA; the paper picks 30 because the curve flattens there.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/qcsa.h"
+#include "math/stats.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+// Mean per-query CV after the first n of the collected runs.
+double MeanCvAfter(const std::vector<std::vector<double>>& times, int n) {
+  std::vector<std::vector<double>> prefix(times.size());
+  for (size_t q = 0; q < times.size(); ++q) {
+    prefix[q].assign(times[q].begin(), times[q].begin() + n);
+  }
+  const auto qcsa = locat::core::AnalyzeQuerySensitivity(prefix);
+  if (!qcsa.ok()) return 0.0;
+  return locat::math::Mean(qcsa->cv);
+}
+
+}  // namespace
+
+int main() {
+  using namespace locat;
+  PrintBanner(std::cout,
+              "Figure 7: CV vs number of QCSA samples (100 GB, x86)");
+
+  TablePrinter tp({"N_QCSA", "mean CV (TPC-DS)", "mean CV (TPC-H)"});
+  std::vector<std::vector<std::vector<double>>> all_times;
+  for (const char* app_name : {"TPC-DS", "TPC-H"}) {
+    const auto app = harness::MakeApp(app_name);
+    sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 1101);
+    sparksim::ConfigSpace space(sim.cluster());
+    Rng rng(1102);
+    std::vector<std::vector<double>> times(
+        static_cast<size_t>(app.num_queries()));
+    for (int run = 0; run < 50; ++run) {
+      const auto result = sim.RunApp(app, space.RandomValid(&rng), 100.0);
+      for (size_t q = 0; q < result.per_query.size(); ++q) {
+        times[q].push_back(result.per_query[q].exec_seconds);
+      }
+    }
+    all_times.push_back(std::move(times));
+  }
+  for (int n = 5; n <= 50; n += 5) {
+    tp.AddRow({std::to_string(n), bench::Num(MeanCvAfter(all_times[0], n), 3),
+               bench::Num(MeanCvAfter(all_times[1], n), 3)});
+  }
+  tp.Print(std::cout);
+  std::cout << "\nPaper: the CV stops growing at ~30 samples, so N_QCSA = "
+               "30.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 8: configuration sensitivity (CV) of the 104 TPC-DS queries over
+// N_QCSA = 30 runs with random configurations, plus the tertile split of
+// equation (4). The paper finds 23 configuration-sensitive queries.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "core/qcsa.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace locat;
+  PrintBanner(std::cout,
+              "Figure 8: CV of the 104 TPC-DS queries (30 random configs, "
+              "100 GB, x86 cluster)");
+
+  const auto app = workloads::TpcDs();
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 1001);
+  sparksim::ConfigSpace space(sim.cluster());
+  Rng rng(2002);
+
+  std::vector<std::vector<double>> times(
+      static_cast<size_t>(app.num_queries()));
+  std::vector<double> mean_time(static_cast<size_t>(app.num_queries()), 0.0);
+  for (int run = 0; run < 30; ++run) {
+    const auto result = sim.RunApp(app, space.RandomValid(&rng), 100.0);
+    for (size_t q = 0; q < result.per_query.size(); ++q) {
+      times[q].push_back(result.per_query[q].exec_seconds);
+      mean_time[q] += result.per_query[q].exec_seconds / 30.0;
+    }
+  }
+  const auto qcsa = core::AnalyzeQuerySensitivity(times);
+  if (!qcsa.ok()) {
+    std::cerr << "QCSA failed: " << qcsa.status() << "\n";
+    return 1;
+  }
+
+  std::vector<size_t> order(times.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return qcsa->cv[a] > qcsa->cv[b];
+  });
+
+  TablePrinter tp({"rank", "query", "CV", "mean time (s)", "class"});
+  for (size_t r = 0; r < order.size(); ++r) {
+    const size_t q = order[r];
+    const bool csq = qcsa->cv[q] >= qcsa->threshold;
+    if (r < 30 || csq || app.queries[q].name == "q04" ||
+        app.queries[q].name == "q08") {
+      tp.AddRow({std::to_string(r + 1), app.queries[q].name,
+                 bench::Num(qcsa->cv[q]), bench::Num(mean_time[q], 1),
+                 csq ? "CSQ" : "CIQ"});
+    }
+  }
+  tp.Print(std::cout);
+
+  std::cout << "\nCV range: [" << bench::Num(qcsa->min_cv) << ", "
+            << bench::Num(qcsa->max_cv) << "], tertile threshold (eq. 4): "
+            << bench::Num(qcsa->threshold) << "\n";
+  std::cout << "CSQ count: " << qcsa->csq_indices.size() << " of "
+            << app.num_queries() << "  (paper: 23 of 104)\n";
+  std::cout << "CSQ set: {";
+  for (size_t i = 0; i < qcsa->csq_indices.size(); ++i) {
+    std::cout << (i ? ", " : "")
+              << app.queries[static_cast<size_t>(qcsa->csq_indices[i])].name;
+  }
+  std::cout << "}\n";
+  std::cout << "Paper's CSQ set: {q72, q29, q14b, q43, q41, q99, q57, q33, "
+               "q14a, q69, q40, q64a, q50, q21, q70, q95, q54, q23a, q23b, "
+               "q15, q58, q62, q20}\n";
+  return 0;
+}

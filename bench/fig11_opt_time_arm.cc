@@ -1,0 +1,17 @@
+// Figure 11: optimization-time reduction of LOCAT over the SOTA tuners on
+// the four-node ARM cluster (300 GB inputs). The ratio is
+// (SOTA optimization time) / (LOCAT optimization time).
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  locat::PrintBanner(std::cout,
+                     "Figure 11: optimization-time reduction vs SOTA "
+                     "(ARM cluster, 300 GB)");
+  locat::bench::PrintOptTimeComparison(
+      "arm",
+      "Paper averages (ARM): Tuneful 6.4x, DAC 7.0x, GBO-RL 4.1x, QTune "
+      "9.7x.");
+  return 0;
+}

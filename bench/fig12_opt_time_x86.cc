@@ -1,0 +1,16 @@
+// Figure 12: optimization-time reduction of LOCAT over the SOTA tuners on
+// the eight-node x86 cluster (300 GB inputs).
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  locat::PrintBanner(std::cout,
+                     "Figure 12: optimization-time reduction vs SOTA "
+                     "(x86 cluster, 300 GB)");
+  locat::bench::PrintOptTimeComparison(
+      "x86",
+      "Paper averages (x86): Tuneful 6.4x, DAC 6.3x, GBO-RL 4.0x, QTune "
+      "9.2x.");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 13: speedups of the 25 program-input pairs tuned by LOCAT over
+// the same pairs tuned by the SOTA approaches (ARM cluster).
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  locat::PrintBanner(std::cout,
+                     "Figure 13: speedup of LOCAT-tuned configurations "
+                     "over SOTA-tuned (ARM cluster, 25 program-input "
+                     "pairs)");
+  locat::bench::PrintSpeedupComparison(
+      "arm",
+      "Paper averages (ARM): 2.4x vs Tuneful, 2.2x vs DAC, 2.0x vs GBO-RL, "
+      "1.9x vs QTune.");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 14: speedups of the 25 program-input pairs tuned by LOCAT over
+// the same pairs tuned by the SOTA approaches (x86 cluster).
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  locat::PrintBanner(std::cout,
+                     "Figure 14: speedup of LOCAT-tuned configurations "
+                     "over SOTA-tuned (x86 cluster, 25 program-input "
+                     "pairs)");
+  locat::bench::PrintSpeedupComparison(
+      "x86",
+      "Paper averages (x86): 2.8x vs Tuneful, 2.6x vs DAC, 2.3x vs GBO-RL, "
+      "2.1x vs QTune.");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Figure 17: IICP vs GBRT for identifying important parameters. Both
+// select a set of "important" parameters from the same 20 samples; we
+// then run configurations that vary ONLY those parameters (others at the
+// Spark defaults) and report the standard deviation of execution times —
+// higher SD means the identified parameters matter more.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "core/iicp.h"
+#include "math/stats.h"
+#include "ml/gbrt.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace locat;
+
+// SD of runtimes when varying only `dims` (others pinned to defaults).
+double SdVaryingDims(const std::string& app_name, const std::vector<int>& dims,
+                     int runs, uint64_t seed) {
+  const auto app = harness::MakeApp(app_name);
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), seed);
+  sparksim::ConfigSpace space(sim.cluster());
+  Rng rng(seed + 1);
+  // Vary around a mid-range base — the regime the 20 training samples
+  // came from. (Varying around the stock defaults probes a different,
+  // far-from-sampled corner of the space and makes the comparison
+  // meaningless for both selectors.)
+  const math::Vector base =
+      space.ToUnit(space.Repair(space.FromUnit(
+          math::Vector(sparksim::kNumParams, 0.5))));
+  std::vector<double> times;
+  for (int i = 0; i < runs; ++i) {
+    math::Vector unit = base;
+    for (int d : dims) unit[static_cast<size_t>(d)] = rng.NextDouble();
+    times.push_back(
+        sim.RunApp(app, space.Repair(space.FromUnit(unit)), 100.0)
+            .total_seconds);
+  }
+  return math::StdDev(times);
+}
+
+struct Selections {
+  std::vector<int> iicp;
+  std::vector<int> gbrt;
+};
+
+Selections SelectImportant(const std::string& app_name) {
+  const auto app = harness::MakeApp(app_name);
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 1800);
+  sparksim::ConfigSpace space(sim.cluster());
+  Rng rng(1801);
+  const int n = 20;
+  math::Matrix confs(n, sparksim::kNumParams);
+  math::Vector times(n);
+  for (int i = 0; i < n; ++i) {
+    const auto conf = space.RandomValid(&rng);
+    confs.SetRow(static_cast<size_t>(i), space.ToUnit(conf));
+    times[static_cast<size_t>(i)] = sim.RunApp(app, conf, 100.0).total_seconds;
+  }
+
+  Selections out;
+  const auto iicp = core::Iicp::Run(confs, times.data());
+  if (iicp.ok()) out.iicp = iicp->selected_params();
+
+  ml::Gbrt gbrt;
+  if (gbrt.Fit(confs, times).ok()) {
+    const auto importances = gbrt.FeatureImportances();
+    std::vector<int> order(sparksim::kNumParams);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return importances[static_cast<size_t>(a)] >
+             importances[static_cast<size_t>(b)];
+    });
+    const size_t k = std::max<size_t>(out.iicp.size(), 5);
+    out.gbrt.assign(order.begin(),
+                    order.begin() + static_cast<long>(
+                                        std::min<size_t>(k, order.size())));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner(std::cout,
+              "Figure 17: SD of execution times under parameters chosen by "
+              "IICP vs by GBRT importance (100 GB, x86)");
+
+  TablePrinter tp({"application", "runs", "IICP SD (s)", "GBRT SD (s)"});
+  for (const char* app_name : {"TPC-DS", "Join"}) {
+    const Selections sel = SelectImportant(app_name);
+    for (int runs : {5, 10, 15, 20, 25, 30}) {
+      const double sd_iicp =
+          SdVaryingDims(app_name, sel.iicp, runs, 1900);
+      const double sd_gbrt =
+          SdVaryingDims(app_name, sel.gbrt, runs, 1900);
+      tp.AddRow({app_name, std::to_string(runs), locat::bench::Num(sd_iicp, 1),
+                 locat::bench::Num(sd_gbrt, 1)});
+    }
+  }
+  tp.Print(std::cout);
+  std::cout << "\nPaper: the SD under IICP-selected parameters is "
+               "significantly higher than under GBRT-selected ones.\n"
+               "NOTE (reproduction): on this simulator the comparison "
+               "typically *inverts* — at 20 samples the Spearman filter "
+               "underrates executor.memory and sql.shuffle.partitions "
+               "because their application-level effect is non-monotone "
+               "(more executor memory also means fewer executors under the "
+               "cluster-capacity constraint), while GBRT's split gains "
+               "capture the cliff directly. See EXPERIMENTS.md, Figure 17, "
+               "for the discussion.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 18: execution time of TPC-DS split into configuration-sensitive
+// (CSQ) and configuration-insensitive (CIQ) queries, per tuning approach
+// and data size. The paper's point: performance improvements come almost
+// entirely from the CSQ side, and LOCAT accelerates CSQs the most.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace locat;
+  PrintBanner(std::cout,
+              "Figure 18: CSQ vs CIQ execution time of tuned TPC-DS "
+              "(x86 cluster, seconds)");
+
+  TablePrinter tp({"datasize", "tuner", "CSQ (s)", "CIQ (s)", "total (s)"});
+  for (double ds : {100.0, 300.0, 500.0}) {
+    for (const std::string& tuner :
+         {std::string("LOCAT"), std::string("Tuneful"), std::string("DAC"),
+          std::string("GBO-RL"), std::string("QTune")}) {
+      harness::CellSpec spec;
+      spec.tuner = tuner;
+      spec.app = "TPC-DS";
+      spec.cluster = "x86";
+      spec.datasize_gb = ds;
+      const auto r = bench::Runner().Run(spec);
+      tp.AddRow({bench::Num(ds, 0) + " GB", tuner, bench::Num(r.csq_seconds, 0),
+                 bench::Num(r.ciq_seconds, 0),
+                 bench::Num(r.best_app_seconds, 0)});
+    }
+  }
+  tp.Print(std::cout);
+  bench::Runner().Save();
+  std::cout << "\nPaper: CIQ time is roughly approach-independent (they are "
+               "insensitive by definition); LOCAT's advantage concentrates "
+               "in the CSQ share, which dominates at larger inputs.\n";
+  return 0;
+}

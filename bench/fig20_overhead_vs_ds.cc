@@ -1,0 +1,46 @@
+// Figure 20: tuning overhead (hours) for TPC-DS as the input size grows.
+// LOCAT's curve is the flattest; we additionally report LOCAT's *online*
+// mode, where one tuner instance adapts across the data sizes via the
+// DAGP and only the first size pays the cold-start cost.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace locat;
+  PrintBanner(std::cout,
+              "Figure 20: tuning overhead vs input size, TPC-DS (x86, "
+              "hours)");
+
+  const std::vector<double> sizes = {100.0, 200.0, 300.0, 400.0, 500.0};
+  const harness::WarmSequenceResult warm =
+      harness::RunLocatWarmSequence("TPC-DS", "x86", sizes);
+
+  TablePrinter tp({"datasize", "LOCAT (warm/online)", "LOCAT (cold)",
+                   "Tuneful", "DAC", "GBO-RL", "QTune"});
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row = {
+        bench::Num(sizes[i], 0) + " GB",
+        bench::Num(warm.incremental_optimization_seconds[i] / 3600.0, 1)};
+    for (const std::string& tuner :
+         {std::string("LOCAT"), std::string("Tuneful"), std::string("DAC"),
+          std::string("GBO-RL"), std::string("QTune")}) {
+      harness::CellSpec spec;
+      spec.tuner = tuner;
+      spec.app = "TPC-DS";
+      spec.cluster = "x86";
+      spec.datasize_gb = sizes[i];
+      row.push_back(
+          bench::Num(bench::Runner().Run(spec).optimization_seconds / 3600.0,
+                     1));
+    }
+    tp.AddRow(row);
+  }
+  tp.Print(std::cout);
+  bench::Runner().Save();
+  std::cout << "\nPaper: the SOTA overhead grows sharply with the data size "
+               "while LOCAT's stays low; with the DAGP reusing knowledge "
+               "across sizes (warm column), re-tuning after a data-size "
+               "change costs only a handful of RQA runs.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 2: the 38 configuration parameters with defaults and per-cluster
+// value ranges.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "sparksim/config.h"
+
+int main() {
+  using namespace locat;
+  PrintBanner(std::cout, "Table 2: Description of Selected Parameters");
+  sparksim::ConfigSpace arm(sparksim::ArmCluster());
+  sparksim::ConfigSpace x86(sparksim::X86Cluster());
+
+  TablePrinter tp({"parameter", "kind", "default", "Range A (ARM)",
+                   "Range B (x86)", "resource*"});
+  int numeric = 0;
+  int booleans = 0;
+  for (int i = 0; i < sparksim::kNumParams; ++i) {
+    const auto& spec = arm.spec(i);
+    std::string kind;
+    std::string range_a;
+    std::string range_b;
+    switch (spec.kind) {
+      case sparksim::ParamKind::kBool:
+        kind = "bool";
+        range_a = range_b = "true, false";
+        ++booleans;
+        break;
+      case sparksim::ParamKind::kReal:
+        kind = "real";
+        range_a = bench::Num(arm.lo(i), 1) + " - " + bench::Num(arm.hi(i), 1);
+        range_b = bench::Num(x86.lo(i), 1) + " - " + bench::Num(x86.hi(i), 1);
+        ++numeric;
+        break;
+      case sparksim::ParamKind::kInt:
+        kind = "int";
+        range_a = bench::Num(arm.lo(i), 0) + " - " + bench::Num(arm.hi(i), 0);
+        range_b = bench::Num(x86.lo(i), 0) + " - " + bench::Num(x86.hi(i), 0);
+        ++numeric;
+        break;
+    }
+    const std::string def =
+        spec.name == "spark.default.parallelism"
+            ? "#"
+            : bench::Num(spec.default_value,
+                         spec.kind == sparksim::ParamKind::kReal ? 2 : 0);
+    tp.AddRow({spec.name, kind, def, range_a, range_b,
+               spec.is_resource ? "*" : ""});
+  }
+  tp.Print(std::cout);
+  std::cout << "\nTotals: " << numeric << " numeric + " << booleans
+            << " boolean = " << sparksim::kNumParams << " parameters.\n"
+            << "(# = derived from the cluster: total worker cores.)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The paper's motivating scenario: the same Spark SQL application runs
+// daily while its input grows. A datasize-oblivious tuner re-tunes from
+// scratch at every size; LOCAT's DAGP models t = f(conf, ds), so after
+// the first (cold) tuning pass each data-size change costs only a few
+// reduced-application runs.
+//
+//   ./build/examples/online_datasize_shift
+#include <cstdio>
+
+#include "core/locat_tuner.h"
+#include "core/tuning.h"
+#include "sparksim/simulator.h"
+#include "tuners/baselines.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace locat;
+  const sparksim::ClusterSpec cluster = sparksim::X86Cluster();
+  const sparksim::SparkSqlApp app = workloads::TpcDs();
+  const double sizes[] = {100, 200, 300, 400, 500};
+
+  std::printf("Scenario: TPC-DS re-tuned as its input grows from 100 GB to "
+              "500 GB.\n\n");
+  std::printf("%-10s | %-28s | %-28s\n", "datasize",
+              "LOCAT online (warm DAGP)", "Tuneful (re-tunes each size)");
+  std::printf("%-10s | %-13s %-14s | %-13s %-14s\n", "", "overhead (h)",
+              "tuned run (s)", "overhead (h)", "tuned run (s)");
+
+  // One LOCAT instance survives across sizes (online mode).
+  sparksim::ClusterSimulator locat_sim(cluster, 11);
+  core::TuningSession locat_session(&locat_sim, app);
+  core::LocatTuner::Options lopts;
+  lopts.seed = 3;
+  core::LocatTuner locat(lopts);
+
+  // Tuneful is datasize-oblivious: a fresh instance per size.
+  sparksim::ClusterSimulator tuneful_sim(cluster, 11);
+  core::TuningSession tuneful_session(&tuneful_sim, app);
+
+  double locat_total = 0.0;
+  double tuneful_total = 0.0;
+  for (double ds : sizes) {
+    const core::TuningResult lr = locat.Tune(&locat_session, ds);
+    const double locat_run =
+        locat_session.MeasureFinal(lr.best_conf, ds).total_seconds;
+    locat_total += lr.optimization_seconds;
+
+    tuners::TunefulTuner tuneful;  // fresh: no knowledge transfer
+    const core::TuningResult tr = tuneful.Tune(&tuneful_session, ds);
+    const double tuneful_run =
+        tuneful_session.MeasureFinal(tr.best_conf, ds).total_seconds;
+    tuneful_total += tr.optimization_seconds;
+
+    std::printf("%6.0f GB  | %13.1f %14.0f | %13.1f %14.0f\n", ds,
+                lr.optimization_seconds / 3600.0, locat_run,
+                tr.optimization_seconds / 3600.0, tuneful_run);
+  }
+  std::printf("\nCumulative optimization overhead over the five sizes: "
+              "LOCAT %.0f h vs Tuneful %.0f h (%.1fx reduction).\n",
+              locat_total / 3600.0, tuneful_total / 3600.0,
+              tuneful_total / locat_total);
+  std::printf("After the cold start, LOCAT's warm passes cost only "
+              "~10 RQA runs each because the DAGP transfers what it "
+              "learned at earlier sizes (Section 3.4).\n");
+  return 0;
+}

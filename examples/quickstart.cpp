@@ -1,0 +1,81 @@
+// Quickstart: tune TPC-H on the simulated x86 cluster with LOCAT.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The program walks through the whole public API surface:
+//   1. pick a cluster and build the simulator (the stand-in for a real
+//      Spark deployment — see DESIGN.md),
+//   2. wrap it in a TuningSession (the accounting layer),
+//   3. run LocatTuner, and
+//   4. inspect what QCSA/IICP discovered and what the tuned configuration
+//      looks like.
+#include <cstdio>
+
+#include "core/locat_tuner.h"
+#include "core/tuning.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace locat;
+
+  // 1. The system under tuning: TPC-H on the paper's 8-node x86 cluster.
+  const sparksim::ClusterSpec cluster = sparksim::X86Cluster();
+  sparksim::ClusterSimulator simulator(cluster, /*seed=*/42);
+  const sparksim::SparkSqlApp app = workloads::TpcH();
+  std::printf("Tuning %s (%d queries) on cluster '%s' (%d cores, %.0f GB)\n",
+              app.name.c_str(), app.num_queries(), cluster.name.c_str(),
+              cluster.total_cores(), cluster.total_memory_gb());
+
+  // 2. The session charges every configuration evaluation to a simulated
+  //    wall-clock meter — the paper's "optimization time".
+  core::TuningSession session(&simulator, app);
+
+  // 3. Run LOCAT at a 200 GB input size.
+  core::LocatTuner::Options options;
+  options.seed = 7;
+  core::LocatTuner tuner(options);
+  const core::TuningResult result = tuner.Tune(&session, /*datasize_gb=*/200);
+
+  std::printf("\nLOCAT finished: %d evaluations, %.1f simulated hours of "
+              "optimization.\n",
+              result.evaluations, result.optimization_seconds / 3600.0);
+
+  // 4a. What QCSA learned: which queries are worth re-running while
+  //     collecting samples.
+  if (const core::QcsaResult* qcsa = tuner.qcsa_result()) {
+    std::printf("QCSA kept %zu of %d queries (CV threshold %.2f):",
+                qcsa->csq_indices.size(), app.num_queries(),
+                qcsa->threshold);
+    for (int idx : qcsa->csq_indices) {
+      std::printf(" %s", app.queries[static_cast<size_t>(idx)].name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // 4b. What IICP learned: which parameters matter.
+  if (const core::IicpResult* iicp = tuner.iicp_result()) {
+    std::printf("IICP: CPS kept %zu of %d parameters; CPE extracted %d "
+                "latent parameters.\n",
+                iicp->selected_params().size(), sparksim::kNumParams,
+                iicp->latent_dim());
+  }
+
+  // 4c. Judge the tuned configuration against the Spark defaults.
+  const double tuned =
+      session.MeasureFinal(result.best_conf, 200).total_seconds;
+  const double defaults =
+      session
+          .MeasureFinal(session.space().Repair(session.space().DefaultConf()),
+                        200)
+          .total_seconds;
+  std::printf("\nTuned run: %.0f s  |  Spark defaults: %.0f s  |  "
+              "improvement: %.1fx\n",
+              tuned, defaults, defaults / tuned);
+
+  std::printf("\nTuned configuration:\n%s\n",
+              result.best_conf.ToString().c_str());
+  return 0;
+}

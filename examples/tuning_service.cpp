@@ -1,0 +1,47 @@
+// The OnlineTuningService packages the paper's deployment story: a
+// nightly TPC-H job whose input grows over weeks. The service hands out a
+// configuration per run, re-tunes (warm) only when the data size drifts
+// beyond 25% of anything tuned before, and ingests the production runs as
+// free observations.
+//
+//   ./build/examples/tuning_service
+#include <cstdio>
+
+#include "core/online_service.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace locat;
+  sparksim::ClusterSimulator simulator(sparksim::X86Cluster(), 77);
+  core::TuningSession session(&simulator, workloads::TpcH());
+  core::OnlineTuningService service(&session);
+
+  // Three weeks of nightly runs with slowly growing input.
+  const double schedule[] = {100, 105, 112, 118, 126, 133, 142,
+                             155, 170, 184, 205, 228, 252, 280,
+                             310, 340, 375, 415, 455, 500, 540};
+
+  std::printf("%-6s %-10s %-14s %-12s %-10s\n", "day", "ds (GB)",
+              "tuning passes", "overhead(h)", "run (s)");
+  int day = 0;
+  for (double ds : schedule) {
+    ++day;
+    const sparksim::SparkConf conf = service.RecommendedConf(ds);
+    // "Production" executes the job with the recommended configuration...
+    const auto run = session.MeasureFinal(conf, ds);
+    // ...and reports the outcome back, sharpening the DAGP for free.
+    service.ReportRun(ds, conf, run.total_seconds);
+    std::printf("%-6d %-10.0f %-14d %-12.1f %-10.0f\n", day, ds,
+                service.tuning_passes(),
+                service.optimization_seconds() / 3600.0, run.total_seconds);
+  }
+
+  std::printf("\n%d tuning passes covered %zu distinct sizes over %d runs; "
+              "total tuning overhead %.1f simulated hours.\n",
+              service.tuning_passes(), service.tuned_sizes().size(), day,
+              service.optimization_seconds() / 3600.0);
+  std::printf("A datasize-oblivious tuner would have re-tuned every time "
+              "the input changed (every day here).\n");
+  return 0;
+}

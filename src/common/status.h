@@ -1,0 +1,142 @@
+#ifndef LOCAT_COMMON_STATUS_H_
+#define LOCAT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace locat {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Abseil status idiom: recoverable errors are returned, never
+/// thrown.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result. Functions that can fail return
+/// `Status` (or `StatusOr<T>` when they also produce a value).
+///
+/// Usage:
+///   Status s = DoWork();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Holds either a value of type `T` or an error `Status`. Accessing the
+/// value of a non-OK StatusOr aborts in debug builds (assert).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace locat
+
+/// Propagates a non-OK status from an expression, RocksDB-style.
+#define LOCAT_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::locat::Status _locat_status = (expr);         \
+    if (!_locat_status.ok()) return _locat_status;  \
+  } while (0)
+
+#endif  // LOCAT_COMMON_STATUS_H_

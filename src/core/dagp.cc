@@ -1,0 +1,74 @@
+#include "core/dagp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace locat::core {
+
+math::Vector Dagp::Assemble(const math::Vector& encoded_conf,
+                            double datasize_gb) const {
+  math::Vector x(encoded_conf.size() + 1);
+  for (size_t i = 0; i < encoded_conf.size(); ++i) x[i] = encoded_conf[i];
+  x[encoded_conf.size()] = datasize_gb / options_.datasize_scale_gb;
+  return x;
+}
+
+void Dagp::AddObservation(const math::Vector& encoded_conf,
+                          double datasize_gb, double seconds) {
+  assert(seconds > 0.0);
+  x_.push_back(Assemble(encoded_conf, datasize_gb));
+  y_.push_back(std::log(seconds));
+}
+
+void Dagp::Clear() {
+  x_.clear();
+  y_.clear();
+  model_ = ml::EiMcmc(options_.ei);
+}
+
+Status Dagp::Refit(Rng* rng) {
+  if (y_.size() < 2) {
+    return Status::FailedPrecondition("DAGP needs >= 2 observations");
+  }
+  const size_t dim = x_.front().size();
+  math::Matrix x(y_.size(), dim);
+  math::Vector y(y_.size());
+  for (size_t i = 0; i < y_.size(); ++i) {
+    x.SetRow(i, x_[i]);
+    y[i] = y_[i];
+  }
+  model_ = ml::EiMcmc(options_.ei);
+  return model_.Fit(x, y, rng);
+}
+
+double Dagp::ExpectedImprovement(const math::Vector& encoded_conf,
+                                 double datasize_gb) const {
+  assert(model_.fitted());
+  return model_.AcquisitionValue(Assemble(encoded_conf, datasize_gb));
+}
+
+double Dagp::RelativeExpectedImprovement(const math::Vector& encoded_conf,
+                                         double datasize_gb) const {
+  const double ei_log = ExpectedImprovement(encoded_conf, datasize_gb);
+  // In log space an improvement of delta corresponds to a runtime factor
+  // exp(-delta); express EI as the expected fractional runtime reduction.
+  return 1.0 - std::exp(-std::max(0.0, ei_log));
+}
+
+Dagp::Prediction Dagp::Predict(const math::Vector& encoded_conf,
+                               double datasize_gb) const {
+  assert(model_.fitted());
+  const auto p = model_.PredictAveraged(Assemble(encoded_conf, datasize_gb));
+  Prediction out;
+  // Mean of a lognormal: exp(mu + sigma^2 / 2).
+  out.seconds = std::exp(p.mean + 0.5 * p.variance);
+  out.log_variance = p.variance;
+  return out;
+}
+
+double Dagp::best_seconds() const {
+  if (y_.empty()) return 0.0;
+  return std::exp(*std::min_element(y_.begin(), y_.end()));
+}
+
+}  // namespace locat::core

@@ -1,0 +1,88 @@
+#ifndef LOCAT_CORE_DAGP_H_
+#define LOCAT_CORE_DAGP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "math/matrix.h"
+#include "ml/ei_mcmc.h"
+
+namespace locat::core {
+
+/// Datasize-Aware Gaussian Process (Section 3.4): the BO surrogate that
+/// models execution time as a function of the (encoded) configuration AND
+/// the input data size, t = f(conf, ds) (equation (7)).
+///
+/// Inputs: an encoded configuration vector (full unit cube before IICP,
+/// KPCA latent space after) concatenated with ds / ds_scale. Targets are
+/// modeled in log space — execution times span orders of magnitude once
+/// OOM-retry configurations appear, and the log transform keeps the GP
+/// well-conditioned.
+///
+/// Hyperparameters are marginalized with EI-MCMC, so the data-size
+/// dimension gets its own learned lengthscale: observations at 100 GB
+/// inform predictions at 300 GB exactly to the extent the data supports.
+class Dagp {
+ public:
+  struct Options {
+    /// Data sizes are normalized by this many GB before entering the GP.
+    double datasize_scale_gb = 1000.0;
+    ml::EiMcmc::Options ei;
+
+    Options() {}
+  };
+
+  explicit Dagp(Options options = Options()) : options_(options) {}
+
+  /// Adds one observation (encoded conf, data size, measured seconds).
+  /// All observations must share the encoding dimension.
+  void AddObservation(const math::Vector& encoded_conf, double datasize_gb,
+                      double seconds);
+
+  /// Discards all observations (used when the encoding changes after
+  /// IICP; callers re-add re-encoded history).
+  void Clear();
+
+  /// Refits the EI-MCMC ensemble on the current observations (>= 2).
+  Status Refit(Rng* rng);
+
+  /// Expected improvement of a candidate at a data size (log-space EI,
+  /// averaged over the hyperparameter posterior). Requires a prior Refit.
+  double ExpectedImprovement(const math::Vector& encoded_conf,
+                             double datasize_gb) const;
+
+  /// Relative EI for the stop rule: EI / |log best| is awkward, so we use
+  /// the paper-faithful quantity "expected fractional runtime improvement"
+  /// = 1 - exp(-EI_log), which is ~EI_log for small values. Stop when this
+  /// drops below 0.10.
+  double RelativeExpectedImprovement(const math::Vector& encoded_conf,
+                                     double datasize_gb) const;
+
+  /// Predicted seconds (posterior-mean in log space, de-transformed) and
+  /// a crude variance on the seconds scale.
+  struct Prediction {
+    double seconds = 0.0;
+    double log_variance = 0.0;
+  };
+  Prediction Predict(const math::Vector& encoded_conf,
+                     double datasize_gb) const;
+
+  int num_observations() const { return static_cast<int>(y_.size()); }
+  bool fitted() const { return model_.fitted(); }
+  /// Best (lowest) observed seconds so far.
+  double best_seconds() const;
+
+ private:
+  math::Vector Assemble(const math::Vector& encoded_conf,
+                        double datasize_gb) const;
+
+  Options options_;
+  std::vector<math::Vector> x_;  // encoded conf + normalized ds
+  std::vector<double> y_;        // log(seconds)
+  ml::EiMcmc model_{};
+};
+
+}  // namespace locat::core
+
+#endif  // LOCAT_CORE_DAGP_H_

@@ -1,0 +1,132 @@
+#include "core/iicp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/spearman.h"
+
+namespace locat::core {
+namespace {
+
+// Median pairwise Euclidean distance over the rows of x; the standard
+// Gaussian-kernel bandwidth heuristic.
+double MedianPairwiseDistance(const math::Matrix& x) {
+  std::vector<double> dists;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = i + 1; j < x.rows(); ++j) {
+      dists.push_back((x.Row(i) - x.Row(j)).Norm());
+    }
+  }
+  if (dists.empty()) return 1.0;
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                   dists.end());
+  const double med = dists[dists.size() / 2];
+  return med > 1e-9 ? med : 1.0;
+}
+
+}  // namespace
+
+math::Vector IicpResult::SelectDims(const math::Vector& unit_conf) const {
+  math::Vector out(selected_.size());
+  for (size_t i = 0; i < selected_.size(); ++i) {
+    out[i] = unit_conf[static_cast<size_t>(selected_[i])] * weights_[i];
+  }
+  return out;
+}
+
+math::Vector IicpResult::Encode(const math::Vector& unit_conf) const {
+  return kpca_.Project(SelectDims(unit_conf));
+}
+
+StatusOr<math::Vector> IicpResult::DecodeSelected(
+    const math::Vector& latent) const {
+  auto preimage = kpca_.GaussianPreimage(latent);
+  if (!preimage.ok()) return preimage.status();
+  math::Vector out = std::move(preimage).value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    // Undo the CPS weighting, then clamp back into the unit range.
+    out[i] = std::clamp(out[i] / weights_[i], 0.0, 1.0);
+  }
+  return out;
+}
+
+StatusOr<IicpResult> Iicp::Run(const math::Matrix& unit_confs,
+                               const std::vector<double>& times,
+                               const IicpOptions& options) {
+  const size_t n = unit_confs.rows();
+  const size_t d = unit_confs.cols();
+  if (n < 4 || times.size() != n) {
+    return Status::InvalidArgument(
+        "IICP needs >= 4 samples with matching times");
+  }
+
+  IicpResult result;
+  result.scc_abs_.resize(d, 0.0);
+
+  // --- CPS: Spearman correlation of each parameter against runtime.
+  std::vector<double> column(n);
+  for (size_t p = 0; p < d; ++p) {
+    for (size_t i = 0; i < n; ++i) column[i] = unit_confs(i, p);
+    result.scc_abs_[p] =
+        std::fabs(ml::SpearmanCorrelation(column, times));
+    if (result.scc_abs_[p] >= options.scc_threshold) {
+      result.selected_.push_back(static_cast<int>(p));
+    }
+  }
+  if (result.selected_.size() < 3) {
+    // Keep the 3 strongest correlations so CPE always has something to
+    // work with.
+    std::vector<int> order(d);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return result.scc_abs_[static_cast<size_t>(a)] >
+             result.scc_abs_[static_cast<size_t>(b)];
+    });
+    result.selected_.assign(order.begin(), order.begin() + 3);
+    std::sort(result.selected_.begin(), result.selected_.end());
+  }
+
+  // --- CPE: Gaussian-kernel KPCA on the CPS-selected dimensions. This is
+  // where the "hybrid" of selection and extraction bites: each selected
+  // dimension is scaled by its CPS correlation strength, so the kernel's
+  // principal directions emphasize runtime-relevant parameters instead of
+  // plain configuration variance.
+  double max_scc = 1e-9;
+  for (int p : result.selected_) {
+    max_scc = std::max(max_scc, result.scc_abs_[static_cast<size_t>(p)]);
+  }
+  result.weights_.resize(result.selected_.size());
+  for (size_t j = 0; j < result.selected_.size(); ++j) {
+    const double w =
+        result.scc_abs_[static_cast<size_t>(result.selected_[j])] / max_scc;
+    result.weights_[j] = std::max(0.25, w);
+  }
+  math::Matrix reduced(n, result.selected_.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < result.selected_.size(); ++j) {
+      reduced(i, j) =
+          unit_confs(i, static_cast<size_t>(result.selected_[j])) *
+          result.weights_[j];
+    }
+  }
+  double bandwidth = options.kernel_bandwidth;
+  if (bandwidth <= 0.0) {
+    // Median-distance heuristic with a floor at the expected distance of
+    // uniform points in the [0,1]^m cube (~sqrt(m/6)); without the floor,
+    // clustered training samples yield a bandwidth so small that unseen
+    // configurations all project to the same constant.
+    const double uniform_scale =
+        std::sqrt(static_cast<double>(result.selected_.size()) / 6.0);
+    bandwidth = std::max(MedianPairwiseDistance(reduced), uniform_scale);
+  }
+  result.kernel_ = std::make_shared<ml::GaussianKernel>(bandwidth);
+
+  ml::Kpca::Options kopts;
+  kopts.variance_to_retain = options.kpca_variance_to_retain;
+  kopts.max_components = options.kpca_max_components;
+  LOCAT_RETURN_IF_ERROR(result.kpca_.Fit(reduced, result.kernel_.get(), kopts));
+  return result;
+}
+
+}  // namespace locat::core

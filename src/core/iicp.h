@@ -1,0 +1,87 @@
+#ifndef LOCAT_CORE_IICP_H_
+#define LOCAT_CORE_IICP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "math/matrix.h"
+#include "ml/kernels.h"
+#include "ml/kpca.h"
+
+namespace locat::core {
+
+/// Options of the IICP pipeline (Section 3.3).
+struct IicpOptions {
+  /// CPS keeps parameters with |Spearman correlation| >= this bound; 0.2
+  /// is the paper's "poor correlation" cutoff.
+  double scc_threshold = 0.2;
+  /// KPCA component-retention rule for CPE.
+  double kpca_variance_to_retain = 0.90;
+  int kpca_max_components = 0;  // 0 = no cap
+  /// Gaussian-kernel bandwidth for CPE; <= 0 selects the median pairwise
+  /// distance heuristic.
+  double kernel_bandwidth = 0.0;
+
+  IicpOptions() {}
+};
+
+/// Result of IICP: which parameters CPS kept, and the fitted KPCA that CPE
+/// uses to extract the "new parameters" fed to the DAGP.
+class IicpResult {
+ public:
+  /// Indices (into the 38-parameter vector) that CPS selected, ascending.
+  const std::vector<int>& selected_params() const { return selected_; }
+
+  /// |SCC| of every original parameter against the execution time.
+  const std::vector<double>& spearman_abs() const { return scc_abs_; }
+
+  /// Latent dimension CPE extracted.
+  int latent_dim() const { return kpca_.num_components(); }
+
+  /// Projects a full unit-cube configuration (38 dims) to the latent
+  /// space: select CPS dims, then apply KPCA.
+  math::Vector Encode(const math::Vector& unit_conf) const;
+
+  /// Restriction of a unit configuration to the CPS-selected dimensions,
+  /// scaled by the CPS correlation weights (the hybrid step: CPE's kernel
+  /// sees runtime-relevant directions amplified).
+  math::Vector SelectDims(const math::Vector& unit_conf) const;
+
+  /// Per-selected-dimension weights (|SCC| normalized to max 1, floored).
+  const std::vector<double>& dim_weights() const { return weights_; }
+
+  /// Approximately inverts Encode on the CPS-selected subspace (Gaussian
+  /// pre-image); entries of the returned vector are in [0,1] order of
+  /// selected_params(). Mainly useful for reporting a latent optimum as
+  /// original parameter values.
+  StatusOr<math::Vector> DecodeSelected(const math::Vector& latent) const;
+
+  const ml::Kpca& kpca() const { return kpca_; }
+
+ private:
+  friend class Iicp;
+  std::vector<int> selected_;
+  std::vector<double> scc_abs_;
+  std::vector<double> weights_;
+  std::shared_ptr<ml::GaussianKernel> kernel_;  // owns the KPCA kernel
+  ml::Kpca kpca_;
+};
+
+/// Identifying Important Configuration Parameters: CPS (Spearman filter)
+/// followed by CPE (Gaussian-kernel KPCA).
+class Iicp {
+ public:
+  /// Runs IICP on N_IICP samples: `unit_confs` is n x 38 (configurations
+  /// in unit-cube coordinates), `times[i]` the matching execution time.
+  /// Requires n >= 4. Never returns an empty selection: when no parameter
+  /// clears the SCC bound, the top-3 by |SCC| are kept (the paper's
+  /// pipeline implicitly assumes at least some correlated parameters).
+  static StatusOr<IicpResult> Run(const math::Matrix& unit_confs,
+                                  const std::vector<double>& times,
+                                  const IicpOptions& options = IicpOptions());
+};
+
+}  // namespace locat::core
+
+#endif  // LOCAT_CORE_IICP_H_

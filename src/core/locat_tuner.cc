@@ -1,0 +1,394 @@
+#include "core/locat_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/lhs.h"
+
+namespace locat::core {
+
+LocatTuner::LocatTuner(Options options)
+    : options_(options), rng_(options.seed) {
+  // Lighter MCMC for the high-dimensional pre-IICP phase keeps the cold
+  // start cheap; accuracy matters most after the reduction.
+  options_.dagp.ei.num_hyper_samples =
+      std::min(options_.dagp.ei.num_hyper_samples, 6);
+  options_.dagp.ei.burn_in = std::min(options_.dagp.ei.burn_in, 10);
+  options_.dagp.ei.thin = 1;
+  dagp_ = Dagp(options_.dagp);
+}
+
+std::string LocatTuner::name() const {
+  if (options_.enable_qcsa && options_.enable_iicp) return "LOCAT";
+  if (options_.enable_qcsa) return "LOCAT-AP";      // all parameters
+  if (options_.enable_iicp) return "LOCAT-noQCSA";
+  return "LOCAT-DAGPonly";
+}
+
+math::Vector LocatTuner::EncodeUnit(const math::Vector& unit) const {
+  if (iicp_) return iicp_->Encode(unit);
+  return unit;
+}
+
+double LocatTuner::RqaObjective(const std::vector<double>& per_query,
+                                double full_seconds) const {
+  if (rqa_.empty() || per_query.empty()) return full_seconds;
+  double sum_all = 0.0;
+  for (double t : per_query) sum_all += t;
+  double sum_rqa = 0.0;
+  for (int idx : rqa_) {
+    if (idx >= 0 && static_cast<size_t>(idx) < per_query.size()) {
+      sum_rqa += per_query[static_cast<size_t>(idx)];
+    }
+  }
+  // Keep the (small) submit-overhead share so objectives before and after
+  // the reduction stay on the same scale as RQA runs.
+  return sum_rqa + (full_seconds - sum_all);
+}
+
+double LocatTuner::EvaluateAndRecord(TuningSession* session,
+                                     const sparksim::SparkConf& conf,
+                                     double datasize_gb, bool full_app) {
+  double objective = 0.0;
+  Observation obs;
+  obs.unit = session->space().ToUnit(conf);
+  obs.datasize_gb = datasize_gb;
+  if (full_app) {
+    const EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+    obs.per_query = rec.per_query_seconds;
+    objective = RqaObjective(rec.per_query_seconds, rec.app_seconds);
+  } else {
+    const EvalRecord& rec =
+        session->EvaluateSubset(conf, datasize_gb, rqa_);
+    objective = rec.app_seconds;
+  }
+  obs.objective_seconds = objective;
+  dagp_.AddObservation(EncodeUnit(obs.unit), datasize_gb, objective);
+  observations_.push_back(std::move(obs));
+
+  if (best_objective_ <= 0.0 || objective < best_objective_) {
+    best_objective_ = objective;
+    best_conf_ = conf;
+  }
+  trajectory_.push_back(best_objective_);
+  return objective;
+}
+
+LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
+                                             double datasize_gb) {
+  const sparksim::ConfigSpace& space = session->space();
+
+  // Anchor the local candidate families on the *posterior-mean* incumbent
+  // rather than the raw noisy minimum: a single lucky observation would
+  // otherwise drag the whole local search to a mediocre region.
+  math::Vector best_unit = space.ToUnit(best_conf_);
+  if (dagp_.fitted()) {
+    double best_score = 0.0;
+    for (const auto& obs : observations_) {
+      const double score =
+          dagp_.Predict(EncodeUnit(obs.unit), datasize_gb).seconds;
+      if (best_score <= 0.0 || score < best_score) {
+        best_score = score;
+        best_unit = obs.unit;
+      }
+    }
+  }
+
+  // After IICP only the CPS-selected parameters are tuned; the rest stay
+  // pinned to the incumbent's values (Section 3.3: "only tune the
+  // important parameters").
+  const std::vector<int>* tuned_dims = nullptr;
+  if (iicp_) tuned_dims = &iicp_->selected_params();
+
+  // Three candidate families, mirroring standard BO practice:
+  //   - global: uniform over the tuned dimensions (exploration);
+  //   - local: perturb a random ~30% subset of tuned dimensions around the
+  //     incumbent (basin descent);
+  //   - line: move a single tuned dimension to a fresh value (cliff
+  //     parameters like memoryOverhead respond to coordinate moves).
+  std::vector<int> identity_dims;
+  if (tuned_dims == nullptr) {
+    identity_dims.resize(sparksim::kNumParams);
+    for (int i = 0; i < sparksim::kNumParams; ++i) {
+      identity_dims[static_cast<size_t>(i)] = i;
+    }
+    tuned_dims = &identity_dims;
+  }
+  const bool have_incumbent = best_objective_ > 0.0;
+
+  Proposal best;
+  double best_ei = -1.0;
+  for (int c = 0; c < options_.candidates; ++c) {
+    math::Vector unit = best_unit;
+    int family = have_incumbent ? c % 3 : 1;
+    // Late in the reduced phase, stop proposing global jumps: anneal to
+    // local refinement around the incumbent.
+    if (exploit_only_ && family == 1) family = (c % 2 == 0) ? 0 : 2;
+    if (family == 0) {
+      for (int d : *tuned_dims) {
+        const size_t i = static_cast<size_t>(d);
+        if (rng_.Bernoulli(0.3)) {
+          unit[i] = std::clamp(best_unit[i] + rng_.Gaussian(0.0, 0.08), 0.0,
+                               1.0);
+        }
+      }
+    } else if (family == 1) {
+      for (int d : *tuned_dims) {
+        unit[static_cast<size_t>(d)] = rng_.NextDouble();
+      }
+    } else {
+      const int d = (*tuned_dims)[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(tuned_dims->size()) - 1))];
+      unit[static_cast<size_t>(d)] = rng_.NextDouble();
+    }
+    // Round-trip through the configuration space so the candidate is a
+    // *valid* configuration (Section 5.12 constraints).
+    const sparksim::SparkConf conf =
+        space.Repair(space.FromUnit(unit));
+    const math::Vector valid_unit = space.ToUnit(conf);
+    // Skip near-duplicates of past observations: re-running an evaluated
+    // configuration wastes a cluster run and starves QCSA/IICP of sample
+    // diversity.
+    bool duplicate = false;
+    for (const auto& obs : observations_) {
+      if (obs.datasize_gb == datasize_gb &&
+          (obs.unit - valid_unit).Norm() < 0.05) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    const double ei = dagp_.ExpectedImprovement(EncodeUnit(valid_unit),
+                                                datasize_gb);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best.unit = valid_unit;
+    }
+  }
+  if (best_ei < 0.0) {
+    // Everything was a duplicate; fall back to a fresh random point.
+    best.unit = session->space().RandomValidUnit(&rng_);
+    best.relative_ei = 1.0;
+    return best;
+  }
+  best.relative_ei = 1.0 - std::exp(-std::max(0.0, best_ei));
+  return best;
+}
+
+void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
+  const int num_queries = session->app().num_queries();
+
+  // --- QCSA on the first N_QCSA full-app runs (matrix S, equation (2)).
+  if (options_.enable_qcsa) {
+    std::vector<std::vector<double>> times(
+        static_cast<size_t>(num_queries));
+    for (const auto& obs : observations_) {
+      if (static_cast<int>(obs.per_query.size()) != num_queries) continue;
+      for (int q = 0; q < num_queries; ++q) {
+        times[static_cast<size_t>(q)].push_back(
+            obs.per_query[static_cast<size_t>(q)]);
+      }
+    }
+    auto qcsa = AnalyzeQuerySensitivity(times);
+    if (qcsa.ok()) {
+      qcsa_ = std::move(qcsa).value();
+      rqa_ = qcsa_->csq_indices;
+    }
+  }
+  if (rqa_.empty()) {
+    rqa_.resize(static_cast<size_t>(num_queries));
+    for (int q = 0; q < num_queries; ++q) rqa_[static_cast<size_t>(q)] = q;
+  }
+
+  // --- IICP on the first N_IICP samples (matrix S', equation (5)).
+  if (options_.enable_iicp) {
+    const int n = std::min<int>(options_.n_iicp,
+                                static_cast<int>(observations_.size()));
+    math::Matrix confs(static_cast<size_t>(n), sparksim::kNumParams);
+    std::vector<double> ts(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      confs.SetRow(static_cast<size_t>(i),
+                   observations_[static_cast<size_t>(i)].unit);
+      ts[static_cast<size_t>(i)] =
+          observations_[static_cast<size_t>(i)].objective_seconds;
+    }
+    auto iicp = Iicp::Run(confs, ts, options_.iicp);
+    if (iicp.ok()) iicp_ = std::move(iicp).value();
+  }
+
+  double rqa_ratio_sum = 0.0;
+  int rqa_ratio_count = 0;
+  // --- Objectives change (full app -> RQA) and so may the encoding:
+  // rebuild the DAGP from the re-encoded history. When IICP produced a
+  // low-dimensional latent space, the EI-MCMC ensemble can afford to be
+  // richer than in the 38-dimensional phase A; without the reduction the
+  // light options stay (a rich MCMC over 38 lengthscales costs minutes
+  // per refit and is exactly what IICP exists to avoid).
+  Dagp::Options reduced_opts = options_.dagp;
+  if (iicp_) {
+    reduced_opts.ei.num_hyper_samples = 10;
+    reduced_opts.ei.burn_in = 16;
+    reduced_opts.ei.thin = 1;
+  }
+  dagp_ = Dagp(reduced_opts);
+  dagp_.Clear();
+  for (auto& obs : observations_) {
+    if (!obs.per_query.empty()) {
+      // Phase-A observations stored the full-app time; per_query lets us
+      // convert them to the RQA objective (CSQ times + submit overhead).
+      double sum_all = 0.0;
+      for (double t : obs.per_query) sum_all += t;
+      const double overhead = obs.objective_seconds - sum_all;
+      double sum_rqa = 0.0;
+      for (int idx : rqa_) {
+        if (idx >= 0 && static_cast<size_t>(idx) < obs.per_query.size()) {
+          sum_rqa += obs.per_query[static_cast<size_t>(idx)];
+        }
+      }
+      obs.objective_seconds = sum_rqa + overhead;
+      if (sum_all > 0.0) {
+        rqa_ratio_sum += (sum_rqa + overhead) / (sum_all + overhead);
+        ++rqa_ratio_count;
+      }
+    }
+    dagp_.AddObservation(EncodeUnit(obs.unit), obs.datasize_gb,
+                         obs.objective_seconds);
+  }
+  if (rqa_ratio_count > 0) rqa_share_ = rqa_ratio_sum / rqa_ratio_count;
+  // Recompute the incumbent under the RQA objective.
+  best_objective_ = 0.0;
+  for (const auto& obs : observations_) {
+    if (best_objective_ <= 0.0 ||
+        obs.objective_seconds < best_objective_) {
+      best_objective_ = obs.objective_seconds;
+    }
+  }
+}
+
+void LocatTuner::ObserveExternalRun(const sparksim::ConfigSpace& space,
+                                    const sparksim::SparkConf& conf,
+                                    double datasize_gb,
+                                    double full_app_seconds) {
+  if (!cold_started_ || full_app_seconds <= 0.0) return;
+  Observation obs;
+  obs.unit = space.ToUnit(conf);
+  obs.datasize_gb = datasize_gb;
+  obs.objective_seconds = full_app_seconds * rqa_share_;
+  dagp_.AddObservation(EncodeUnit(obs.unit), datasize_gb,
+                       obs.objective_seconds);
+  observations_.push_back(std::move(obs));
+}
+
+TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
+  const double meter_start = session->optimization_seconds();
+  const int evals_start = session->evaluations();
+  trajectory_.clear();
+
+  const sparksim::ConfigSpace& space = session->space();
+
+  if (!cold_started_) {
+    // Phase A: LHS start points + BO over the full space, full app.
+    const math::Matrix lhs =
+        ml::LatinHypercube(options_.lhs_init, sparksim::kNumParams, &rng_);
+    for (int i = 0; i < options_.lhs_init; ++i) {
+      const sparksim::SparkConf conf =
+          space.Repair(space.FromUnit(lhs.Row(static_cast<size_t>(i))));
+      EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/true);
+    }
+    while (static_cast<int>(observations_.size()) < options_.n_qcsa) {
+      // QCSA/IICP need a *diverse* sample set ("random configurations",
+      // Section 3.2), so two of three phase-A runs draw uniformly and
+      // only the third follows the acquisition function.
+      sparksim::SparkConf conf = space.RandomValid(&rng_);
+      if (observations_.size() % 3 == 2 && dagp_.Refit(&rng_).ok()) {
+        const Proposal prop = ProposeNext(session, datasize_gb);
+        conf = space.Repair(space.FromUnit(prop.unit));
+      }
+      EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/true);
+    }
+
+    // Phase A': QCSA + IICP on the collected samples.
+    RunQcsaAndIicp(session);
+    cold_started_ = true;
+
+    // Phase B: BO on the RQA in the (possibly) reduced encoding.
+    int iterations = 0;
+    while (iterations < options_.max_iterations) {
+      exploit_only_ = iterations >= (options_.max_iterations * 3) / 5;
+      if (!dagp_.Refit(&rng_).ok()) break;
+      const Proposal prop = ProposeNext(session, datasize_gb);
+      if (iterations >= options_.min_iterations &&
+          prop.relative_ei < options_.ei_stop) {
+        break;  // Converged: expected improvement below 10%.
+      }
+      const sparksim::SparkConf conf =
+          space.Repair(space.FromUnit(prop.unit));
+      EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/false);
+      ++iterations;
+    }
+  } else {
+    // Warm start at a new data size: the DAGP transfers across ds.
+    int iterations = 0;
+    while (iterations < options_.warm_iterations) {
+      if (!dagp_.Refit(&rng_).ok()) break;
+      const Proposal prop = ProposeNext(session, datasize_gb);
+      if (iterations >= 3 && prop.relative_ei < options_.ei_stop) break;
+      const sparksim::SparkConf conf =
+          space.Repair(space.FromUnit(prop.unit));
+      EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/false);
+      ++iterations;
+    }
+    // The incumbent may come from another data size; re-rank the history
+    // restricted to this ds (with the GP's help when it is empty).
+    double best = 0.0;
+    for (const auto& obs : observations_) {
+      if (obs.datasize_gb == datasize_gb &&
+          (best <= 0.0 || obs.objective_seconds < best)) {
+        best = obs.objective_seconds;
+        best_objective_ = best;
+      }
+    }
+  }
+
+  // Recommend the final configuration robustly: rank evaluated points by
+  // the DAGP posterior mean (standard BO practice — under noisy runs the
+  // raw minimum is a winner's-curse artifact), then re-run the top few
+  // once more (charged) and pick the best two-run average.
+  const bool have_model = dagp_.fitted() || dagp_.Refit(&rng_).ok();
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t i = 0; i < observations_.size(); ++i) {
+    const auto& obs = observations_[i];
+    if (obs.datasize_gb != datasize_gb) continue;
+    const double score =
+        have_model
+            ? dagp_.Predict(EncodeUnit(obs.unit), datasize_gb).seconds
+            : obs.objective_seconds;
+    ranked.push_back({score, i});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  double champion = 0.0;
+  for (size_t r = 0; r < ranked.size() && r < 3; ++r) {
+    const auto& obs = observations_[ranked[r].second];
+    const sparksim::SparkConf conf = space.Repair(space.FromUnit(obs.unit));
+    const EvalRecord& rec =
+        session->EvaluateSubset(conf, datasize_gb, rqa_);
+    const double avg = 0.5 * (rec.app_seconds + obs.objective_seconds);
+    if (champion <= 0.0 || avg < champion) {
+      champion = avg;
+      best_conf_ = conf;
+      best_objective_ = avg;
+    }
+  }
+
+  TuningResult result;
+  result.tuner_name = name();
+  result.best_conf = best_conf_;
+  result.best_observed_seconds = best_objective_;
+  result.optimization_seconds =
+      session->optimization_seconds() - meter_start;
+  result.evaluations = session->evaluations() - evals_start;
+  result.trajectory = trajectory_;
+  return result;
+}
+
+}  // namespace locat::core

@@ -1,0 +1,136 @@
+#ifndef LOCAT_CORE_LOCAT_TUNER_H_
+#define LOCAT_CORE_LOCAT_TUNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dagp.h"
+#include "core/iicp.h"
+#include "core/qcsa.h"
+#include "core/tuning.h"
+
+namespace locat::core {
+
+/// The LOCAT auto-tuner (Figure 3): BO with a Datasize-Aware GP, QCSA
+/// query reduction, and IICP parameter reduction.
+///
+/// Cold start (first Tune call):
+///   1. 3 Latin-Hypercube start points, then BO iterations over the full
+///      38-parameter space, running the full application — these runs
+///      double as the N_QCSA/N_IICP sample set (Section 5.1/5.3: LOCAT
+///      does not collect extra samples; it reuses the BO executions).
+///   2. After N_QCSA runs: QCSA removes configuration-insensitive queries;
+///      subsequent evaluations execute only the RQA.
+///   3. IICP (on the first N_IICP samples): CPS Spearman filter + CPE
+///      Gaussian-KPCA produce a low-dimensional encoding; the DAGP history
+///      is re-encoded and BO continues in the latent space.
+///   4. Stop once >= min_iterations reduced-space iterations ran and the
+///      best candidate's relative EI drops below ei_stop (10%).
+///
+/// Warm start (later Tune calls with a different data size): the DAGP
+/// already models t = f(conf, ds), so only warm_iterations RQA runs at the
+/// new size are needed — the paper's online data-size adaptation.
+class LocatTuner : public Tuner {
+ public:
+  struct Options {
+    int n_qcsa = 30;
+    int n_iicp = 20;
+    int lhs_init = 3;
+    /// Reduced-space iteration floor/cap and the EI stop bound.
+    int min_iterations = 25;
+    int max_iterations = 55;
+    double ei_stop = 0.02;
+    /// Candidate pool per BO iteration.
+    int candidates = 900;
+    /// Iteration cap when re-tuning for a new data size (warm start).
+    int warm_iterations = 12;
+    uint64_t seed = 1;
+    /// Ablation switches: Figure 15's "AP" variant sets enable_iicp =
+    /// false; Section 5.10 isolates QCSA/IICP via these too.
+    bool enable_qcsa = true;
+    bool enable_iicp = true;
+    IicpOptions iicp;
+    Dagp::Options dagp;
+
+    Options() {}
+  };
+
+  explicit LocatTuner(Options options = Options());
+
+  std::string name() const override;
+  TuningResult Tune(TuningSession* session, double datasize_gb) override;
+
+  /// Feeds an already-executed production run into the DAGP (the online
+  /// path: production runs are free observations). The full-application
+  /// time is converted to the RQA-equivalent objective via the CSQ share
+  /// estimated during the cold start; before the cold start the call is a
+  /// no-op.
+  void ObserveExternalRun(const sparksim::ConfigSpace& space,
+                          const sparksim::SparkConf& conf,
+                          double datasize_gb, double full_app_seconds);
+
+  /// Introspection for benches/tests; null before the cold start finishes
+  /// the respective phase.
+  const QcsaResult* qcsa_result() const {
+    return qcsa_ ? &*qcsa_ : nullptr;
+  }
+  const IicpResult* iicp_result() const {
+    return iicp_ ? &*iicp_ : nullptr;
+  }
+  /// Query indices the RQA executes (all queries before QCSA/when
+  /// disabled).
+  const std::vector<int>& rqa_indices() const { return rqa_; }
+
+ private:
+  struct Observation {
+    math::Vector unit;                // full 38-dim unit configuration
+    double datasize_gb = 0.0;
+    double objective_seconds = 0.0;   // RQA-equivalent objective
+    std::vector<double> per_query;    // full-app runs only (else empty)
+  };
+
+  /// Encoded representation for the DAGP (latent after IICP, identity
+  /// before).
+  math::Vector EncodeUnit(const math::Vector& unit) const;
+
+  /// Runs one evaluation (full app or RQA depending on phase), records it
+  /// in the observation log and the DAGP, and updates the incumbent.
+  double EvaluateAndRecord(TuningSession* session,
+                           const sparksim::SparkConf& conf,
+                           double datasize_gb, bool full_app);
+
+  /// Proposes the next configuration by maximizing EI over a candidate
+  /// pool; returns the winning unit vector and its relative EI.
+  struct Proposal {
+    math::Vector unit;
+    double relative_ei = 0.0;
+  };
+  Proposal ProposeNext(TuningSession* session, double datasize_gb);
+
+  /// RQA-equivalent objective of a full-app run: CSQ query times plus the
+  /// submit overhead share.
+  double RqaObjective(const std::vector<double>& per_query,
+                      double full_seconds) const;
+
+  void RunQcsaAndIicp(TuningSession* session);
+
+  Options options_;
+  Rng rng_;
+  bool cold_started_ = false;
+  std::optional<QcsaResult> qcsa_;
+  std::optional<IicpResult> iicp_;
+  std::vector<int> rqa_;
+  Dagp dagp_;
+  std::vector<Observation> observations_;
+  sparksim::SparkConf best_conf_;
+  double best_objective_ = 0.0;
+  bool exploit_only_ = false;
+  double rqa_share_ = 1.0;  // mean RQA/full-app time ratio (cold start)
+  std::vector<double> trajectory_;
+};
+
+}  // namespace locat::core
+
+#endif  // LOCAT_CORE_LOCAT_TUNER_H_

@@ -1,0 +1,45 @@
+#include "core/online_service.h"
+
+#include <cmath>
+
+namespace locat::core {
+
+OnlineTuningService::OnlineTuningService(TuningSession* session,
+                                         Options options)
+    : session_(session), options_(options), tuner_(options.tuner) {}
+
+sparksim::SparkConf OnlineTuningService::RecommendedConf(double datasize_gb) {
+  // Closest tuned size, if any.
+  double best_gap = 1e300;
+  const sparksim::SparkConf* nearest = nullptr;
+  for (const auto& [ds, conf] : tuned_) {
+    const double gap = std::fabs(ds - datasize_gb) / ds;
+    if (gap < best_gap) {
+      best_gap = gap;
+      nearest = &conf;
+    }
+  }
+  if (nearest != nullptr && best_gap <= options_.retune_threshold) {
+    return *nearest;
+  }
+  const TuningResult result = tuner_.Tune(session_, datasize_gb);
+  ++tuning_passes_;
+  tuned_[datasize_gb] = result.best_conf;
+  return result.best_conf;
+}
+
+void OnlineTuningService::ReportRun(double datasize_gb,
+                                    const sparksim::SparkConf& conf,
+                                    double observed_seconds) {
+  tuner_.ObserveExternalRun(session_->space(), conf, datasize_gb,
+                            observed_seconds);
+}
+
+std::vector<double> OnlineTuningService::tuned_sizes() const {
+  std::vector<double> sizes;
+  sizes.reserve(tuned_.size());
+  for (const auto& [ds, conf] : tuned_) sizes.push_back(ds);
+  return sizes;
+}
+
+}  // namespace locat::core

@@ -1,0 +1,77 @@
+#ifndef LOCAT_CORE_ONLINE_SERVICE_H_
+#define LOCAT_CORE_ONLINE_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/locat_tuner.h"
+#include "core/tuning.h"
+
+namespace locat::core {
+
+/// The production loop the paper targets (Section 3.1: "a Spark SQL
+/// application repeatedly runs many times with the size of input data
+/// changing over time"), packaged as a service:
+///
+///   OnlineTuningService service(&session, options);
+///   for each incoming run:
+///     auto conf = service.RecommendedConf(todays_datasize_gb);
+///     ... submit with conf; optionally report the outcome back ...
+///     service.ReportRun(todays_datasize_gb, conf, observed_seconds);
+///
+/// The service owns one LocatTuner. The first recommendation triggers the
+/// cold-start tuning pass; later recommendations for *new* data sizes run
+/// a short warm adaptation only when the size differs enough from
+/// anything tuned before (relative gap > retune_threshold); otherwise the
+/// nearest tuned configuration is reused instantly. Reported production
+/// runs feed the DAGP as free observations.
+class OnlineTuningService {
+ public:
+  struct Options {
+    LocatTuner::Options tuner;
+    /// Re-tune when the requested size differs from every tuned size by
+    /// more than this relative factor (|ds - tuned| / tuned).
+    double retune_threshold = 0.25;
+
+    Options() {}
+  };
+
+  /// `session` must outlive the service.
+  OnlineTuningService(TuningSession* session, Options options = Options());
+
+  /// Returns a configuration for this data size, tuning (cold or warm)
+  /// when the service has nothing close enough yet.
+  sparksim::SparkConf RecommendedConf(double datasize_gb);
+
+  /// Feeds an observed production run back into the model (not charged to
+  /// the optimization meter — the run happened anyway). Improves later
+  /// warm adaptations.
+  void ReportRun(double datasize_gb, const sparksim::SparkConf& conf,
+                 double observed_seconds);
+
+  /// Simulated time spent on tuning so far (the service's total
+  /// optimization overhead).
+  double optimization_seconds() const {
+    return session_->optimization_seconds();
+  }
+
+  /// Number of cold/warm tuning passes performed.
+  int tuning_passes() const { return tuning_passes_; }
+
+  /// Data sizes with a tuned configuration, ascending.
+  std::vector<double> tuned_sizes() const;
+
+  const LocatTuner& tuner() const { return tuner_; }
+
+ private:
+  TuningSession* session_;
+  Options options_;
+  LocatTuner tuner_;
+  std::map<double, sparksim::SparkConf> tuned_;  // ds -> best conf
+  int tuning_passes_ = 0;
+};
+
+}  // namespace locat::core
+
+#endif  // LOCAT_CORE_ONLINE_SERVICE_H_

@@ -1,0 +1,55 @@
+#include "core/qcsa.h"
+
+#include <algorithm>
+
+#include "math/stats.h"
+
+namespace locat::core {
+
+StatusOr<QcsaResult> AnalyzeQuerySensitivity(
+    const std::vector<std::vector<double>>& times_per_query) {
+  if (times_per_query.empty()) {
+    return Status::InvalidArgument("QCSA needs at least one query");
+  }
+  const size_t n_samples = times_per_query.front().size();
+  if (n_samples < 2) {
+    return Status::InvalidArgument("QCSA needs at least two sampled runs");
+  }
+  for (const auto& series : times_per_query) {
+    if (series.size() != n_samples) {
+      return Status::InvalidArgument(
+          "every query must have the same number of samples");
+    }
+  }
+
+  QcsaResult result;
+  result.cv.reserve(times_per_query.size());
+  for (const auto& series : times_per_query) {
+    result.cv.push_back(math::CoefficientOfVariation(series));
+  }
+
+  result.min_cv = *std::min_element(result.cv.begin(), result.cv.end());
+  result.max_cv = *std::max_element(result.cv.begin(), result.cv.end());
+  // Equation (4): one tertile of the CV range above the minimum separates
+  // "low" sensitivity from "medium"/"high".
+  result.threshold = result.min_cv + (result.max_cv - result.min_cv) / 3.0;
+
+  for (size_t i = 0; i < result.cv.size(); ++i) {
+    if (result.cv[i] >= result.threshold) {
+      result.csq_indices.push_back(static_cast<int>(i));
+    } else {
+      result.ciq_indices.push_back(static_cast<int>(i));
+    }
+  }
+  // Degenerate case (all CVs equal): everything is "sensitive"; never
+  // return an empty RQA.
+  if (result.csq_indices.empty()) {
+    for (size_t i = 0; i < result.cv.size(); ++i) {
+      result.csq_indices.push_back(static_cast<int>(i));
+    }
+    result.ciq_indices.clear();
+  }
+  return result;
+}
+
+}  // namespace locat::core

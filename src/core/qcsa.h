@@ -1,0 +1,36 @@
+#ifndef LOCAT_CORE_QCSA_H_
+#define LOCAT_CORE_QCSA_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace locat::core {
+
+/// Result of Query Configuration Sensitivity Analysis (Section 3.2).
+struct QcsaResult {
+  /// Per-query coefficient of variation across the sampled runs
+  /// (equation (3)).
+  std::vector<double> cv;
+  /// Queries with CV >= threshold: configuration-sensitive (kept in the
+  /// RQA), ordered by original query index.
+  std::vector<int> csq_indices;
+  /// Queries below the threshold: configuration-insensitive (removed).
+  std::vector<int> ciq_indices;
+  /// CIQ/CSQ boundary: min(CV) + (max(CV) - min(CV)) / 3 (equation (4)).
+  double threshold = 0.0;
+  double min_cv = 0.0;
+  double max_cv = 0.0;
+};
+
+/// Computes per-query CVs and the tertile-based CSQ/CIQ split from a
+/// sample matrix: `times_per_query[i][j]` is query i's execution time in
+/// the j-th sampled run (the paper's matrix S, equation (2)).
+///
+/// Every query must have the same number (>= 2) of samples.
+StatusOr<QcsaResult> AnalyzeQuerySensitivity(
+    const std::vector<std::vector<double>>& times_per_query);
+
+}  // namespace locat::core
+
+#endif  // LOCAT_CORE_QCSA_H_

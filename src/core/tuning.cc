@@ -1,0 +1,61 @@
+#include "core/tuning.h"
+
+namespace locat::core {
+
+TuningSession::TuningSession(sparksim::ClusterSimulator* simulator,
+                             const sparksim::SparkSqlApp& app)
+    : simulator_(simulator), app_(app), space_(simulator->cluster()) {}
+
+const EvalRecord& TuningSession::Evaluate(const sparksim::SparkConf& conf,
+                                          double datasize_gb) {
+  if (!restriction_.empty()) {
+    return EvaluateSubset(conf, datasize_gb, restriction_);
+  }
+  std::vector<int> all(static_cast<size_t>(app_.num_queries()));
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return EvaluateSubset(conf, datasize_gb, all);
+}
+
+void TuningSession::RestrictToQueries(std::vector<int> query_indices) {
+  restriction_ = std::move(query_indices);
+}
+
+void TuningSession::ClearQueryRestriction() { restriction_.clear(); }
+
+const EvalRecord& TuningSession::EvaluateSubset(
+    const sparksim::SparkConf& conf, double datasize_gb,
+    const std::vector<int>& query_indices) {
+  sparksim::AppRunResult run =
+      simulator_->RunAppSubset(app_, query_indices, conf, datasize_gb);
+
+  EvalRecord rec;
+  rec.conf = conf;
+  rec.unit = space_.ToUnit(conf);
+  rec.datasize_gb = datasize_gb;
+  rec.app_seconds = run.total_seconds;
+  rec.full_app =
+      static_cast<int>(query_indices.size()) == app_.num_queries();
+  rec.query_indices = query_indices;
+  rec.per_query_seconds.reserve(run.per_query.size());
+  for (const auto& q : run.per_query) {
+    rec.per_query_seconds.push_back(q.exec_seconds);
+  }
+  rec.gc_seconds = run.gc_seconds;
+  rec.any_oom = run.any_oom;
+
+  optimization_seconds_ += run.total_seconds;
+  history_.push_back(std::move(rec));
+  return history_.back();
+}
+
+sparksim::AppRunResult TuningSession::MeasureFinal(
+    const sparksim::SparkConf& conf, double datasize_gb) {
+  return simulator_->RunApp(app_, conf, datasize_gb);
+}
+
+void TuningSession::Reset() {
+  history_.clear();
+  optimization_seconds_ = 0.0;
+}
+
+}  // namespace locat::core

@@ -1,0 +1,117 @@
+#ifndef LOCAT_CORE_TUNING_H_
+#define LOCAT_CORE_TUNING_H_
+
+#include <string>
+#include <vector>
+
+#include "sparksim/config.h"
+#include "sparksim/query_profile.h"
+#include "sparksim/simulator.h"
+
+namespace locat::core {
+
+/// One configuration evaluation retained by a TuningSession.
+struct EvalRecord {
+  sparksim::SparkConf conf;
+  math::Vector unit;            // conf in unit-cube coordinates
+  double datasize_gb = 0.0;
+  double app_seconds = 0.0;     // objective actually measured (full or RQA)
+  bool full_app = true;         // false when only a query subset ran
+  std::vector<double> per_query_seconds;  // indices into the *full* app
+  std::vector<int> query_indices;         // which queries ran
+  double gc_seconds = 0.0;
+  bool any_oom = false;
+};
+
+/// Accounting wrapper every tuner evaluates configurations through.
+///
+/// It runs configurations on the simulator, charges their *simulated*
+/// wall-clock to the optimization-time meter (this is the "optimization
+/// time" every figure reports), and keeps the evaluation history.
+class TuningSession {
+ public:
+  TuningSession(sparksim::ClusterSimulator* simulator,
+                const sparksim::SparkSqlApp& app);
+
+  /// Runs the full application; charged to the optimization-time meter.
+  const EvalRecord& Evaluate(const sparksim::SparkConf& conf,
+                             double datasize_gb);
+
+  /// Runs only the listed query indices (the RQA path); charged at the
+  /// reduced cost, which is where QCSA's savings come from.
+  const EvalRecord& EvaluateSubset(const sparksim::SparkConf& conf,
+                                   double datasize_gb,
+                                   const std::vector<int>& query_indices);
+
+  /// Runs the full application *without* charging optimization time; used
+  /// by the harness to measure the quality of a final configuration.
+  sparksim::AppRunResult MeasureFinal(const sparksim::SparkConf& conf,
+                                      double datasize_gb);
+
+  const sparksim::SparkSqlApp& app() const { return app_; }
+  const sparksim::ConfigSpace& space() const { return space_; }
+  sparksim::ClusterSimulator* simulator() { return simulator_; }
+
+  /// Simulated seconds spent on all charged evaluations so far.
+  double optimization_seconds() const { return optimization_seconds_; }
+  int evaluations() const { return static_cast<int>(history_.size()); }
+  const std::vector<EvalRecord>& history() const { return history_; }
+
+  /// Forgets history and resets the meter (keeps the simulator state).
+  void Reset();
+
+  /// Restricts Evaluate() to the given query subset — used by the
+  /// QCSA-on-SOTA frontend (Section 5.10) so baseline tuners transparently
+  /// run the RQA. EvaluateSubset and MeasureFinal are unaffected.
+  void RestrictToQueries(std::vector<int> query_indices);
+  void ClearQueryRestriction();
+  bool restricted() const { return !restriction_.empty(); }
+
+ private:
+  sparksim::ClusterSimulator* simulator_;
+  sparksim::SparkSqlApp app_;
+  sparksim::ConfigSpace space_;
+  std::vector<EvalRecord> history_;
+  std::vector<int> restriction_;
+  double optimization_seconds_ = 0.0;
+};
+
+/// Outcome of one tuning run.
+struct TuningResult {
+  std::string tuner_name;
+  sparksim::SparkConf best_conf;
+  /// Objective value of best_conf as observed during tuning (full app or
+  /// RQA, depending on the tuner's final phase).
+  double best_observed_seconds = 0.0;
+  /// Simulated time the whole optimization procedure consumed.
+  double optimization_seconds = 0.0;
+  int evaluations = 0;
+  /// Best-so-far observed objective after each evaluation.
+  std::vector<double> trajectory;
+};
+
+/// Interface every tuner (LOCAT and the four baselines) implements.
+///
+/// Tuners may keep state across calls — LOCAT's DAGP deliberately reuses
+/// its Gaussian process when Tune is called again with a different data
+/// size, which is the paper's online data-size adaptation.
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Finds a good configuration for the session's application at the
+  /// given input data size.
+  virtual TuningResult Tune(TuningSession* session, double datasize_gb) = 0;
+
+  /// Restricts the search to the given parameter indices (others stay at
+  /// their Table 2 defaults). Default implementation ignores the hint;
+  /// baseline tuners honor it so IICP can be retrofitted onto them
+  /// (Section 5.10).
+  virtual void SetFreeParams(const std::vector<int>& /*param_indices*/) {}
+};
+
+}  // namespace locat::core
+
+#endif  // LOCAT_CORE_TUNING_H_

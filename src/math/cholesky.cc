@@ -1,0 +1,92 @@
+#include "math/cholesky.h"
+
+#include <cmath>
+
+namespace locat::math {
+
+StatusOr<Cholesky> Cholesky::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(
+          "matrix is not positive definite (pivot " + std::to_string(j) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return Cholesky(std::move(l), /*jitter=*/0.0);
+}
+
+StatusOr<Cholesky> Cholesky::FactorWithJitter(const Matrix& a,
+                                              double initial_jitter,
+                                              int max_attempts) {
+  auto first = Factor(a);
+  if (first.ok()) return first;
+  double jitter = initial_jitter;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Matrix regularized = a;
+    regularized.AddToDiagonal(jitter);
+    auto result = Factor(regularized);
+    if (result.ok()) {
+      Cholesky chol = std::move(result).value();
+      chol.jitter_ = jitter;
+      return chol;
+    }
+    jitter *= 10.0;
+  }
+  return Status::FailedPrecondition(
+      "matrix not positive definite even with jitter");
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  Vector y = SolveLower(b);
+  const size_t n = l_.rows();
+  // Backward substitution: L^T x = y.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) s -= l_(j, ii) * x[j];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector Cholesky::SolveLower(const Vector& b) const {
+  const size_t n = l_.rows();
+  assert(b.size() == n);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t j = 0; j < i; ++j) s -= l_(i, j) * y[j];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Matrix Cholesky::Solve(const Matrix& b) const {
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    Vector col = Solve(b.Col(c));
+    for (size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+double Cholesky::LogDeterminant() const {
+  double s = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace locat::math

@@ -1,0 +1,59 @@
+#ifndef LOCAT_MATH_CHOLESKY_H_
+#define LOCAT_MATH_CHOLESKY_H_
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace locat::math {
+
+/// Cholesky factorization `A = L L^T` of a symmetric positive-definite
+/// matrix, plus the triangular solves needed by Gaussian-process
+/// regression.
+///
+/// The GP hot loop is: factor the kernel matrix once, then call
+/// `Solve`/`SolveLower` for the mean and variance of each prediction.
+class Cholesky {
+ public:
+  /// Factors `a` (must be square, symmetric, positive definite). Returns
+  /// FailedPrecondition when a non-positive pivot is encountered; callers
+  /// typically retry after adding diagonal jitter.
+  static StatusOr<Cholesky> Factor(const Matrix& a);
+
+  /// Like `Factor` but retries with growing diagonal jitter
+  /// (`initial_jitter * 10^k`, k = 0..max_attempts-1). Returns the factor of
+  /// `a + jitter*I` for the first jitter that succeeds.
+  static StatusOr<Cholesky> FactorWithJitter(const Matrix& a,
+                                             double initial_jitter = 1e-10,
+                                             int max_attempts = 10);
+
+  /// Solves `A x = b` via forward+backward substitution.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves `L y = b` (forward substitution only). `alpha = L^-T L^-1 b`
+  /// style GP computations use this for the predictive variance.
+  Vector SolveLower(const Vector& b) const;
+
+  /// Solves `A X = B` column-by-column.
+  Matrix Solve(const Matrix& b) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)); needed for the GP log marginal
+  /// likelihood.
+  double LogDeterminant() const;
+
+  /// The lower-triangular factor.
+  const Matrix& L() const { return l_; }
+
+  /// The jitter that was added to the diagonal (0 unless
+  /// `FactorWithJitter` had to regularize).
+  double jitter() const { return jitter_; }
+
+ private:
+  explicit Cholesky(Matrix l, double jitter) : l_(std::move(l)), jitter_(jitter) {}
+
+  Matrix l_;
+  double jitter_ = 0.0;
+};
+
+}  // namespace locat::math
+
+#endif  // LOCAT_MATH_CHOLESKY_H_

@@ -1,0 +1,99 @@
+#include "math/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace locat::math {
+namespace {
+
+// Sum of squares of strictly-off-diagonal entries.
+double OffDiagonalNorm(const Matrix& a) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) s += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+StatusOr<EigenDecomposition> JacobiEigenSymmetric(const Matrix& input,
+                                                  double tolerance,
+                                                  int max_sweeps) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("eigendecomposition requires square matrix");
+  }
+  const size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::Identity(n);
+
+  // Scale tolerance with the matrix magnitude so tiny kernels terminate too.
+  double frob = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) frob += a(i, j) * a(i, j);
+  }
+  frob = std::sqrt(frob);
+  const double stop = tolerance * std::max(frob, 1e-300);
+
+  bool converged = n <= 1 || OffDiagonalNorm(a) <= stop;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable rotation computation (Golub & Van Loan).
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = OffDiagonalNorm(a) <= stop;
+  }
+  if (!converged) {
+    return Status::Internal("Jacobi eigensolver did not converge");
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return a(i, i) > a(j, j); });
+
+  EigenDecomposition out;
+  out.eigenvalues = Vector(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    const size_t src = order[rank];
+    out.eigenvalues[rank] = a(src, src);
+    for (size_t r = 0; r < n; ++r) out.eigenvectors(r, rank) = v(r, src);
+  }
+  return out;
+}
+
+}  // namespace locat::math

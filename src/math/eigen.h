@@ -1,0 +1,30 @@
+#ifndef LOCAT_MATH_EIGEN_H_
+#define LOCAT_MATH_EIGEN_H_
+
+#include "common/status.h"
+#include "math/matrix.h"
+
+namespace locat::math {
+
+/// Result of a symmetric eigendecomposition: `A = V diag(lambda) V^T`.
+/// Eigenvalues are sorted in descending order; `eigenvectors.Col(i)` is the
+/// unit eigenvector for `eigenvalues[i]`.
+struct EigenDecomposition {
+  Vector eigenvalues;
+  Matrix eigenvectors;
+};
+
+/// Computes all eigenvalues/eigenvectors of a symmetric matrix with the
+/// cyclic Jacobi rotation method. O(n^3) per sweep; intended for the
+/// kernel matrices KPCA builds (n up to a few hundred), not for large-scale
+/// numerics.
+///
+/// Returns InvalidArgument for non-square input and Internal if the sweep
+/// limit is exhausted before off-diagonal mass drops below `tolerance`.
+StatusOr<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                  double tolerance = 1e-12,
+                                                  int max_sweeps = 100);
+
+}  // namespace locat::math
+
+#endif  // LOCAT_MATH_EIGEN_H_

@@ -1,0 +1,166 @@
+#include "math/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace locat::math {
+
+double Vector::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Vector::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Vector::Dot(const Vector& other) const {
+  assert(size() == other.size());
+  double s = 0.0;
+  for (size_t i = 0; i < size(); ++i) s += data_[i] * other.data_[i];
+  return s;
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  assert(size() == other.size());
+  for (size_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  assert(size() == other.size());
+  for (size_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+std::string Vector::ToString(int precision) const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, data_[i]);
+    os << (i ? ", " : "") << buf;
+  }
+  os << "]";
+  return os.str();
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    assert(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  assert(r < rows_);
+  Vector v(cols_);
+  for (size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::Col(size_t c) const {
+  assert(c < cols_);
+  Vector v(rows_);
+  for (size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::SetRow(size_t r, const Vector& v) {
+  assert(r < rows_ && v.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  assert(cols_ == v.size());
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::AddToDiagonal(double value) {
+  size_t n = rows_ < cols_ ? rows_ : cols_;
+  for (size_t i = 0; i < n; ++i) (*this)(i, i) += value;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double d = std::fabs(data_[i] - other.data_[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_; ++r) {
+    os << Row(r).ToString(precision) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace locat::math

@@ -1,0 +1,47 @@
+#ifndef LOCAT_MATH_STATS_H_
+#define LOCAT_MATH_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace locat::math {
+
+/// Descriptive statistics used across QCSA (CV), IICP, and the evaluation
+/// harness. All functions return 0.0 on empty input unless noted.
+
+/// Arithmetic mean.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance (divides by N, matching equation (3) of the paper).
+double Variance(const std::vector<double>& xs);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Coefficient of variation: StdDev / Mean (equation (3)). Returns 0 when
+/// the mean is 0.
+double CoefficientOfVariation(const std::vector<double>& xs);
+
+/// Mean squared error between predictions and targets; sizes must match.
+double MeanSquaredError(const std::vector<double>& predicted,
+                        const std::vector<double>& actual);
+
+/// Relative error version of MSE used for Figure 16: mean of
+/// ((pred - actual)/actual)^2 over entries with actual != 0.
+double MeanSquaredRelativeError(const std::vector<double>& predicted,
+                                const std::vector<double>& actual);
+
+/// Minimum / maximum; require non-empty input (asserts).
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Linearly-interpolated quantile, q in [0, 1]; requires non-empty input.
+double Quantile(std::vector<double> xs, double q);
+
+/// Average ranks (1-based) with ties sharing the mean rank; the building
+/// block of Spearman correlation.
+std::vector<double> RankWithTies(const std::vector<double>& xs);
+
+}  // namespace locat::math
+
+#endif  // LOCAT_MATH_STATS_H_

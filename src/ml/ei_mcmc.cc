@@ -1,0 +1,111 @@
+#include "ml/ei_mcmc.h"
+
+#include <cmath>
+#include <limits>
+
+#include "math/distributions.h"
+#include "math/stats.h"
+#include "ml/slice_sampler.h"
+
+namespace locat::ml {
+
+double EiMcmc::LogPrior(const GpHyperparams& hp) const {
+  const double inv_var = 1.0 / (options_.prior_log_std * options_.prior_log_std);
+  double lp = 0.0;
+  for (size_t i = 0; i < hp.log_lengthscales.size(); ++i) {
+    const double d = hp.log_lengthscales[i] - options_.lengthscale_log_mean;
+    lp -= 0.5 * d * d * inv_var;
+  }
+  const double ds = hp.log_signal_variance - options_.signal_log_mean;
+  lp -= 0.5 * ds * ds * inv_var;
+  const double dn = hp.log_noise_variance - options_.noise_log_mean;
+  lp -= 0.5 * dn * dn * inv_var;
+  return lp;
+}
+
+Status EiMcmc::Fit(const math::Matrix& x, const math::Vector& y, Rng* rng) {
+  if (x.rows() < 2 || x.rows() != y.size()) {
+    return Status::InvalidArgument("EiMcmc::Fit needs >= 2 matching samples");
+  }
+  best_observed_ = math::Min(y.data());
+
+  const size_t dim = x.cols();
+  auto log_posterior = [&](const math::Vector& flat) {
+    const GpHyperparams hp = GpHyperparams::Unflatten(flat);
+    const double lml = GaussianProcess::ComputeLogMarginalLikelihood(x, y, hp);
+    if (!std::isfinite(lml)) return -std::numeric_limits<double>::infinity();
+    return lml + LogPrior(hp);
+  };
+
+  SliceSampler::Options sopts;
+  sopts.width = 0.8;
+  SliceSampler sampler(log_posterior, sopts);
+
+  const math::Vector initial = GpHyperparams::Default(dim).Flatten();
+  const std::vector<math::Vector> samples = sampler.Sample(
+      initial, options_.num_hyper_samples, options_.burn_in, options_.thin,
+      rng);
+
+  ensemble_.clear();
+  ensemble_.reserve(samples.size());
+  for (const auto& flat : samples) {
+    GaussianProcess gp;
+    Status s = gp.Fit(x, y, GpHyperparams::Unflatten(flat));
+    if (s.ok()) ensemble_.push_back(std::move(gp));
+  }
+  if (ensemble_.empty()) {
+    // Fall back to the default hyperparameters so callers always get a
+    // usable surrogate.
+    GaussianProcess gp;
+    LOCAT_RETURN_IF_ERROR(gp.Fit(x, y, GpHyperparams::Default(dim)));
+    ensemble_.push_back(std::move(gp));
+  }
+  return Status::OK();
+}
+
+double EiMcmc::AcquisitionValue(const math::Vector& x) const {
+  assert(fitted());
+  double total = 0.0;
+  for (const auto& gp : ensemble_) {
+    const auto pred = gp.Predict(x);
+    const double sd = std::sqrt(pred.variance);
+    switch (options_.acquisition) {
+      case AcquisitionKind::kProbabilityOfImprovement:
+        total += math::ProbabilityOfImprovement(pred.mean, sd, best_observed_);
+        break;
+      case AcquisitionKind::kUcb:
+        total += math::NegativeLowerConfidenceBound(pred.mean, sd,
+                                                    options_.ucb_beta);
+        break;
+      case AcquisitionKind::kExpectedImprovement:
+        total += math::ExpectedImprovement(pred.mean, sd, best_observed_);
+        break;
+    }
+  }
+  return total / static_cast<double>(ensemble_.size());
+}
+
+GaussianProcess::Prediction EiMcmc::PredictAveraged(
+    const math::Vector& x) const {
+  assert(fitted());
+  double mean = 0.0;
+  double second_moment = 0.0;
+  for (const auto& gp : ensemble_) {
+    const auto pred = gp.Predict(x);
+    mean += pred.mean;
+    second_moment += pred.variance + pred.mean * pred.mean;
+  }
+  const double n = static_cast<double>(ensemble_.size());
+  mean /= n;
+  GaussianProcess::Prediction out;
+  out.mean = mean;
+  out.variance = std::max(0.0, second_moment / n - mean * mean);
+  return out;
+}
+
+double EiMcmc::RelativeEi(const math::Vector& x) const {
+  const double denom = std::max(std::fabs(best_observed_), 1e-12);
+  return AcquisitionValue(x) / denom;
+}
+
+}  // namespace locat::ml

@@ -1,0 +1,83 @@
+#ifndef LOCAT_ML_EI_MCMC_H_
+#define LOCAT_ML_EI_MCMC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/gp.h"
+
+namespace locat::ml {
+
+/// Acquisition rules supported by the marginalized surrogate. LOCAT uses
+/// EI (with MCMC marginalization); PI and GP-UCB are provided for the
+/// Section 2.2 comparison (bench/ablation_acquisition).
+enum class AcquisitionKind { kExpectedImprovement, kProbabilityOfImprovement, kUcb };
+
+/// Expected Improvement with MCMC hyperparameter marginalization
+/// (Snoek et al. 2012), the acquisition function LOCAT uses (Section 3.4).
+///
+/// Instead of point-optimizing the GP hyperparameters, `Fit` slice-samples
+/// them from their posterior (log marginal likelihood + weak log-normal
+/// priors) and keeps one fitted GP per sample. The acquisition value of a
+/// candidate is the EI for minimization averaged over those GPs, which
+/// integrates out hyperparameter uncertainty and removes the need for any
+/// external hyperparameter tuning.
+class EiMcmc {
+ public:
+  struct Options {
+    /// Number of posterior hyperparameter samples (fitted GPs).
+    int num_hyper_samples = 8;
+    /// Slice-sampler burn-in sweeps before the first sample.
+    int burn_in = 16;
+    /// Sweeps between retained samples.
+    int thin = 2;
+    /// Prior means for log lengthscale / log signal var / log noise var.
+    double lengthscale_log_mean = -1.2;  // ~0.30 for [0,1]-normalized inputs
+    double signal_log_mean = 0.0;
+    double noise_log_mean = -4.6;  // ~0.01
+    /// Shared prior standard deviation in log space.
+    double prior_log_std = 1.0;
+    /// Which acquisition AcquisitionValue computes.
+    AcquisitionKind acquisition = AcquisitionKind::kExpectedImprovement;
+    /// Exploration weight for the UCB rule.
+    double ucb_beta = 2.0;
+
+    Options() {}
+  };
+
+  explicit EiMcmc(Options options = Options()) : options_(options) {}
+
+  /// Fits the hyperparameter-marginalized model to (x, y). `x` is n x d
+  /// with n >= 2. Deterministic given `rng`'s state.
+  Status Fit(const math::Matrix& x, const math::Vector& y, Rng* rng);
+
+  /// Average Expected Improvement (for minimization) of a candidate over
+  /// the posterior GP ensemble.
+  double AcquisitionValue(const math::Vector& x) const;
+
+  /// Ensemble-averaged predictive mean and (law-of-total-variance)
+  /// variance.
+  GaussianProcess::Prediction PredictAveraged(const math::Vector& x) const;
+
+  /// Lowest observed target so far — the incumbent EI is computed against.
+  double best_observed() const { return best_observed_; }
+
+  /// Relative EI used by LOCAT's stop condition: EI / |best observed|
+  /// (stop once this drops below 0.10 after >= 10 iterations).
+  double RelativeEi(const math::Vector& x) const;
+
+  bool fitted() const { return !ensemble_.empty(); }
+  const std::vector<GaussianProcess>& ensemble() const { return ensemble_; }
+
+ private:
+  double LogPrior(const GpHyperparams& hp) const;
+
+  Options options_;
+  std::vector<GaussianProcess> ensemble_;
+  double best_observed_ = 0.0;
+};
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_EI_MCMC_H_

@@ -1,0 +1,184 @@
+#include "ml/gbrt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "math/stats.h"
+
+namespace locat::ml {
+namespace {
+
+// Sum and sum-of-squares accumulator for O(n log n) split search.
+struct Moments {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t count = 0;
+
+  void Add(double v) {
+    sum += v;
+    sum_sq += v * v;
+    ++count;
+  }
+  void Remove(double v) {
+    sum -= v;
+    sum_sq -= v * v;
+    --count;
+  }
+  // Sum of squared deviations from the mean (= count * variance).
+  double Sse() const {
+    if (count == 0) return 0.0;
+    return sum_sq - sum * sum / static_cast<double>(count);
+  }
+};
+
+}  // namespace
+
+Status RegressionTree::Fit(const math::Matrix& x, const math::Vector& y,
+                           const Options& options,
+                           const std::vector<size_t>& row_indices) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("tree fit requires matching non-empty x, y");
+  }
+  nodes_.clear();
+  feature_gains_.assign(x.cols(), 0.0);
+
+  std::vector<size_t> rows = row_indices;
+  if (rows.empty()) {
+    rows.resize(x.rows());
+    std::iota(rows.begin(), rows.end(), size_t{0});
+  }
+  BuildNode(x, y, rows, 0, rows.size(), 0, options);
+  return Status::OK();
+}
+
+int RegressionTree::BuildNode(const math::Matrix& x, const math::Vector& y,
+                              std::vector<size_t>& rows, size_t begin,
+                              size_t end, int depth, const Options& options) {
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  Moments all;
+  for (size_t i = begin; i < end; ++i) all.Add(y[rows[i]]);
+  const double leaf_value = all.sum / static_cast<double>(all.count);
+  nodes_[node_index].value = leaf_value;
+
+  const size_t n = end - begin;
+  if (depth >= options.max_depth ||
+      n < static_cast<size_t>(2 * options.min_samples_leaf) ||
+      all.Sse() <= 1e-12) {
+    return node_index;  // Leaf.
+  }
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+  size_t best_left_count = 0;
+
+  std::vector<size_t> sorted(rows.begin() + static_cast<long>(begin),
+                             rows.begin() + static_cast<long>(end));
+  for (size_t f = 0; f < x.cols(); ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return x(a, f) < x(b, f);
+    });
+    Moments left;
+    Moments right = all;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const double v = y[sorted[i]];
+      left.Add(v);
+      right.Remove(v);
+      // Only split between distinct feature values.
+      if (x(sorted[i], f) == x(sorted[i + 1], f)) continue;
+      if (left.count < static_cast<size_t>(options.min_samples_leaf) ||
+          right.count < static_cast<size_t>(options.min_samples_leaf)) {
+        continue;
+      }
+      const double gain = all.Sse() - left.Sse() - right.Sse();
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (x(sorted[i], f) + x(sorted[i + 1], f));
+        best_left_count = left.count;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;  // No useful split found.
+  feature_gains_[static_cast<size_t>(best_feature)] += best_gain;
+
+  // Partition rows[begin..end) by the chosen split.
+  auto mid_it = std::partition(
+      rows.begin() + static_cast<long>(begin),
+      rows.begin() + static_cast<long>(end), [&](size_t r) {
+        return x(r, static_cast<size_t>(best_feature)) <= best_threshold;
+      });
+  size_t mid = static_cast<size_t>(mid_it - rows.begin());
+  // Guard against degenerate partitions from duplicate values.
+  if (mid == begin || mid == end) mid = begin + best_left_count;
+
+  nodes_[node_index].feature = best_feature;
+  nodes_[node_index].threshold = best_threshold;
+  const int left_child =
+      BuildNode(x, y, rows, begin, mid, depth + 1, options);
+  const int right_child = BuildNode(x, y, rows, mid, end, depth + 1, options);
+  nodes_[node_index].left = left_child;
+  nodes_[node_index].right = right_child;
+  return node_index;
+}
+
+double RegressionTree::Predict(const math::Vector& x) const {
+  assert(!nodes_.empty());
+  int i = 0;
+  while (nodes_[static_cast<size_t>(i)].feature >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(i)];
+    i = x[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                               : node.right;
+  }
+  return nodes_[static_cast<size_t>(i)].value;
+}
+
+Status Gbrt::Fit(const math::Matrix& x, const math::Vector& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("GBRT fit requires matching non-empty x, y");
+  }
+  num_features_ = x.cols();
+  base_prediction_ = math::Mean(y.data());
+  trees_.clear();
+
+  math::Vector residual(y.size());
+  for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - base_prediction_;
+
+  for (int t = 0; t < options_.num_trees; ++t) {
+    RegressionTree tree;
+    LOCAT_RETURN_IF_ERROR(tree.Fit(x, residual, options_.tree));
+    for (size_t i = 0; i < y.size(); ++i) {
+      residual[i] -= options_.learning_rate * tree.Predict(x.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double Gbrt::Predict(const math::Vector& x) const {
+  double pred = base_prediction_;
+  for (const auto& tree : trees_) {
+    pred += options_.learning_rate * tree.Predict(x);
+  }
+  return pred;
+}
+
+std::vector<double> Gbrt::FeatureImportances() const {
+  std::vector<double> gains(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    for (size_t f = 0; f < num_features_; ++f) {
+      gains[f] += tree.feature_gains()[f];
+    }
+  }
+  const double total = std::accumulate(gains.begin(), gains.end(), 0.0);
+  if (total > 0.0) {
+    for (double& g : gains) g /= total;
+  }
+  return gains;
+}
+
+}  // namespace locat::ml

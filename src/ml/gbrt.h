@@ -1,0 +1,81 @@
+#ifndef LOCAT_ML_GBRT_H_
+#define LOCAT_ML_GBRT_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/regressor.h"
+
+namespace locat::ml {
+
+/// A depth-limited CART regression tree fit by variance reduction. The
+/// building block of GBRT; also usable standalone.
+class RegressionTree {
+ public:
+  struct Options {
+    int max_depth = 4;
+    int min_samples_leaf = 2;
+  };
+
+  /// Fits on the rows of `x` listed in `row_indices` (all rows if empty).
+  Status Fit(const math::Matrix& x, const math::Vector& y,
+             const Options& options,
+             const std::vector<size_t>& row_indices = {});
+
+  double Predict(const math::Vector& x) const;
+
+  /// Total variance-reduction gain contributed by splits on each feature.
+  const std::vector<double>& feature_gains() const { return feature_gains_; }
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 marks a leaf
+    double threshold = 0.0;
+    double value = 0.0;        // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildNode(const math::Matrix& x, const math::Vector& y,
+                std::vector<size_t>& rows, size_t begin, size_t end, int depth,
+                const Options& options);
+
+  std::vector<Node> nodes_;
+  std::vector<double> feature_gains_;
+};
+
+/// Gradient Boosted Regression Trees with squared loss: each stage fits a
+/// shallow tree to the current residuals. The paper uses GBRT both as the
+/// strongest ML performance model (Figure 16) and as the importance
+/// baseline IICP is compared against (Figure 17); the DAC tuner also builds
+/// its datasize-aware model with it.
+class Gbrt : public Regressor {
+ public:
+  struct Options {
+    int num_trees = 120;
+    double learning_rate = 0.1;
+    RegressionTree::Options tree;
+
+    Options() {}
+  };
+
+  explicit Gbrt(Options options = Options()) : options_(options) {}
+
+  Status Fit(const math::Matrix& x, const math::Vector& y) override;
+  double Predict(const math::Vector& x) const override;
+  std::string name() const override { return "GBRT"; }
+
+  /// Normalized per-feature importance (split gains summed over all trees,
+  /// scaled to sum to 1). Empty before Fit.
+  std::vector<double> FeatureImportances() const;
+
+ private:
+  Options options_;
+  double base_prediction_ = 0.0;
+  std::vector<RegressionTree> trees_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_GBRT_H_

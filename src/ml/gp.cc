@@ -1,0 +1,145 @@
+#include "ml/gp.h"
+
+#include <cmath>
+#include <limits>
+
+#include "math/stats.h"
+
+namespace locat::ml {
+namespace {
+
+constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5 * log(2*pi)
+
+double ArdSqExp(const math::Vector& a, const math::Vector& b,
+                const GpHyperparams& hp) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double l = std::exp(hp.log_lengthscales[i]);
+    const double d = (a[i] - b[i]) / l;
+    s += d * d;
+  }
+  return std::exp(hp.log_signal_variance) * std::exp(-0.5 * s);
+}
+
+math::Matrix BuildKernelMatrix(const math::Matrix& x, const GpHyperparams& hp) {
+  const size_t n = x.rows();
+  math::Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const math::Vector xi = x.Row(i);
+    for (size_t j = i; j < n; ++j) {
+      const double v = ArdSqExp(xi, x.Row(j), hp);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.AddToDiagonal(std::exp(hp.log_noise_variance) + 1e-10);
+  return k;
+}
+
+}  // namespace
+
+GpHyperparams GpHyperparams::Default(size_t input_dim) {
+  GpHyperparams hp;
+  hp.log_lengthscales = math::Vector(input_dim, std::log(0.3));
+  hp.log_signal_variance = 0.0;
+  hp.log_noise_variance = -4.0;
+  return hp;
+}
+
+math::Vector GpHyperparams::Flatten() const {
+  math::Vector flat(log_lengthscales.size() + 2);
+  for (size_t i = 0; i < log_lengthscales.size(); ++i) {
+    flat[i] = log_lengthscales[i];
+  }
+  flat[log_lengthscales.size()] = log_signal_variance;
+  flat[log_lengthscales.size() + 1] = log_noise_variance;
+  return flat;
+}
+
+GpHyperparams GpHyperparams::Unflatten(const math::Vector& flat) {
+  GpHyperparams hp;
+  const size_t d = flat.size() - 2;
+  hp.log_lengthscales = math::Vector(d);
+  for (size_t i = 0; i < d; ++i) hp.log_lengthscales[i] = flat[i];
+  hp.log_signal_variance = flat[d];
+  hp.log_noise_variance = flat[d + 1];
+  return hp;
+}
+
+Status GaussianProcess::Fit(const math::Matrix& x, const math::Vector& y,
+                            const GpHyperparams& hp) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("GP fit requires matching non-empty x, y");
+  }
+  if (hp.log_lengthscales.size() != x.cols()) {
+    return Status::InvalidArgument("lengthscale dimension mismatch");
+  }
+  x_ = x;
+  hp_ = hp;
+
+  y_mean_ = math::Mean(y.data());
+  y_std_ = math::StdDev(y.data());
+  if (y_std_ < 1e-12) y_std_ = 1.0;  // Constant targets: predict the mean.
+  math::Vector ys(y.size());
+  for (size_t i = 0; i < y.size(); ++i) ys[i] = (y[i] - y_mean_) / y_std_;
+
+  math::Matrix k = BuildKernelMatrix(x_, hp_);
+  auto chol = math::Cholesky::FactorWithJitter(k);
+  if (!chol.ok()) return chol.status();
+  chol_ = std::move(chol).value();
+  alpha_ = chol_->Solve(ys);
+
+  const double n = static_cast<double>(x_.rows());
+  log_marginal_likelihood_ = -0.5 * ys.Dot(alpha_) -
+                             0.5 * chol_->LogDeterminant() - n * kHalfLog2Pi;
+  fitted_ = true;
+  return Status::OK();
+}
+
+double GaussianProcess::KernelValue(const math::Vector& a,
+                                    const math::Vector& b) const {
+  return ArdSqExp(a, b, hp_);
+}
+
+GaussianProcess::Prediction GaussianProcess::Predict(
+    const math::Vector& x) const {
+  assert(fitted_);
+  const size_t n = x_.rows();
+  math::Vector kstar(n);
+  for (size_t i = 0; i < n; ++i) kstar[i] = KernelValue(x, x_.Row(i));
+
+  Prediction pred;
+  pred.mean = y_mean_ + y_std_ * kstar.Dot(alpha_);
+
+  // var = k(x,x) - k*^T (K + noise I)^-1 k*, computed via the triangular
+  // solve v = L^-1 k*.
+  const math::Vector v = chol_->SolveLower(kstar);
+  double var = KernelValue(x, x) - v.Dot(v);
+  if (var < 0.0) var = 0.0;
+  pred.variance = var * y_std_ * y_std_;
+  return pred;
+}
+
+double GaussianProcess::ComputeLogMarginalLikelihood(const math::Matrix& x,
+                                                     const math::Vector& y,
+                                                     const GpHyperparams& hp) {
+  if (x.rows() == 0 || x.rows() != y.size() ||
+      hp.log_lengthscales.size() != x.cols()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double y_mean = math::Mean(y.data());
+  double y_std = math::StdDev(y.data());
+  if (y_std < 1e-12) y_std = 1.0;
+  math::Vector ys(y.size());
+  for (size_t i = 0; i < y.size(); ++i) ys[i] = (y[i] - y_mean) / y_std;
+
+  math::Matrix k = BuildKernelMatrix(x, hp);
+  auto chol = math::Cholesky::Factor(k);
+  if (!chol.ok()) return -std::numeric_limits<double>::infinity();
+  const math::Vector alpha = chol->Solve(ys);
+  const double n = static_cast<double>(x.rows());
+  return -0.5 * ys.Dot(alpha) - 0.5 * chol->LogDeterminant() -
+         n * kHalfLog2Pi;
+}
+
+}  // namespace locat::ml

@@ -1,0 +1,91 @@
+#ifndef LOCAT_ML_GP_H_
+#define LOCAT_ML_GP_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "math/cholesky.h"
+#include "math/matrix.h"
+
+namespace locat::ml {
+
+/// Log-parameterized hyperparameters of an ARD squared-exponential GP:
+/// per-dimension lengthscales, signal variance, and observation-noise
+/// variance. Log parameterization keeps all values positive and makes
+/// slice sampling unconstrained.
+struct GpHyperparams {
+  math::Vector log_lengthscales;
+  double log_signal_variance = 0.0;
+  double log_noise_variance = -4.0;
+
+  /// Sensible defaults for inputs normalized to [0,1]: lengthscale 0.3,
+  /// signal variance 1, noise variance exp(-4) ~ 0.018.
+  static GpHyperparams Default(size_t input_dim);
+
+  /// Flattens to a vector (lengthscales..., signal, noise) for samplers.
+  math::Vector Flatten() const;
+  /// Inverse of Flatten(); `flat.size()` must be `input_dim + 2`.
+  static GpHyperparams Unflatten(const math::Vector& flat);
+};
+
+/// Gaussian-process regression with an ARD squared-exponential kernel.
+///
+/// This is the surrogate model underlying DAGP (the datasize-aware GP): the
+/// input vector is the normalized configuration concatenated with the
+/// normalized input data size, so the GP models t = f(conf, ds) exactly as
+/// in equation (7) of the paper.
+///
+/// Targets are standardized internally (zero mean, unit variance); all
+/// public predictions are in the original units.
+class GaussianProcess {
+ public:
+  GaussianProcess() = default;
+
+  /// Fits the GP to (x, y) with fixed hyperparameters. `x` is n x d, `y`
+  /// has n entries, n >= 1. Factors the kernel matrix once (O(n^3)).
+  Status Fit(const math::Matrix& x, const math::Vector& y,
+             const GpHyperparams& hp);
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+
+  /// Posterior predictive mean/variance at a point (equation (10)).
+  /// Must be called after a successful Fit.
+  Prediction Predict(const math::Vector& x) const;
+
+  /// Log marginal likelihood of the fitted data under the fitted
+  /// hyperparameters (up to the usual constant).
+  double LogMarginalLikelihood() const { return log_marginal_likelihood_; }
+
+  /// Computes the log marginal likelihood for candidate hyperparameters
+  /// without retaining the fit; used by the MCMC sampler. Returns -inf
+  /// (lowest double) when the kernel matrix cannot be factored.
+  static double ComputeLogMarginalLikelihood(const math::Matrix& x,
+                                             const math::Vector& y,
+                                             const GpHyperparams& hp);
+
+  bool fitted() const { return fitted_; }
+  size_t num_points() const { return x_.rows(); }
+  size_t input_dim() const { return x_.cols(); }
+  const GpHyperparams& hyperparams() const { return hp_; }
+
+ private:
+  double KernelValue(const math::Vector& a, const math::Vector& b) const;
+
+  bool fitted_ = false;
+  math::Matrix x_;
+  GpHyperparams hp_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  std::optional<math::Cholesky> chol_;
+  math::Vector alpha_;  // (K + noise I)^-1 y_standardized
+  double log_marginal_likelihood_ = 0.0;
+};
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_GP_H_

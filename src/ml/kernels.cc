@@ -1,0 +1,83 @@
+#include "ml/kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace locat::ml {
+
+math::Matrix Kernel::GramMatrix(const math::Matrix& x) const {
+  const size_t n = x.rows();
+  math::Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const math::Vector xi = x.Row(i);
+    for (size_t j = i; j < n; ++j) {
+      const double v = Evaluate(xi, x.Row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+math::Matrix Kernel::CrossGramMatrix(const math::Matrix& a,
+                                     const math::Matrix& b) const {
+  math::Matrix k(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const math::Vector ai = a.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      k(i, j) = Evaluate(ai, b.Row(j));
+    }
+  }
+  return k;
+}
+
+double GaussianKernel::Evaluate(const math::Vector& a,
+                                const math::Vector& b) const {
+  assert(a.size() == b.size());
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::exp(-d2 / (2.0 * bandwidth_ * bandwidth_));
+}
+
+double PolynomialKernel::Evaluate(const math::Vector& a,
+                                  const math::Vector& b) const {
+  return std::pow(a.Dot(b) + coef0_, degree_);
+}
+
+double PerceptronKernel::Evaluate(const math::Vector& a,
+                                  const math::Vector& b) const {
+  const double na = a.Norm();
+  const double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return na == nb ? 1.0 : 0.0;
+  const double cosang = std::clamp(a.Dot(b) / (na * nb), -1.0, 1.0);
+  return 1.0 - std::acos(cosang) / M_PI;
+}
+
+double ArdSquaredExponentialKernel::Evaluate(const math::Vector& a,
+                                             const math::Vector& b) const {
+  assert(a.size() == b.size() && a.size() == lengthscales_.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = (a[i] - b[i]) / lengthscales_[i];
+    s += d * d;
+  }
+  return signal_variance_ * std::exp(-0.5 * s);
+}
+
+double ArdMatern52Kernel::Evaluate(const math::Vector& a,
+                                   const math::Vector& b) const {
+  assert(a.size() == b.size() && a.size() == lengthscales_.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = (a[i] - b[i]) / lengthscales_[i];
+    s += d * d;
+  }
+  const double r = std::sqrt(5.0 * s);
+  return signal_variance_ * (1.0 + r + 5.0 * s / 3.0) * std::exp(-r);
+}
+
+}  // namespace locat::ml

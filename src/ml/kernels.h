@@ -1,0 +1,104 @@
+#ifndef LOCAT_ML_KERNELS_H_
+#define LOCAT_ML_KERNELS_H_
+
+#include <memory>
+#include <string>
+
+#include "math/matrix.h"
+
+namespace locat::ml {
+
+/// Abstract covariance/kernel function k(x, x') over real vectors.
+/// Used both by the Gaussian process surrogate (DAGP) and by KPCA (CPE).
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Evaluates k(a, b); vectors must have equal dimension.
+  virtual double Evaluate(const math::Vector& a,
+                          const math::Vector& b) const = 0;
+
+  /// Human-readable name ("gaussian", "polynomial", ...).
+  virtual std::string name() const = 0;
+
+  /// Builds the Gram matrix K with K(i,j) = k(X.Row(i), X.Row(j)).
+  math::Matrix GramMatrix(const math::Matrix& x) const;
+
+  /// Builds the cross Gram matrix K with K(i,j) = k(A.Row(i), B.Row(j)).
+  math::Matrix CrossGramMatrix(const math::Matrix& a,
+                               const math::Matrix& b) const;
+};
+
+/// Gaussian (RBF) kernel: k(a,b) = exp(-||a-b||^2 / (2 gamma^2)).
+/// The kernel the paper selects for KPCA (Figure 6).
+class GaussianKernel : public Kernel {
+ public:
+  explicit GaussianKernel(double bandwidth) : bandwidth_(bandwidth) {}
+  double Evaluate(const math::Vector& a, const math::Vector& b) const override;
+  std::string name() const override { return "gaussian"; }
+  double bandwidth() const { return bandwidth_; }
+
+ private:
+  double bandwidth_;
+};
+
+/// Polynomial kernel: k(a,b) = (a.b + coef0)^degree.
+class PolynomialKernel : public Kernel {
+ public:
+  PolynomialKernel(int degree, double coef0)
+      : degree_(degree), coef0_(coef0) {}
+  double Evaluate(const math::Vector& a, const math::Vector& b) const override;
+  std::string name() const override { return "polynomial"; }
+
+ private:
+  int degree_;
+  double coef0_;
+};
+
+/// Perceptron (arc-cosine degree-0) kernel:
+/// k(a,b) = 1 - theta/pi with theta the angle between a and b. The
+/// "perceptron kernel" evaluated in the paper's Figure 6 kernel study.
+class PerceptronKernel : public Kernel {
+ public:
+  double Evaluate(const math::Vector& a, const math::Vector& b) const override;
+  std::string name() const override { return "perceptron"; }
+};
+
+/// Squared-exponential kernel with Automatic Relevance Determination:
+/// k(a,b) = s2 * exp(-0.5 * sum_d ((a_d-b_d)/l_d)^2).
+/// The DAGP surrogate covariance; per-dimension lengthscales let the GP
+/// learn that the data-size input matters differently from each parameter.
+class ArdSquaredExponentialKernel : public Kernel {
+ public:
+  ArdSquaredExponentialKernel(math::Vector lengthscales, double signal_variance)
+      : lengthscales_(std::move(lengthscales)),
+        signal_variance_(signal_variance) {}
+  double Evaluate(const math::Vector& a, const math::Vector& b) const override;
+  std::string name() const override { return "ard_sqexp"; }
+
+  const math::Vector& lengthscales() const { return lengthscales_; }
+  double signal_variance() const { return signal_variance_; }
+
+ private:
+  math::Vector lengthscales_;
+  double signal_variance_;
+};
+
+/// Matérn 5/2 kernel with ARD lengthscales; a standard BO surrogate choice
+/// offered as an alternative to the squared exponential.
+class ArdMatern52Kernel : public Kernel {
+ public:
+  ArdMatern52Kernel(math::Vector lengthscales, double signal_variance)
+      : lengthscales_(std::move(lengthscales)),
+        signal_variance_(signal_variance) {}
+  double Evaluate(const math::Vector& a, const math::Vector& b) const override;
+  std::string name() const override { return "ard_matern52"; }
+
+ private:
+  math::Vector lengthscales_;
+  double signal_variance_;
+};
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_KERNELS_H_

@@ -1,0 +1,179 @@
+#include "ml/kpca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/eigen.h"
+
+namespace locat::ml {
+
+Status Kpca::Fit(const math::Matrix& x, const Kernel* kernel,
+                 const Options& options) {
+  if (kernel == nullptr) {
+    return Status::InvalidArgument("KPCA requires a kernel");
+  }
+  if (x.rows() < 2) {
+    return Status::InvalidArgument("KPCA requires at least 2 samples");
+  }
+  x_ = x;
+  kernel_ = kernel;
+  const size_t n = x.rows();
+
+  math::Matrix k = kernel->GramMatrix(x);
+
+  // Center in feature space: Kc = K - 1n K - K 1n + 1n K 1n.
+  row_means_ = math::Vector(n);
+  grand_mean_ = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) s += k(i, j);
+    row_means_[i] = s / static_cast<double>(n);
+    grand_mean_ += s;
+  }
+  grand_mean_ /= static_cast<double>(n * n);
+
+  math::Matrix kc(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      kc(i, j) = k(i, j) - row_means_[i] - row_means_[j] + grand_mean_;
+    }
+  }
+
+  auto eig = math::JacobiEigenSymmetric(kc);
+  if (!eig.ok()) return eig.status();
+  eigenvalues_ = eig->eigenvalues;
+
+  // Total positive spectrum mass.
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += std::max(0.0, eigenvalues_[i]);
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("degenerate kernel matrix (zero spectrum)");
+  }
+  const double floor = options.eigenvalue_floor * std::max(eigenvalues_[0], 0.0);
+
+  int m = 0;
+  double covered = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (eigenvalues_[i] <= floor) break;
+    covered += eigenvalues_[i];
+    ++m;
+    if (covered / total >= options.variance_to_retain) break;
+    if (options.max_components > 0 && m >= options.max_components) break;
+  }
+  if (m == 0) m = 1;
+  num_components_ = m;
+  explained_variance_ = covered / total;
+
+  // Normalize eigenvectors so projections are alpha^T k with
+  // ||alpha_m||^2 = 1/lambda_m.
+  alphas_ = math::Matrix(n, static_cast<size_t>(m));
+  for (int c = 0; c < m; ++c) {
+    const double lambda = eigenvalues_[static_cast<size_t>(c)];
+    const double scale = 1.0 / std::sqrt(lambda);
+    for (size_t r = 0; r < n; ++r) {
+      alphas_(r, static_cast<size_t>(c)) =
+          eig->eigenvectors(r, static_cast<size_t>(c)) * scale;
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+math::Vector Kpca::CenteredKernelColumn(const math::Vector& x) const {
+  const size_t n = x_.rows();
+  math::Vector kx(n);
+  double kx_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    kx[i] = kernel_->Evaluate(x, x_.Row(i));
+    kx_mean += kx[i];
+  }
+  kx_mean /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    kx[i] = kx[i] - kx_mean - row_means_[i] + grand_mean_;
+  }
+  return kx;
+}
+
+math::Vector Kpca::Project(const math::Vector& x) const {
+  assert(fitted_);
+  const math::Vector kx = CenteredKernelColumn(x);
+  math::Vector z(static_cast<size_t>(num_components_));
+  for (int c = 0; c < num_components_; ++c) {
+    double s = 0.0;
+    for (size_t i = 0; i < x_.rows(); ++i) {
+      s += alphas_(i, static_cast<size_t>(c)) * kx[i];
+    }
+    z[static_cast<size_t>(c)] = s;
+  }
+  return z;
+}
+
+math::Matrix Kpca::ProjectAll(const math::Matrix& x) const {
+  math::Matrix out(x.rows(), static_cast<size_t>(num_components_));
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out.SetRow(r, Project(x.Row(r)));
+  }
+  return out;
+}
+
+StatusOr<math::Vector> Kpca::GaussianPreimage(const math::Vector& z,
+                                              int max_iterations,
+                                              double tolerance) const {
+  assert(fitted_);
+  const auto* gaussian = dynamic_cast<const GaussianKernel*>(kernel_);
+  if (gaussian == nullptr) {
+    return Status::FailedPrecondition(
+        "pre-image iteration requires a Gaussian kernel");
+  }
+  const size_t n = x_.rows();
+  const size_t d = x_.cols();
+
+  // Feature-space reconstruction: psi = sum_m z_m v_m + phi_bar
+  //                                  = sum_i gamma_i phi(x_i)
+  // with gamma_i = sum_m z_m alpha_im + (1/n)(1 - sum_j sum_m z_m alpha_jm).
+  math::Vector gamma(n);
+  double proj_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double g = 0.0;
+    for (int m = 0; m < num_components_; ++m) {
+      g += z[static_cast<size_t>(m)] * alphas_(i, static_cast<size_t>(m));
+    }
+    gamma[i] = g;
+    proj_sum += g;
+  }
+  const double centering = (1.0 - proj_sum) / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) gamma[i] += centering;
+
+  // Initialize at the gamma-weighted mean of the training points.
+  math::Vector current(d);
+  double gsum = 0.0;
+  for (size_t i = 0; i < n; ++i) gsum += gamma[i];
+  if (std::fabs(gsum) < 1e-300) gsum = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    const math::Vector xi = x_.Row(i);
+    for (size_t k = 0; k < d; ++k) current[k] += gamma[i] * xi[k] / gsum;
+  }
+
+  // Mika fixed-point iteration.
+  for (int it = 0; it < max_iterations; ++it) {
+    math::Vector next(d);
+    double denom = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const math::Vector xi = x_.Row(i);
+      const double w = gamma[i] * gaussian->Evaluate(current, xi);
+      denom += w;
+      for (size_t k = 0; k < d; ++k) next[k] += w * xi[k];
+    }
+    if (std::fabs(denom) < 1e-12) {
+      // Reconstruction collapsed; return the current best iterate.
+      return current;
+    }
+    for (size_t k = 0; k < d; ++k) next[k] /= denom;
+    const double delta = (next - current).Norm();
+    current = next;
+    if (delta < tolerance) break;
+  }
+  return current;
+}
+
+}  // namespace locat::ml

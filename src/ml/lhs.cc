@@ -1,0 +1,22 @@
+#include "ml/lhs.h"
+
+#include <cassert>
+
+namespace locat::ml {
+
+math::Matrix LatinHypercube(int n, int dim, Rng* rng) {
+  assert(n > 0 && dim > 0 && rng != nullptr);
+  math::Matrix samples(static_cast<size_t>(n), static_cast<size_t>(dim));
+  for (int d = 0; d < dim; ++d) {
+    std::vector<int> strata = rng->Permutation(n);
+    for (int i = 0; i < n; ++i) {
+      // Uniform position within the assigned stratum.
+      const double u = rng->NextDouble();
+      samples(static_cast<size_t>(i), static_cast<size_t>(d)) =
+          (static_cast<double>(strata[i]) + u) / static_cast<double>(n);
+    }
+  }
+  return samples;
+}
+
+}  // namespace locat::ml

@@ -1,0 +1,22 @@
+#ifndef LOCAT_ML_LHS_H_
+#define LOCAT_ML_LHS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+
+namespace locat::ml {
+
+/// Latin Hypercube Sampling over the unit hypercube [0, 1)^dim.
+///
+/// Each of the `n` samples occupies a distinct stratum in every dimension,
+/// guaranteeing one-dimensional coverage even for tiny n. LOCAT uses 3 LHS
+/// samples to seed the Gaussian process (Section 3.4, "Start points").
+///
+/// Returns an n x dim matrix; row i is sample i.
+math::Matrix LatinHypercube(int n, int dim, Rng* rng);
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_LHS_H_

@@ -1,0 +1,49 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "math/stats.h"
+
+namespace locat::ml {
+
+Status RandomForest::Fit(const math::Matrix& x, const math::Vector& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument(
+        "random forest fit requires matching non-empty x, y");
+  }
+  Rng rng(options_.seed);
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+  const size_t n = x.rows();
+  const size_t bag =
+      std::max<size_t>(2, static_cast<size_t>(options_.sample_fraction *
+                                              static_cast<double>(n)));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    std::vector<size_t> rows(bag);
+    for (size_t i = 0; i < bag; ++i) {
+      rows[i] = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    RegressionTree tree;
+    LOCAT_RETURN_IF_ERROR(tree.Fit(x, y, options_.tree, rows));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::Predict(const math::Vector& x) const {
+  assert(!trees_.empty());
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.Predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+double RandomForest::PredictStdDev(const math::Vector& x) const {
+  assert(!trees_.empty());
+  std::vector<double> preds;
+  preds.reserve(trees_.size());
+  for (const auto& tree : trees_) preds.push_back(tree.Predict(x));
+  return math::StdDev(preds);
+}
+
+}  // namespace locat::ml

@@ -1,0 +1,48 @@
+#ifndef LOCAT_ML_RANDOM_FOREST_H_
+#define LOCAT_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/gbrt.h"
+#include "ml/regressor.h"
+
+namespace locat::ml {
+
+/// Bagged random-forest regression built on the same CART trees as GBRT.
+///
+/// Section 2.2 of the paper lists Random Forest as a candidate BO
+/// surrogate "with a good ability to model non-linear interactions" but
+/// rejects it for lacking calibrated confidence bounds; this
+/// implementation exists so that comparison can be run (see the surrogate
+/// ablation bench) and as a general-purpose model.
+class RandomForest : public Regressor {
+ public:
+  struct Options {
+    int num_trees = 60;
+    /// Bootstrap sample fraction per tree.
+    double sample_fraction = 0.8;
+    RegressionTree::Options tree;
+    uint64_t seed = 1234;
+
+    Options() { tree.max_depth = 8; }
+  };
+
+  explicit RandomForest(Options options = Options()) : options_(options) {}
+
+  Status Fit(const math::Matrix& x, const math::Vector& y) override;
+  double Predict(const math::Vector& x) const override;
+  std::string name() const override { return "RandomForest"; }
+
+  /// Empirical spread of the per-tree predictions — the (uncalibrated)
+  /// uncertainty proxy a forest-based BO would use.
+  double PredictStdDev(const math::Vector& x) const;
+
+ private:
+  Options options_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_RANDOM_FOREST_H_

@@ -1,0 +1,12 @@
+#include "ml/regressor.h"
+
+namespace locat::ml {
+
+std::vector<double> Regressor::PredictAll(const math::Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out.push_back(Predict(x.Row(r)));
+  return out;
+}
+
+}  // namespace locat::ml

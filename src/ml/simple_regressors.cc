@@ -1,0 +1,171 @@
+#include "ml/simple_regressors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "math/cholesky.h"
+#include "math/stats.h"
+
+namespace locat::ml {
+
+Status LinearRegression::Fit(const math::Matrix& x, const math::Vector& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("linear fit requires matching x, y");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  // Augment with an intercept column and solve the normal equations.
+  math::Matrix xa(n, d + 1);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) xa(r, c) = x(r, c);
+    xa(r, d) = 1.0;
+  }
+  math::Matrix xtx = xa.Transpose() * xa;
+  xtx.AddToDiagonal(ridge_);
+  math::Vector xty = xa.Transpose() * y;
+  auto chol = math::Cholesky::FactorWithJitter(xtx);
+  if (!chol.ok()) return chol.status();
+  math::Vector w = chol->Solve(xty);
+  weights_ = math::Vector(d);
+  for (size_t c = 0; c < d; ++c) weights_[c] = w[c];
+  intercept_ = w[d];
+  return Status::OK();
+}
+
+double LinearRegression::Predict(const math::Vector& x) const {
+  return weights_.Dot(x) + intercept_;
+}
+
+Status LogisticRegression::Fit(const math::Matrix& x, const math::Vector& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("logistic fit requires matching x, y");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  y_min_ = math::Min(y.data());
+  y_max_ = math::Max(y.data());
+  if (y_max_ - y_min_ < 1e-12) y_max_ = y_min_ + 1.0;
+
+  // Scaled targets strictly inside (0,1) so the sigmoid can reach them.
+  std::vector<double> t(n);
+  for (size_t i = 0; i < n; ++i) {
+    t[i] = 0.05 + 0.9 * (y[i] - y_min_) / (y_max_ - y_min_);
+  }
+
+  weights_ = math::Vector(d, 0.0);
+  intercept_ = 0.0;
+  const double lr = options_.learning_rate;
+  for (int it = 0; it < options_.iterations; ++it) {
+    math::Vector grad_w(d, 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const math::Vector xi = x.Row(i);
+      const double z = weights_.Dot(xi) + intercept_;
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double err = (p - t[i]) * p * (1.0 - p);  // d(MSE)/dz
+      for (size_t c = 0; c < d; ++c) grad_w[c] += err * xi[c];
+      grad_b += err;
+    }
+    const double scale = lr / static_cast<double>(n);
+    for (size_t c = 0; c < d; ++c) weights_[c] -= scale * grad_w[c];
+    intercept_ -= scale * grad_b;
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::Predict(const math::Vector& x) const {
+  const double z = weights_.Dot(x) + intercept_;
+  const double p = 1.0 / (1.0 + std::exp(-z));
+  return y_min_ + (p - 0.05) / 0.9 * (y_max_ - y_min_);
+}
+
+Status KnnRegressor::Fit(const math::Matrix& x, const math::Vector& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("knn fit requires matching x, y");
+  }
+  x_ = x;
+  y_ = y;
+  return Status::OK();
+}
+
+double KnnRegressor::Predict(const math::Vector& x) const {
+  assert(x_.rows() > 0);
+  const size_t n = x_.rows();
+  const size_t k = std::min<size_t>(static_cast<size_t>(k_), n);
+
+  std::vector<std::pair<double, size_t>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    dist[i] = {(x_.Row(i) - x).Norm(), i};
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+
+  double wsum = 0.0;
+  double vsum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (dist[i].first + 1e-9);
+    wsum += w;
+    vsum += w * y_[dist[i].second];
+  }
+  return vsum / wsum;
+}
+
+Status SvrRegressor::Fit(const math::Matrix& x, const math::Vector& y) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("svr fit requires matching x, y");
+  }
+  x_ = x;
+  const size_t n = x.rows();
+  y_mean_ = math::Mean(y.data());
+  y_std_ = math::StdDev(y.data());
+  if (y_std_ < 1e-12) y_std_ = 1.0;
+  math::Vector t(n);
+  for (size_t i = 0; i < n; ++i) t[i] = (y[i] - y_mean_) / y_std_;
+
+  kernel_ = std::make_unique<GaussianKernel>(options_.kernel_bandwidth);
+  const math::Matrix k = kernel_->GramMatrix(x);
+
+  beta_ = math::Vector(n, 0.0);
+  bias_ = 0.0;
+  for (int it = 0; it < options_.iterations; ++it) {
+    // f = K beta + b.
+    math::Vector f = k * beta_;
+    math::Vector grad(n, 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double r = f[i] + bias_ - t[i];
+      double sg = 0.0;  // subgradient of epsilon-insensitive loss
+      if (r > options_.epsilon) {
+        sg = 1.0;
+      } else if (r < -options_.epsilon) {
+        sg = -1.0;
+      }
+      if (sg != 0.0) {
+        // d loss/d beta = sg * K(:, i); accumulate column i.
+        for (size_t j = 0; j < n; ++j) grad[j] += sg * k(j, i);
+        grad_b += sg;
+      }
+    }
+    // Regularization gradient: 2 lambda K beta (use f as K beta).
+    for (size_t j = 0; j < n; ++j) {
+      grad[j] = grad[j] / static_cast<double>(n) +
+                2.0 * options_.regularization * f[j];
+    }
+    for (size_t j = 0; j < n; ++j) beta_[j] -= options_.learning_rate * grad[j];
+    bias_ -= options_.learning_rate * grad_b / static_cast<double>(n);
+  }
+  return Status::OK();
+}
+
+double SvrRegressor::Predict(const math::Vector& x) const {
+  assert(kernel_ != nullptr);
+  double f = bias_;
+  for (size_t i = 0; i < x_.rows(); ++i) {
+    f += beta_[i] * kernel_->Evaluate(x_.Row(i), x);
+  }
+  return y_mean_ + y_std_ * f;
+}
+
+}  // namespace locat::ml

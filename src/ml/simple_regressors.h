@@ -1,0 +1,108 @@
+#ifndef LOCAT_ML_SIMPLE_REGRESSORS_H_
+#define LOCAT_ML_SIMPLE_REGRESSORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/kernels.h"
+#include "ml/regressor.h"
+
+namespace locat::ml {
+
+/// Ordinary least squares with a small ridge term for numerical safety.
+/// "LinearR" in Figure 16.
+class LinearRegression : public Regressor {
+ public:
+  explicit LinearRegression(double ridge = 1e-8) : ridge_(ridge) {}
+
+  Status Fit(const math::Matrix& x, const math::Vector& y) override;
+  double Predict(const math::Vector& x) const override;
+  std::string name() const override { return "LinearR"; }
+
+  const math::Vector& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double ridge_;
+  math::Vector weights_;
+  double intercept_ = 0.0;
+};
+
+/// Logistic-curve regression: targets are min-max scaled to (0,1) and a
+/// sigmoid(w.x + b) is fit by gradient descent on squared error. This is
+/// the "LR" model of Figure 16 — a poor fit for runtimes, as the paper's
+/// results show.
+class LogisticRegression : public Regressor {
+ public:
+  struct Options {
+    int iterations = 2000;
+    double learning_rate = 0.5;
+
+    Options() {}
+  };
+
+  explicit LogisticRegression(Options options = Options())
+      : options_(options) {}
+
+  Status Fit(const math::Matrix& x, const math::Vector& y) override;
+  double Predict(const math::Vector& x) const override;
+  std::string name() const override { return "LR"; }
+
+ private:
+  Options options_;
+  math::Vector weights_;
+  double intercept_ = 0.0;
+  double y_min_ = 0.0;
+  double y_max_ = 1.0;
+};
+
+/// K-nearest-neighbor regression with inverse-distance weighting.
+/// "KNNAR" in Figure 16.
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(int k = 5) : k_(k) {}
+
+  Status Fit(const math::Matrix& x, const math::Vector& y) override;
+  double Predict(const math::Vector& x) const override;
+  std::string name() const override { return "KNNAR"; }
+
+ private:
+  int k_;
+  math::Matrix x_;
+  math::Vector y_;
+};
+
+/// Kernel support-vector regression trained by subgradient descent on the
+/// regularized epsilon-insensitive loss in the representer form
+/// f(x) = sum_i beta_i k(x_i, x) + b. "SVR" in Figure 16.
+class SvrRegressor : public Regressor {
+ public:
+  struct Options {
+    double epsilon = 0.05;       // insensitivity tube (on standardized y)
+    double regularization = 1e-3;
+    double learning_rate = 0.01;
+    int iterations = 600;
+    double kernel_bandwidth = 1.0;
+
+    Options() {}
+  };
+
+  explicit SvrRegressor(Options options = Options()) : options_(options) {}
+
+  Status Fit(const math::Matrix& x, const math::Vector& y) override;
+  double Predict(const math::Vector& x) const override;
+  std::string name() const override { return "SVR"; }
+
+ private:
+  Options options_;
+  math::Matrix x_;
+  math::Vector beta_;
+  double bias_ = 0.0;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  std::unique_ptr<GaussianKernel> kernel_;
+};
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_SIMPLE_REGRESSORS_H_

@@ -1,0 +1,55 @@
+#ifndef LOCAT_ML_SLICE_SAMPLER_H_
+#define LOCAT_ML_SLICE_SAMPLER_H_
+
+#include <functional>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+
+namespace locat::ml {
+
+/// Coordinate-wise slice sampler (Neal 2003) for drawing from an
+/// unnormalized log density. Used to marginalize GP hyperparameters in the
+/// EI-MCMC acquisition (Snoek, Larochelle & Adams 2012).
+///
+/// Slice sampling needs no step-size tuning beyond an initial bracket
+/// width, which is exactly why EI-MCMC "avoids external tuning of GP's
+/// hyperparameters" (Section 3.4 of the paper).
+class SliceSampler {
+ public:
+  using LogDensity = std::function<double(const math::Vector&)>;
+
+  struct Options {
+    /// Initial bracket width per coordinate.
+    double width = 1.0;
+    /// Maximum number of stepping-out expansions per side.
+    int max_step_out = 8;
+    /// Maximum shrink iterations before giving up and keeping the current
+    /// coordinate value (guards against pathological densities).
+    int max_shrink = 64;
+  };
+
+  SliceSampler(LogDensity log_density, Options options)
+      : log_density_(std::move(log_density)), options_(options) {}
+
+  /// Performs one full sweep (each coordinate updated once, in order) from
+  /// `state` and returns the new state. `state` must have finite density.
+  math::Vector Sweep(const math::Vector& state, Rng* rng) const;
+
+  /// Runs `burn_in` sweeps then collects `n_samples` states, taking one
+  /// sample every `thin` sweeps.
+  std::vector<math::Vector> Sample(const math::Vector& initial, int n_samples,
+                                   int burn_in, int thin, Rng* rng) const;
+
+ private:
+  /// Slice-samples a single coordinate, returning its new value.
+  double SampleCoordinate(math::Vector* state, size_t coord, double log_f0,
+                          Rng* rng) const;
+
+  LogDensity log_density_;
+  Options options_;
+};
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_SLICE_SAMPLER_H_

@@ -1,0 +1,23 @@
+#ifndef LOCAT_ML_SPEARMAN_H_
+#define LOCAT_ML_SPEARMAN_H_
+
+#include <vector>
+
+namespace locat::ml {
+
+/// Spearman rank correlation coefficient between two equal-length series.
+///
+/// Implemented as the Pearson correlation of tie-adjusted ranks, which is
+/// the correct general form when ties are present (configuration parameters
+/// here are discrete, so ties are common). Returns 0 when either series is
+/// constant or shorter than 2.
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Pearson correlation coefficient; returns 0 for degenerate input.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_SPEARMAN_H_

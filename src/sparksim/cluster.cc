@@ -1,0 +1,35 @@
+#include "sparksim/cluster.h"
+
+namespace locat::sparksim {
+
+ClusterSpec ArmCluster() {
+  ClusterSpec spec;
+  spec.name = "arm4";
+  spec.worker_nodes = 3;  // 4 nodes, 1 master + 3 slaves.
+  spec.cores_per_node = 128;
+  spec.memory_per_node_gb = 512.0;
+  spec.core_speed = 0.92;  // KUNPENG 920 vs Xeon Silver reference.
+  spec.network_gbps = 2.5;
+  spec.disk_gbps = 0.8;
+  spec.container_max_cores = 8;
+  spec.container_max_memory_gb = 32.0;
+  spec.range_column = RangeColumn::kRangeA;
+  return spec;
+}
+
+ClusterSpec X86Cluster() {
+  ClusterSpec spec;
+  spec.name = "x86_8";
+  spec.worker_nodes = 7;  // 8 nodes, 1 master + 7 slaves.
+  spec.cores_per_node = 20;
+  spec.memory_per_node_gb = 64.0;
+  spec.core_speed = 1.0;
+  spec.network_gbps = 1.25;
+  spec.disk_gbps = 0.5;
+  spec.container_max_cores = 16;
+  spec.container_max_memory_gb = 48.0;
+  spec.range_column = RangeColumn::kRangeB;
+  return spec;
+}
+
+}  // namespace locat::sparksim

@@ -1,0 +1,45 @@
+#ifndef LOCAT_SPARKSIM_CLUSTER_H_
+#define LOCAT_SPARKSIM_CLUSTER_H_
+
+#include <string>
+
+namespace locat::sparksim {
+
+/// Which column of Table 2 supplies parameter value ranges.
+enum class RangeColumn { kRangeA, kRangeB };
+
+/// Static description of a Spark cluster (worker nodes only; the master
+/// runs the driver). Mirrors Section 4.1 of the paper.
+struct ClusterSpec {
+  std::string name;
+  int worker_nodes = 1;
+  int cores_per_node = 1;
+  double memory_per_node_gb = 1.0;
+  /// Relative per-core throughput (1.0 = the x86 Xeon reference).
+  double core_speed = 1.0;
+  /// Aggregate network bandwidth between any two nodes, GB/s.
+  double network_gbps = 1.25;  // 10 GbE
+  /// Per-node disk bandwidth, GB/s.
+  double disk_gbps = 0.5;
+  /// Yarn container caps (Section 5.12 ties parameter ranges to these).
+  int container_max_cores = 8;
+  double container_max_memory_gb = 32.0;
+  RangeColumn range_column = RangeColumn::kRangeA;
+
+  int total_cores() const { return worker_nodes * cores_per_node; }
+  double total_memory_gb() const { return worker_nodes * memory_per_node_gb; }
+};
+
+/// The paper's four-node KUNPENG ARM cluster: 1 master + 3 workers, each
+/// with 4 x 32-core 2.6 GHz processors and 512 GB (workers: 384 cores,
+/// 1536 GB). Uses Table 2 "Range A".
+ClusterSpec ArmCluster();
+
+/// The paper's eight-node x86 cluster: 1 master + 7 workers, each with
+/// 2 x 10-core Xeon Silver 4114 and 64 GB (workers: 140 cores, 448 GB).
+/// Uses Table 2 "Range B".
+ClusterSpec X86Cluster();
+
+}  // namespace locat::sparksim
+
+#endif  // LOCAT_SPARKSIM_CLUSTER_H_

@@ -1,0 +1,155 @@
+#ifndef LOCAT_SPARKSIM_CONFIG_H_
+#define LOCAT_SPARKSIM_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "math/matrix.h"
+#include "sparksim/cluster.h"
+
+namespace locat::sparksim {
+
+/// Identifiers for the 38 configuration parameters of Table 2, in table
+/// order (27 numeric, then 11 boolean).
+enum ParamId : int {
+  kBroadcastBlockSize = 0,           // MB
+  kDefaultParallelism,               // partitions
+  kDriverCores,                      // cores
+  kDriverMemory,                     // GB
+  kExecutorCores,                    // cores
+  kExecutorInstances,                // executors
+  kExecutorMemory,                   // GB
+  kExecutorMemoryOverhead,           // MB
+  kZstdBufferSize,                   // KB
+  kZstdLevel,                        // level 1-5
+  kKryoBuffer,                       // KB
+  kKryoBufferMax,                    // MB
+  kLocalityWait,                     // seconds
+  kMemoryFraction,                   // fraction
+  kMemoryStorageFraction,            // fraction
+  kMemoryOffHeapSize,                // MB
+  kReducerMaxSizeInFlight,           // MB
+  kSchedulerReviveInterval,          // seconds
+  kShuffleFileBuffer,                // KB
+  kShuffleIoNumConnections,          // connections
+  kShuffleSortBypassMergeThreshold,  // partitions
+  kSqlAutoBroadcastJoinThreshold,    // KB
+  kSqlCartesianProductThreshold,     // rows
+  kSqlCodegenMaxFields,              // fields
+  kSqlInMemoryColumnarBatchSize,     // rows
+  kSqlShufflePartitions,             // partitions
+  kStorageMemoryMapThreshold,        // MB
+  kBroadcastCompress,                // bool ------------------------------
+  kMemoryOffHeapEnabled,             // bool
+  kRddCompress,                      // bool
+  kShuffleCompress,                  // bool
+  kShuffleSpillCompress,             // bool
+  kSqlCodegenAggTwoLevel,            // bool
+  kSqlInMemoryColumnarCompressed,    // bool
+  kSqlInMemoryColumnarPruning,       // bool
+  kSqlPreferSortMergeJoin,           // bool
+  kSqlRetainGroupColumns,            // bool
+  kSqlSortEnableRadixSort,           // bool
+  kNumParams                         // = 38
+};
+
+enum class ParamKind { kInt, kReal, kBool };
+
+/// Static description of one Table 2 parameter.
+struct ParamSpec {
+  std::string name;
+  ParamKind kind = ParamKind::kInt;
+  double default_value = 0.0;
+  /// [lo, hi] for the ARM cluster ("Range A") and x86 cluster ("Range B").
+  double lo_a = 0.0, hi_a = 1.0;
+  double lo_b = 0.0, hi_b = 1.0;
+  /// Marked with * in Table 2: value range derives from cluster resources.
+  bool is_resource = false;
+};
+
+/// Returns the full 38-entry Table 2 catalog (shared, immutable).
+const std::vector<ParamSpec>& ParamCatalog();
+
+/// A concrete assignment of all 38 parameters (equation (1)'s `conf`).
+/// Values are stored as doubles; booleans are 0/1; integer parameters hold
+/// integral values.
+class SparkConf {
+ public:
+  SparkConf() : values_(kNumParams, 0.0) {}
+
+  double Get(ParamId id) const { return values_[static_cast<size_t>(id)]; }
+  int GetInt(ParamId id) const { return static_cast<int>(Get(id) + 0.5); }
+  bool GetBool(ParamId id) const { return Get(id) >= 0.5; }
+  void Set(ParamId id, double value) {
+    values_[static_cast<size_t>(id)] = value;
+  }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  bool operator==(const SparkConf& other) const {
+    return values_ == other.values_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// The tunable configuration space for one cluster: Table 2 ranges plus
+/// the Section 5.12 validity rules (container caps, memory-sum and
+/// cluster-capacity constraints).
+class ConfigSpace {
+ public:
+  explicit ConfigSpace(const ClusterSpec& cluster);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  int size() const { return kNumParams; }
+
+  const ParamSpec& spec(int index) const { return specs_[static_cast<size_t>(index)]; }
+  double lo(int index) const { return lo_[static_cast<size_t>(index)]; }
+  double hi(int index) const { return hi_[static_cast<size_t>(index)]; }
+
+  /// Index of a parameter by its Spark property name; -1 if unknown.
+  int IndexOf(const std::string& name) const;
+
+  /// Spark defaults (Table 2, "Default" column). `default.parallelism`
+  /// defaults to the cluster's total core count, matching Spark.
+  SparkConf DefaultConf() const;
+
+  /// Maps a point in the unit hypercube [0,1]^38 to a configuration:
+  /// linear interpolation, integer rounding, 0.5-thresholded booleans.
+  SparkConf FromUnit(const math::Vector& unit) const;
+
+  /// Inverse of FromUnit (booleans map to 0/1, degenerate ranges to 0).
+  math::Vector ToUnit(const SparkConf& conf) const;
+
+  /// Checks Table 2 ranges plus Section 5.12 rules:
+  ///  - executor.memory + memoryOverhead + offHeap.size <= container memory
+  ///  - executor.cores <= container cores
+  ///  - instances * per-executor resources <= cluster totals.
+  Status Validate(const SparkConf& conf) const;
+
+  /// Clamps to ranges and scales memory/instances down until Validate
+  /// passes. Always returns a valid configuration.
+  SparkConf Repair(const SparkConf& conf) const;
+
+  /// Uniform random configuration over the ranges, repaired to validity.
+  SparkConf RandomValid(Rng* rng) const;
+
+  /// Unit-cube coordinates of a random valid configuration.
+  math::Vector RandomValidUnit(Rng* rng) const;
+
+ private:
+  ClusterSpec cluster_;
+  std::vector<ParamSpec> specs_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace locat::sparksim
+
+#endif  // LOCAT_SPARKSIM_CONFIG_H_

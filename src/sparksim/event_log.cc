@@ -1,0 +1,140 @@
+#include "sparksim/event_log.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace locat::sparksim {
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Minimal field scanner for the flat JSON lines WriteEventLog emits; not
+// a general JSON parser.
+bool FindString(const std::string& line, const std::string& key,
+                std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  std::string value;
+  for (size_t i = pos + needle.size(); i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      value.push_back(line[++i]);
+    } else if (line[i] == '"') {
+      *out = value;
+      return true;
+    } else {
+      value.push_back(line[i]);
+    }
+  }
+  return false;
+}
+
+bool FindNumber(const std::string& line, const std::string& key,
+                double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  return true;
+}
+
+bool FindBool(const std::string& line, const std::string& key, bool* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = line.compare(pos + needle.size(), 4, "true") == 0;
+  return true;
+}
+
+}  // namespace
+
+void WriteEventLog(const std::string& app_name, double datasize_gb,
+                   const AppRunResult& run, std::ostream& os) {
+  os.precision(10);
+  os << "{\"Event\":\"ApplicationStart\",\"App Name\":\""
+     << Escape(app_name) << "\",\"Datasize GB\":" << datasize_gb << "}\n";
+  for (const auto& q : run.per_query) {
+    os << "{\"Event\":\"JobEnd\",\"Query\":\"" << Escape(q.name)
+       << "\",\"Duration\":" << q.exec_seconds
+       << ",\"GC Time\":" << q.gc_seconds
+       << ",\"Shuffle GB\":" << q.shuffle_gb
+       << ",\"OOM\":" << (q.oom ? "true" : "false") << "}\n";
+  }
+  os << "{\"Event\":\"ApplicationEnd\",\"Total Duration\":"
+     << run.total_seconds << "}\n";
+}
+
+StatusOr<EventLog> ParseEventLog(const std::string& text) {
+  EventLog log;
+  bool saw_start = false;
+  bool saw_end = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::string event;
+    if (!FindString(line, "Event", &event)) {
+      return Status::InvalidArgument("line without an Event field: " + line);
+    }
+    if (event == "ApplicationStart") {
+      saw_start = true;
+      FindString(line, "App Name", &log.app_name);
+      FindNumber(line, "Datasize GB", &log.datasize_gb);
+    } else if (event == "JobEnd") {
+      QueryLogEntry entry;
+      if (!FindString(line, "Query", &entry.query) ||
+          !FindNumber(line, "Duration", &entry.exec_seconds)) {
+        return Status::InvalidArgument("malformed JobEnd line: " + line);
+      }
+      FindNumber(line, "GC Time", &entry.gc_seconds);
+      FindNumber(line, "Shuffle GB", &entry.shuffle_gb);
+      FindBool(line, "OOM", &entry.oom);
+      log.queries.push_back(std::move(entry));
+    } else if (event == "ApplicationEnd") {
+      saw_end = true;
+      FindNumber(line, "Total Duration", &log.total_seconds);
+    }
+    // Unknown events: skipped (forward compatibility).
+  }
+  if (!saw_start || !saw_end) {
+    return Status::InvalidArgument(
+        "event log missing ApplicationStart/ApplicationEnd");
+  }
+  return log;
+}
+
+StatusOr<std::vector<std::vector<double>>> QcsaMatrixFromLogs(
+    const std::vector<EventLog>& logs) {
+  if (logs.empty()) {
+    return Status::InvalidArgument("no event logs provided");
+  }
+  const size_t num_queries = logs.front().queries.size();
+  std::vector<std::vector<double>> matrix(num_queries);
+  for (const EventLog& log : logs) {
+    if (log.queries.size() != num_queries) {
+      return Status::InvalidArgument(
+          "event logs disagree on the number of queries");
+    }
+    for (size_t q = 0; q < num_queries; ++q) {
+      if (log.queries[q].query != logs.front().queries[q].query) {
+        return Status::InvalidArgument("event logs disagree on query order");
+      }
+      matrix[q].push_back(log.queries[q].exec_seconds);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace locat::sparksim

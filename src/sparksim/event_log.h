@@ -1,0 +1,55 @@
+#ifndef LOCAT_SPARKSIM_EVENT_LOG_H_
+#define LOCAT_SPARKSIM_EVENT_LOG_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sparksim/simulator.h"
+
+namespace locat::sparksim {
+
+/// Spark-history-server style event logging for simulated runs.
+///
+/// On a real cluster LOCAT collects per-query execution times from
+/// Spark's event logs / history server; this module closes that loop for
+/// the simulator. `WriteEventLog` serializes an application run as JSON
+/// lines in the spirit of Spark's `SparkListenerEvent` stream
+/// (ApplicationStart, JobStart/JobEnd per query with accumulated GC time,
+/// ApplicationEnd); `ParseEventLog` recovers the per-query timings that
+/// QCSA consumes.
+struct QueryLogEntry {
+  std::string query;
+  double exec_seconds = 0.0;
+  double gc_seconds = 0.0;
+  double shuffle_gb = 0.0;
+  bool oom = false;
+};
+
+struct EventLog {
+  std::string app_name;
+  double datasize_gb = 0.0;
+  double total_seconds = 0.0;
+  std::vector<QueryLogEntry> queries;
+};
+
+/// Serializes one run as JSON lines. `app_name` may contain any
+/// characters except control codes; quotes and backslashes are escaped.
+void WriteEventLog(const std::string& app_name, double datasize_gb,
+                   const AppRunResult& run, std::ostream& os);
+
+/// Parses a log produced by WriteEventLog. Returns InvalidArgument on
+/// malformed input (unknown event kinds are skipped for forward
+/// compatibility).
+StatusOr<EventLog> ParseEventLog(const std::string& text);
+
+/// Builds the QCSA sample matrix (queries x runs) from several parsed
+/// logs of the *same* application. Fails when logs disagree on the query
+/// set.
+StatusOr<std::vector<std::vector<double>>> QcsaMatrixFromLogs(
+    const std::vector<EventLog>& logs);
+
+}  // namespace locat::sparksim
+
+#endif  // LOCAT_SPARKSIM_EVENT_LOG_H_

@@ -1,0 +1,204 @@
+#include "sparksim/properties_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace locat::sparksim {
+namespace {
+
+enum class Unit { kNone, kGb, kMb, kKb, kSeconds, kBool };
+
+Unit NativeUnit(ParamId id) {
+  switch (id) {
+    case kDriverMemory:
+    case kExecutorMemory:
+      return Unit::kGb;
+    case kBroadcastBlockSize:
+    case kExecutorMemoryOverhead:
+    case kKryoBufferMax:
+    case kMemoryOffHeapSize:
+    case kReducerMaxSizeInFlight:
+    case kStorageMemoryMapThreshold:
+      return Unit::kMb;
+    case kZstdBufferSize:
+    case kKryoBuffer:
+    case kShuffleFileBuffer:
+    case kSqlAutoBroadcastJoinThreshold:
+      return Unit::kKb;
+    case kLocalityWait:
+    case kSchedulerReviveInterval:
+      return Unit::kSeconds;
+    default:
+      return ParamCatalog()[static_cast<size_t>(id)].kind == ParamKind::kBool
+                 ? Unit::kBool
+                 : Unit::kNone;
+  }
+}
+
+const char* Suffix(Unit unit) {
+  switch (unit) {
+    case Unit::kGb:
+      return "g";
+    case Unit::kMb:
+      return "m";
+    case Unit::kKb:
+      return "k";
+    case Unit::kSeconds:
+      return "s";
+    default:
+      return "";
+  }
+}
+
+// KB per native unit, for byte-valued parameters.
+double KbPerUnit(Unit unit) {
+  switch (unit) {
+    case Unit::kGb:
+      return 1024.0 * 1024.0;
+    case Unit::kMb:
+      return 1024.0;
+    case Unit::kKb:
+      return 1.0;
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace
+
+void WriteSparkProperties(const SparkConf& conf, std::ostream& os) {
+  const auto& catalog = ParamCatalog();
+  for (int i = 0; i < kNumParams; ++i) {
+    const ParamId id = static_cast<ParamId>(i);
+    const auto& spec = catalog[static_cast<size_t>(i)];
+    os << spec.name << "  ";
+    const Unit unit = NativeUnit(id);
+    if (unit == Unit::kBool) {
+      os << (conf.GetBool(id) ? "true" : "false");
+    } else if (spec.kind == ParamKind::kReal) {
+      std::ostringstream v;
+      v.precision(10);
+      v << conf.Get(id);
+      os << v.str();
+    } else {
+      os << conf.GetInt(id) << Suffix(unit);
+    }
+    os << "\n";
+  }
+}
+
+std::string SparkPropertiesToString(const SparkConf& conf) {
+  std::ostringstream os;
+  WriteSparkProperties(conf, os);
+  return os.str();
+}
+
+StatusOr<SparkConf> ParseSparkProperties(const std::string& text,
+                                         const SparkConf& base) {
+  // Name -> index lookup (the catalog is small; linear is fine but build
+  // it once per call for clarity).
+  const auto& catalog = ParamCatalog();
+  SparkConf conf = base;
+
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto is_space = [](unsigned char c) { return std::isspace(c); };
+    line.erase(line.begin(),
+               std::find_if_not(line.begin(), line.end(), is_space));
+    while (!line.empty() && is_space(static_cast<unsigned char>(line.back()))) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+
+    // Split on '=' or whitespace.
+    size_t sep = line.find('=');
+    if (sep == std::string::npos) {
+      sep = line.find_first_of(" \t");
+    }
+    if (sep == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected `key value`");
+    }
+    std::string key = line.substr(0, sep);
+    std::string value = line.substr(sep + 1);
+    while (!key.empty() && is_space(static_cast<unsigned char>(key.back()))) {
+      key.pop_back();
+    }
+    value.erase(value.begin(),
+                std::find_if_not(value.begin(), value.end(), is_space));
+    if (value.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": empty value for " + key);
+    }
+
+    int index = -1;
+    for (int i = 0; i < kNumParams; ++i) {
+      if (catalog[static_cast<size_t>(i)].name == key) {
+        index = i;
+        break;
+      }
+    }
+    if (index < 0) {
+      return Status::NotFound("line " + std::to_string(line_no) +
+                              ": unknown parameter " + key);
+    }
+    const ParamId id = static_cast<ParamId>(index);
+    const Unit native = NativeUnit(id);
+
+    if (native == Unit::kBool) {
+      std::string lower = value;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (lower != "true" && lower != "false") {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected true/false for " + key);
+      }
+      conf.Set(id, lower == "true" ? 1.0 : 0.0);
+      continue;
+    }
+
+    // Numeric (possibly suffixed) value.
+    char* end = nullptr;
+    const double magnitude = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad number for " + key);
+    }
+    std::string suffix(end);
+    std::transform(suffix.begin(), suffix.end(), suffix.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+
+    double native_value = magnitude;
+    if (suffix.empty()) {
+      // Bare number: already in the native unit.
+    } else if (suffix == "s" && native == Unit::kSeconds) {
+      // Seconds on a time-valued parameter.
+    } else if ((suffix == "g" || suffix == "m" || suffix == "k") &&
+               (native == Unit::kGb || native == Unit::kMb ||
+                native == Unit::kKb)) {
+      const double value_kb =
+          magnitude * (suffix == "g" ? 1024.0 * 1024.0
+                                     : (suffix == "m" ? 1024.0 : 1.0));
+      native_value = value_kb / KbPerUnit(native);
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unsupported suffix '" + suffix +
+                                     "' for " + key);
+    }
+    if (catalog[static_cast<size_t>(index)].kind == ParamKind::kInt) {
+      native_value = std::round(native_value);
+    }
+    conf.Set(id, native_value);
+  }
+  return conf;
+}
+
+}  // namespace locat::sparksim

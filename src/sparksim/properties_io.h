@@ -1,0 +1,40 @@
+#ifndef LOCAT_SPARKSIM_PROPERTIES_IO_H_
+#define LOCAT_SPARKSIM_PROPERTIES_IO_H_
+
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "sparksim/config.h"
+
+namespace locat::sparksim {
+
+/// Reads and writes configurations in the `spark-defaults.conf` /
+/// `spark-submit --properties-file` format, with Spark's unit suffixes:
+///
+///   spark.executor.memory        12g
+///   spark.executor.memoryOverhead 3072m
+///   spark.kryoserializer.buffer  64k
+///   spark.locality.wait          3s
+///   spark.shuffle.compress       true
+///
+/// Unit handling follows each Table 2 parameter's native unit: GB-valued
+/// parameters are written with a `g` suffix, MB with `m`, KB with `k`,
+/// seconds with `s`; plain counts and fractions are written bare. The
+/// parser accepts any of g/m/k (case-insensitive) on byte-valued
+/// parameters and converts into the parameter's native unit.
+void WriteSparkProperties(const SparkConf& conf, std::ostream& os);
+
+/// Convenience: the properties text as a string.
+std::string SparkPropertiesToString(const SparkConf& conf);
+
+/// Parses properties text. Lines are `key value` or `key=value`; blank
+/// lines and `#` comments are skipped. Unknown keys are an error (catch
+/// typos); missing keys keep the value from `base`. Returns the parsed
+/// configuration (not validated or repaired — callers decide).
+StatusOr<SparkConf> ParseSparkProperties(const std::string& text,
+                                         const SparkConf& base);
+
+}  // namespace locat::sparksim
+
+#endif  // LOCAT_SPARKSIM_PROPERTIES_IO_H_

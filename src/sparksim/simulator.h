@@ -1,0 +1,162 @@
+#ifndef LOCAT_SPARKSIM_SIMULATOR_H_
+#define LOCAT_SPARKSIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sparksim/cluster.h"
+#include "sparksim/config.h"
+#include "sparksim/query_profile.h"
+
+namespace locat::sparksim {
+
+/// Tunable constants of the analytical cost model. Exposed so tests can
+/// probe individual effects and ablation benches can switch them off.
+struct SimParams {
+  /// HDFS split size driving the scan task count, GB.
+  double split_gb = 0.128;
+  /// Driver-side dispatch overhead per task, seconds.
+  double task_overhead_s = 0.0025;
+  /// Extra per-reduce-task cost (shuffle index reads, connection setup,
+  /// output commit), seconds. Makes very high partition counts pay, so
+  /// the optimal sql.shuffle.partitions sits in the interior and moves
+  /// with the data size.
+  double reduce_task_overhead_s = 0.012;
+  /// Per-core JVM throughput degradation beyond `contention_free_cores`
+  /// cores per executor (allocation/lock contention in one heap).
+  double core_contention = 0.06;
+  int contention_free_cores = 6;
+  /// User (non-unified) memory a task's code objects need, GB:
+  /// user_mem_base + user_mem_per_core * cores. Starving it by pushing
+  /// memory.fraction too high causes GC pressure — the reason Spark's
+  /// default fraction is 0.6.
+  double user_mem_base_gb = 0.4;
+  double user_mem_per_core_gb = 0.05;
+  /// Fixed per-query latency (planning, codegen, job submit), seconds.
+  double query_latency_s = 0.8;
+  /// Per-application submit overhead (context/executor startup), seconds.
+  double app_submit_overhead_s = 25.0;
+  /// Zstd compression ratio at level 1 (output bytes / input bytes);
+  /// each additional level multiplies by compression_level_gain.
+  double compression_ratio_l1 = 0.45;
+  double compression_level_gain = 0.93;
+  /// Compression CPU cost at level 1, core-seconds per (input) GB; each
+  /// additional level multiplies by compression_level_cpu.
+  double compression_cpu_l1 = 1.6;
+  double compression_level_cpu = 1.35;
+  /// Decompression CPU, core-seconds per GB.
+  double decompression_cpu = 0.8;
+  /// Map-side sort cost, core-seconds per shuffled GB (skipped when the
+  /// bypass-merge threshold applies).
+  double map_sort_cpu = 2.2;
+  /// Disk write+read cost for spilled bytes, core-seconds per GB.
+  double spill_cpu_per_gb = 18.0;
+  /// Demand/available ratio beyond which tasks OOM and stages re-run.
+  double oom_threshold = 2.0;
+  /// Execution-time multiplier per unit of OOM severity.
+  double oom_penalty = 5.0;
+  /// Maximum total OOM multiplier (Yarn eventually kills the app; the
+  /// paper treats those runs as extremely slow, not failed).
+  double oom_penalty_cap = 10.0;
+  /// GC base cost, seconds per GB allocated (young-gen churn).
+  double gc_base_s_per_gb = 0.15;
+  /// GC pressure penalty coefficient (thrashing when the working set
+  /// approaches the usable heap).
+  double gc_pressure_coeff = 10.0;
+  /// Full-GC pause seconds per heap GB.
+  double gc_pause_s_per_gb = 0.09;
+  /// Run-to-run multiplicative noise (lognormal sigma). 0 disables noise.
+  double noise_sigma = 0.06;
+
+  SimParams() {}
+};
+
+/// Per-query outcome of one simulated run.
+struct QueryMetrics {
+  std::string name;
+  double exec_seconds = 0.0;     // wall-clock, includes gc_seconds
+  double gc_seconds = 0.0;       // JVM GC time attributed to this query
+  double scan_seconds = 0.0;     // narrow-stage time
+  double shuffle_seconds = 0.0;  // wide-stage time (network + reduce)
+  double shuffle_gb = 0.0;       // bytes shuffled (uncompressed)
+  double spill_gb = 0.0;         // bytes spilled to disk
+  bool oom = false;              // hit the OOM retry path
+};
+
+/// Aggregate outcome of one simulated application run.
+struct AppRunResult {
+  std::vector<QueryMetrics> per_query;
+  double total_seconds = 0.0;  // sum of query times + submit overhead
+  double gc_seconds = 0.0;
+  double shuffle_gb = 0.0;
+  bool any_oom = false;
+};
+
+/// Deterministic analytical simulator of a Spark SQL cluster. Replaces the
+/// paper's physical ARM/x86 clusters (see DESIGN.md, Substitutions).
+///
+/// The model executes each query as a scan stage followed by
+/// `num_shuffle_stages` wide stages, with first-order analytical effects
+/// for: task-wave parallelism (executor.instances x executor.cores), I/O
+/// floors, shuffle partitioning (sql.shuffle.partitions), unified-memory
+/// spill and OOM cliffs (executor.memory / memory.fraction /
+/// storageFraction / off-heap), shuffle & spill compression (zstd level),
+/// broadcast-join elimination (autoBroadcastJoinThreshold), JVM GC
+/// (allocation churn + heap-size pauses), and a tail of second-order
+/// parameters (kryo buffers, locality wait, scheduler revive, codegen
+/// fields, columnar cache, ...).
+///
+/// Same seed + same call sequence => identical results.
+class ClusterSimulator {
+ public:
+  ClusterSimulator(const ClusterSpec& cluster, uint64_t seed,
+                   SimParams params = SimParams());
+
+  /// Runs one query and returns its metrics (no submit overhead).
+  QueryMetrics RunQuery(const QueryProfile& query, const SparkConf& conf,
+                        double datasize_gb);
+
+  /// Runs a whole application (all queries, one submit overhead).
+  AppRunResult RunApp(const SparkSqlApp& app, const SparkConf& conf,
+                      double datasize_gb);
+
+  /// Runs only the listed query indices (the RQA path of QCSA).
+  AppRunResult RunAppSubset(const SparkSqlApp& app,
+                            const std::vector<int>& query_indices,
+                            const SparkConf& conf, double datasize_gb);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  const SimParams& params() const { return params_; }
+
+  /// Total runs performed (used by tests to check accounting).
+  int64_t runs_performed() const { return runs_performed_; }
+
+ private:
+  /// Resource picture derived from a configuration.
+  struct Resources {
+    int executors = 1;        // actually launched (Yarn may grant fewer)
+    int cores_per_executor = 1;
+    int slots = 1;            // executors * cores
+    double heap_gb = 1.0;
+    double exec_mem_per_task_gb = 0.1;  // unified execution memory / core
+    double offheap_per_task_gb = 0.0;
+    double overhead_gb = 0.0;
+    double storage_pool_gb = 0.0;
+  };
+
+  Resources DeriveResources(const SparkConf& conf,
+                            const QueryProfile& query) const;
+
+  QueryMetrics SimulateQuery(const QueryProfile& query, const SparkConf& conf,
+                             double datasize_gb, double noise);
+
+  ClusterSpec cluster_;
+  SimParams params_;
+  Rng noise_rng_;
+  int64_t runs_performed_ = 0;
+};
+
+}  // namespace locat::sparksim
+
+#endif  // LOCAT_SPARKSIM_SIMULATOR_H_

@@ -1,0 +1,85 @@
+#ifndef LOCAT_SPARKSIM_TASK_SIM_H_
+#define LOCAT_SPARKSIM_TASK_SIM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sparksim/cluster.h"
+#include "sparksim/config.h"
+#include "sparksim/query_profile.h"
+
+namespace locat::sparksim {
+
+/// One task's schedule in a discrete-event execution.
+struct TaskTrace {
+  int stage = 0;
+  int task = 0;
+  int slot = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// A stage of parallel tasks with dependencies, as the DAG scheduler sees
+/// it (Figure 1 of the paper: query -> DAG -> stages -> tasks).
+struct StageSpec {
+  int num_tasks = 1;
+  /// Total work of the stage across all tasks, core-seconds.
+  double core_seconds = 0.0;
+  /// Fixed per-task cost (launch, fetch, commit), seconds.
+  double per_task_overhead_s = 0.0;
+  /// Straggler factor: the slowest task takes skew x the mean duration;
+  /// per-task durations are spread deterministically between 1 and skew.
+  double skew = 1.0;
+  /// Indices of stages that must complete before this one starts.
+  std::vector<int> deps;
+};
+
+/// Discrete-event, task-level executor model. The analytical
+/// ClusterSimulator approximates stage time with the wave formula
+/// `per_task * (waves - 1 + skew)`; this simulator actually places each
+/// task on a slot with an event-driven scheduler and measures the
+/// makespan. Tests and the wave-model ablation bench cross-validate the
+/// two.
+class TaskLevelSimulator {
+ public:
+  struct Result {
+    double makespan_s = 0.0;
+    std::vector<double> stage_end_s;  // completion time per stage
+    std::vector<TaskTrace> tasks;
+  };
+
+  /// `slots`: parallel task slots (executors x cores); `speed`: relative
+  /// per-core throughput.
+  TaskLevelSimulator(int slots, double speed);
+
+  /// Executes the stage DAG. Stages run as soon as their dependencies
+  /// complete and free slots are available (greedy, locality-free
+  /// scheduling). Task durations spread linearly from fastest to
+  /// `skew x` mean; `rng` (optional) shuffles which task gets which
+  /// duration. Returns InvalidArgument on malformed DAGs (bad deps,
+  /// non-positive tasks) and FailedPrecondition on dependency cycles.
+  StatusOr<Result> Execute(const std::vector<StageSpec>& stages,
+                           Rng* rng = nullptr) const;
+
+  int slots() const { return slots_; }
+
+ private:
+  int slots_;
+  double speed_;
+};
+
+/// Expands one query into the stage DAG the analytical model implies
+/// (scan stage followed by a chain of shuffle stages) so the two
+/// simulators can be compared on identical work. The stage work terms
+/// mirror ClusterSimulator's first-order costs (CPU, serialization,
+/// compression, reduce work) without the memory/GC cliff terms, which are
+/// not schedule-dependent.
+std::vector<StageSpec> BuildStageDag(const QueryProfile& query,
+                                     const SparkConf& conf,
+                                     const ClusterSpec& cluster,
+                                     double datasize_gb);
+
+}  // namespace locat::sparksim
+
+#endif  // LOCAT_SPARKSIM_TASK_SIM_H_

@@ -1,0 +1,226 @@
+// locat — command-line front end for the library.
+//
+//   locat catalog                         # print the Table 2 parameter list
+//   locat apps                            # list the built-in applications
+//   locat simulate <app> <cluster> <ds>   # one run under Spark defaults
+//   locat sweep <app> <cluster> <ds> <spark.param>
+//                                         # single-parameter what-if sweep
+//   locat qcsa <app> <cluster> [runs]     # query sensitivity analysis
+//   locat tune <app> <cluster> <ds> [tuner]
+//                                         # run LOCAT (or a baseline)
+//
+// Clusters: "arm" (4-node KUNPENG) or "x86" (8-node Xeon).
+// Apps: TPC-DS, TPC-H, Join, Scan, Aggregation.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/locat_tuner.h"
+#include "core/qcsa.h"
+#include "core/tuning.h"
+#include "harness/experiments.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace locat;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: locat <command> [args]\n"
+      "  catalog                          print the 38-parameter catalog\n"
+      "  apps                             list built-in applications\n"
+      "  simulate <app> <cluster> <ds>    run once under Spark defaults\n"
+      "  sweep <app> <cluster> <ds> <p>   sweep one parameter\n"
+      "  qcsa <app> <cluster> [runs]      query sensitivity analysis\n"
+      "  tune <app> <cluster> <ds> [t]    tune (t: LOCAT|Tuneful|DAC|"
+      "GBO-RL|QTune|Random)\n"
+      "clusters: arm | x86; apps: TPC-DS | TPC-H | Join | Scan | "
+      "Aggregation\n");
+  return 2;
+}
+
+int CmdCatalog() {
+  sparksim::ConfigSpace arm(sparksim::ArmCluster());
+  sparksim::ConfigSpace x86(sparksim::X86Cluster());
+  TablePrinter tp({"#", "parameter", "default", "Range A", "Range B"});
+  for (int i = 0; i < sparksim::kNumParams; ++i) {
+    const auto& spec = arm.spec(i);
+    const bool is_bool = spec.kind == sparksim::ParamKind::kBool;
+    tp.AddRow({std::to_string(i), spec.name,
+               is_bool ? (spec.default_value > 0.5 ? "true" : "false")
+                       : TablePrinter::Num(spec.default_value, 1),
+               is_bool ? "true,false"
+                       : TablePrinter::Num(arm.lo(i), 1) + "-" +
+                             TablePrinter::Num(arm.hi(i), 1),
+               is_bool ? "true,false"
+                       : TablePrinter::Num(x86.lo(i), 1) + "-" +
+                             TablePrinter::Num(x86.hi(i), 1)});
+  }
+  tp.Print(std::cout);
+  return 0;
+}
+
+int CmdApps() {
+  for (const auto& app : workloads::AllBenchmarks()) {
+    std::printf("%-12s %3d queries\n", app.name.c_str(), app.num_queries());
+  }
+  std::printf("data sizes (Table 1): 100, 200, 300, 400, 500 GB\n");
+  return 0;
+}
+
+int CmdSimulate(const std::string& app_name, const std::string& cluster,
+                double ds) {
+  const auto app = harness::MakeApp(app_name);
+  sparksim::ClusterSimulator sim(harness::MakeCluster(cluster), 1);
+  sparksim::ConfigSpace space(sim.cluster());
+  const auto run =
+      sim.RunApp(app, space.Repair(space.DefaultConf()), ds);
+  std::printf("%s @ %.0f GB on %s under (repaired) Spark defaults:\n",
+              app.name.c_str(), ds, cluster.c_str());
+  std::printf("  total %.0f s | GC %.0f s | shuffle %.1f GB | OOM: %s\n",
+              run.total_seconds, run.gc_seconds, run.shuffle_gb,
+              run.any_oom ? "yes" : "no");
+  // Slowest five queries.
+  std::vector<size_t> order(run.per_query.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return run.per_query[a].exec_seconds > run.per_query[b].exec_seconds;
+  });
+  std::printf("  slowest queries:");
+  for (size_t i = 0; i < order.size() && i < 5; ++i) {
+    std::printf(" %s(%.0fs)", run.per_query[order[i]].name.c_str(),
+                run.per_query[order[i]].exec_seconds);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdSweep(const std::string& app_name, const std::string& cluster,
+             double ds, const std::string& param) {
+  const auto app = harness::MakeApp(app_name);
+  sparksim::SimParams params;
+  params.noise_sigma = 0.0;
+  sparksim::ClusterSimulator sim(harness::MakeCluster(cluster), 1, params);
+  sparksim::ConfigSpace space(sim.cluster());
+  const int idx = space.IndexOf(param);
+  if (idx < 0) {
+    std::fprintf(stderr, "unknown parameter: %s (see `locat catalog`)\n",
+                 param.c_str());
+    return 2;
+  }
+  sparksim::SparkConf base = space.DefaultConf();
+  base.Set(sparksim::kExecutorInstances, 30);
+  base.Set(sparksim::kExecutorCores, 4);
+  base.Set(sparksim::kExecutorMemory, 16);
+  base.Set(sparksim::kExecutorMemoryOverhead, 3072);
+  base.Set(sparksim::kSqlShufflePartitions, 500);
+  base = space.Repair(base);
+
+  TablePrinter tp({param, "total (s)", "GC (s)", "OOM"});
+  const bool is_bool =
+      space.spec(idx).kind == sparksim::ParamKind::kBool;
+  const int steps = is_bool ? 2 : 8;
+  for (int s = 0; s < steps; ++s) {
+    const double v = is_bool ? s
+                             : space.lo(idx) + (space.hi(idx) - space.lo(idx)) *
+                                                   s / (steps - 1);
+    sparksim::SparkConf conf = base;
+    conf.Set(static_cast<sparksim::ParamId>(idx), v);
+    conf = space.Repair(conf);
+    const auto run = sim.RunApp(app, conf, ds);
+    tp.AddRow({TablePrinter::Num(conf.Get(static_cast<sparksim::ParamId>(idx)),
+                                 2),
+               TablePrinter::Num(run.total_seconds, 0),
+               TablePrinter::Num(run.gc_seconds, 0),
+               run.any_oom ? "yes" : ""});
+  }
+  tp.Print(std::cout);
+  return 0;
+}
+
+int CmdQcsa(const std::string& app_name, const std::string& cluster,
+            int runs) {
+  const auto app = harness::MakeApp(app_name);
+  sparksim::ClusterSimulator sim(harness::MakeCluster(cluster), 7);
+  sparksim::ConfigSpace space(sim.cluster());
+  Rng rng(8);
+  std::vector<std::vector<double>> times(
+      static_cast<size_t>(app.num_queries()));
+  for (int r = 0; r < runs; ++r) {
+    const auto result = sim.RunApp(app, space.RandomValid(&rng), 100.0);
+    for (size_t q = 0; q < result.per_query.size(); ++q) {
+      times[q].push_back(result.per_query[q].exec_seconds);
+    }
+  }
+  const auto qcsa = core::AnalyzeQuerySensitivity(times);
+  if (!qcsa.ok()) {
+    std::fprintf(stderr, "QCSA failed: %s\n",
+                 qcsa.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("CV threshold %.3f; %zu CSQ / %zu CIQ\n", qcsa->threshold,
+              qcsa->csq_indices.size(), qcsa->ciq_indices.size());
+  std::printf("configuration-sensitive queries:");
+  for (int idx : qcsa->csq_indices) {
+    std::printf(" %s(%.2f)", app.queries[static_cast<size_t>(idx)].name.c_str(),
+                qcsa->cv[static_cast<size_t>(idx)]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdTune(const std::string& app_name, const std::string& cluster,
+            double ds, const std::string& tuner_name) {
+  const auto app = harness::MakeApp(app_name);
+  sparksim::ClusterSimulator sim(harness::MakeCluster(cluster), 21);
+  core::TuningSession session(&sim, app);
+  auto tuner = harness::MakeTuner(tuner_name, 0);
+  std::printf("Tuning %s @ %.0f GB on %s with %s...\n", app.name.c_str(), ds,
+              cluster.c_str(), tuner->name().c_str());
+  const auto result = tuner->Tune(&session, ds);
+  const double tuned =
+      session.MeasureFinal(result.best_conf, ds).total_seconds;
+  const double dflt =
+      session
+          .MeasureFinal(session.space().Repair(session.space().DefaultConf()),
+                        ds)
+          .total_seconds;
+  std::printf("evaluations: %d | optimization time: %.1f simulated hours\n",
+              result.evaluations, result.optimization_seconds / 3600.0);
+  std::printf("tuned run: %.0f s | defaults: %.0f s | improvement %.1fx\n",
+              tuned, dflt, dflt / tuned);
+  std::printf("\n%s\n", result.best_conf.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "catalog") return CmdCatalog();
+  if (cmd == "apps") return CmdApps();
+  if (cmd == "simulate" && argc >= 5) {
+    return CmdSimulate(argv[2], argv[3], std::atof(argv[4]));
+  }
+  if (cmd == "sweep" && argc >= 6) {
+    return CmdSweep(argv[2], argv[3], std::atof(argv[4]), argv[5]);
+  }
+  if (cmd == "qcsa" && argc >= 4) {
+    return CmdQcsa(argv[2], argv[3], argc >= 5 ? std::atoi(argv[4]) : 30);
+  }
+  if (cmd == "tune" && argc >= 5) {
+    return CmdTune(argv[2], argv[3], std::atof(argv[4]),
+                   argc >= 6 ? argv[5] : "LOCAT");
+  }
+  return Usage();
+}

@@ -1,0 +1,102 @@
+#include "tuners/bo_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace locat::tuners {
+
+math::Vector BoSearch::FreeDims(const math::Vector& unit,
+                                const std::vector<int>& free_dims) const {
+  math::Vector out(free_dims.size());
+  for (size_t i = 0; i < free_dims.size(); ++i) {
+    out[i] = unit[static_cast<size_t>(free_dims[i])];
+  }
+  return out;
+}
+
+void BoSearch::Run(core::TuningSession* session, double datasize_gb,
+                   const std::vector<int>& free_dims,
+                   const sparksim::SparkConf& base_conf,
+                   const std::vector<math::Vector>& initial_units) {
+  const sparksim::ConfigSpace& space = session->space();
+  const math::Vector base_unit = space.ToUnit(base_conf);
+
+  std::vector<math::Vector> xs;   // GP inputs (free dims only), log targets
+  std::vector<double> ys;
+  best_seconds_ = 0.0;
+  trajectory_.clear();
+
+  auto evaluate = [&](const math::Vector& unit_full) {
+    // Pin non-free dims to the base configuration.
+    math::Vector unit = base_unit;
+    for (int d : free_dims) {
+      unit[static_cast<size_t>(d)] = unit_full[static_cast<size_t>(d)];
+    }
+    const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
+    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+    xs.push_back(FreeDims(space.ToUnit(conf), free_dims));
+    ys.push_back(std::log(std::max(1e-6, rec.app_seconds)));
+    if (best_seconds_ <= 0.0 || rec.app_seconds < best_seconds_) {
+      best_seconds_ = rec.app_seconds;
+      best_conf_ = conf;
+    }
+    trajectory_.push_back(best_seconds_);
+  };
+
+  for (const auto& u : initial_units) evaluate(u);
+  // Ensure at least two points before the first GP fit.
+  while (xs.size() < 2) {
+    evaluate(space.RandomValidUnit(rng_));
+  }
+
+  ml::EiMcmc model(options_.ei);
+  int since_refit = options_.refit_period;  // force initial fit
+  const int remaining =
+      options_.iterations - static_cast<int>(trajectory_.size());
+  for (int it = 0; it < remaining; ++it) {
+    if (since_refit >= options_.refit_period) {
+      const size_t n =
+          std::min<size_t>(xs.size(), static_cast<size_t>(
+                                          options_.training_window));
+      const size_t start = xs.size() - n;
+      math::Matrix x(n, free_dims.size());
+      math::Vector y(n);
+      for (size_t i = 0; i < n; ++i) {
+        x.SetRow(i, xs[start + i]);
+        y[i] = ys[start + i];
+      }
+      if (!model.Fit(x, y, rng_).ok()) break;
+      since_refit = 0;
+    }
+    // Candidate pool: random + perturbations of the incumbent.
+    const math::Vector best_unit = space.ToUnit(best_conf_);
+    math::Vector winner;
+    double winner_ei = -1.0;
+    for (int c = 0; c < options_.candidates; ++c) {
+      math::Vector unit = base_unit;
+      if (c % 3 == 0) {
+        for (int d : free_dims) {
+          unit[static_cast<size_t>(d)] = std::clamp(
+              best_unit[static_cast<size_t>(d)] + rng_->Gaussian(0.0, 0.12),
+              0.0, 1.0);
+        }
+      } else {
+        for (int d : free_dims) {
+          unit[static_cast<size_t>(d)] = rng_->NextDouble();
+        }
+      }
+      const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
+      const math::Vector valid_unit = space.ToUnit(conf);
+      const double ei =
+          model.AcquisitionValue(FreeDims(valid_unit, free_dims));
+      if (ei > winner_ei) {
+        winner_ei = ei;
+        winner = valid_unit;
+      }
+    }
+    evaluate(winner);
+    ++since_refit;
+  }
+}
+
+}  // namespace locat::tuners

@@ -1,0 +1,68 @@
+#ifndef LOCAT_TUNERS_BO_SEARCH_H_
+#define LOCAT_TUNERS_BO_SEARCH_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/tuning.h"
+#include "ml/ei_mcmc.h"
+
+namespace locat::tuners {
+
+/// Shared plain (non-datasize-aware) GP-BO loop used by the Tuneful and
+/// GBO-RL baselines. Searches the unit cube restricted to `free_dims`
+/// (others pinned to a base configuration), maximizing EI over a random
+/// candidate pool.
+///
+/// Deliberately mirrors the baselines' published methodology rather than
+/// LOCAT's: no data-size input, full-application evaluations, fixed
+/// iteration budget.
+class BoSearch {
+ public:
+  struct Options {
+    int iterations = 120;
+    int candidates = 200;
+    /// Refit the GP every `refit_period` evaluations (keeps the O(n^3)
+    /// cost manageable at baseline-scale budgets).
+    int refit_period = 6;
+    /// Only the most recent `training_window` samples enter the GP.
+    int training_window = 48;
+    ml::EiMcmc::Options ei;
+
+    Options() {
+      ei.num_hyper_samples = 2;
+      ei.burn_in = 4;
+      ei.thin = 1;
+    }
+  };
+
+  BoSearch(Options options, Rng* rng) : options_(options), rng_(rng) {}
+
+  /// Runs the BO loop: evaluates `options.iterations` configurations on
+  /// the session (charged), starting from `initial_units` (already
+  /// evaluated ones may be passed via AddPrior). Returns nothing; read
+  /// best via accessors.
+  void Run(core::TuningSession* session, double datasize_gb,
+           const std::vector<int>& free_dims,
+           const sparksim::SparkConf& base_conf,
+           const std::vector<math::Vector>& initial_units);
+
+  const sparksim::SparkConf& best_conf() const { return best_conf_; }
+  double best_seconds() const { return best_seconds_; }
+  const std::vector<double>& trajectory() const { return trajectory_; }
+
+ private:
+  /// Projects free dims of `unit` onto the GP input vector.
+  math::Vector FreeDims(const math::Vector& unit,
+                        const std::vector<int>& free_dims) const;
+
+  Options options_;
+  Rng* rng_;
+  sparksim::SparkConf best_conf_;
+  double best_seconds_ = 0.0;
+  std::vector<double> trajectory_;
+};
+
+}  // namespace locat::tuners
+
+#endif  // LOCAT_TUNERS_BO_SEARCH_H_

@@ -1,0 +1,83 @@
+#include "tuners/frontend.h"
+
+#include <algorithm>
+
+namespace locat::tuners {
+
+QcsaIicpFrontend::QcsaIicpFrontend(std::unique_ptr<core::Tuner> inner,
+                                   Options options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+std::string QcsaIicpFrontend::name() const {
+  std::string suffix;
+  if (options_.apply_qcsa && options_.apply_iicp) {
+    suffix = "+QIT";
+  } else if (options_.apply_qcsa) {
+    suffix = "+QCSA";
+  } else if (options_.apply_iicp) {
+    suffix = "+IICP";
+  }
+  return inner_->name() + suffix;
+}
+
+core::TuningResult QcsaIicpFrontend::Tune(core::TuningSession* session,
+                                          double datasize_gb) {
+  const double meter_start = session->optimization_seconds();
+  const int evals_start = session->evaluations();
+  sparksim::ConfigSpace space = session->space();
+
+  // --- Sample collection: max(N_QCSA, N_IICP) random full-app runs.
+  const int n_samples =
+      std::max(options_.apply_qcsa ? options_.n_qcsa : 0,
+               options_.apply_iicp ? options_.n_iicp : 0);
+  std::vector<math::Vector> units;
+  std::vector<double> seconds;
+  std::vector<std::vector<double>> per_query(
+      static_cast<size_t>(session->app().num_queries()));
+  session->ClearQueryRestriction();
+  for (int i = 0; i < n_samples; ++i) {
+    const sparksim::SparkConf conf = space.RandomValid(&rng_);
+    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+    units.push_back(rec.unit);
+    seconds.push_back(rec.app_seconds);
+    for (size_t q = 0; q < rec.per_query_seconds.size(); ++q) {
+      per_query[q].push_back(rec.per_query_seconds[q]);
+    }
+  }
+
+  // --- QCSA: restrict the session to the CSQs.
+  if (options_.apply_qcsa && n_samples >= 2) {
+    auto qcsa = core::AnalyzeQuerySensitivity(per_query);
+    if (qcsa.ok()) {
+      qcsa_ = std::move(qcsa).value();
+      session->RestrictToQueries(qcsa_->csq_indices);
+    }
+  }
+
+  // --- IICP: restrict the inner tuner's parameters.
+  if (options_.apply_iicp && n_samples >= 4) {
+    const int n = std::min<int>(options_.n_iicp,
+                                static_cast<int>(units.size()));
+    math::Matrix confs(static_cast<size_t>(n), sparksim::kNumParams);
+    std::vector<double> ts(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      confs.SetRow(static_cast<size_t>(i), units[static_cast<size_t>(i)]);
+      ts[static_cast<size_t>(i)] = seconds[static_cast<size_t>(i)];
+    }
+    auto iicp = core::Iicp::Run(confs, ts, options_.iicp);
+    if (iicp.ok()) {
+      iicp_ = std::move(iicp).value();
+      inner_->SetFreeParams(iicp_->selected_params());
+    }
+  }
+
+  core::TuningResult result = inner_->Tune(session, datasize_gb);
+  session->ClearQueryRestriction();
+
+  result.tuner_name = name();
+  result.optimization_seconds = session->optimization_seconds() - meter_start;
+  result.evaluations = session->evaluations() - evals_start;
+  return result;
+}
+
+}  // namespace locat::tuners

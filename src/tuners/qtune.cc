@@ -1,0 +1,152 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "tuners/baselines.h"
+
+namespace locat::tuners {
+namespace {
+
+// Coarse workload feature: dominant query category of the application
+// (QTune featurizes queries; this is the tabular analogue).
+int WorkloadFeature(const sparksim::SparkSqlApp& app) {
+  int counts[3] = {0, 0, 0};
+  for (const auto& q : app.queries) {
+    counts[static_cast<int>(q.category)]++;
+  }
+  return static_cast<int>(std::max_element(counts, counts + 3) - counts);
+}
+
+}  // namespace
+
+QtuneTuner::QtuneTuner(Options options)
+    : options_(options), rng_(options.seed), free_dims_(AllParamIndices()) {}
+
+void QtuneTuner::SetFreeParams(const std::vector<int>& param_indices) {
+  free_dims_ = param_indices;
+}
+
+core::TuningResult QtuneTuner::Tune(core::TuningSession* session,
+                                    double datasize_gb) {
+  const double meter_start = session->optimization_seconds();
+  const int evals_start = session->evaluations();
+  const sparksim::ConfigSpace& space = session->space();
+  const int levels = std::max(2, options_.levels_per_param);
+
+  // State: (workload feature, performance bucket); actions: (param, +/-).
+  // The Q table maps state -> per-action value.
+  const int num_actions = static_cast<int>(free_dims_.size()) * 2;
+  std::map<int, std::vector<double>> q_table;
+  const int wf = WorkloadFeature(session->app());
+
+  core::TuningResult result;
+  result.tuner_name = name();
+
+  // Level assignment per free parameter, starting mid-range.
+  std::vector<int> level(free_dims_.size(), levels / 2);
+  auto conf_from_levels = [&]() {
+    math::Vector unit = space.ToUnit(space.Repair(space.DefaultConf()));
+    for (size_t j = 0; j < free_dims_.size(); ++j) {
+      unit[static_cast<size_t>(free_dims_[j])] =
+          (static_cast<double>(level[j]) + 0.5) / levels;
+    }
+    return space.Repair(space.FromUnit(unit));
+  };
+
+  double reference_seconds = 0.0;  // first observation sets the scale
+  for (int ep = 0; ep < options_.episodes; ++ep) {
+    // Episodes restart from a random level assignment (exploration across
+    // the space, as DRL restarts from workload states).
+    for (size_t j = 0; j < level.size(); ++j) {
+      level[j] = static_cast<int>(rng_.UniformInt(0, levels - 1));
+    }
+    double prev_seconds =
+        session->Evaluate(conf_from_levels(), datasize_gb).app_seconds;
+    if (reference_seconds <= 0.0) reference_seconds = prev_seconds;
+    if (result.best_observed_seconds <= 0.0 ||
+        prev_seconds < result.best_observed_seconds) {
+      result.best_observed_seconds = prev_seconds;
+      result.best_conf = conf_from_levels();
+    }
+    result.trajectory.push_back(result.best_observed_seconds);
+
+    for (int step = 0; step + 1 < options_.steps_per_episode; ++step) {
+      // State bucket: log-ratio of current runtime to the reference.
+      const int bucket = std::clamp(
+          static_cast<int>(std::log2(prev_seconds / reference_seconds) * 2) +
+              4,
+          0, 8);
+      const int state = wf * 16 + bucket;
+      auto& qvals = q_table[state];
+      if (qvals.empty()) qvals.assign(static_cast<size_t>(num_actions), 0.0);
+
+      int action;
+      if (rng_.Bernoulli(options_.epsilon)) {
+        action = static_cast<int>(rng_.UniformInt(0, num_actions - 1));
+      } else {
+        action = static_cast<int>(
+            std::max_element(qvals.begin(), qvals.end()) - qvals.begin());
+      }
+      const size_t pidx = static_cast<size_t>(action / 2);
+      const int direction = (action % 2 == 0) ? 1 : -1;
+      level[pidx] = std::clamp(level[pidx] + direction, 0, levels - 1);
+
+      const double now_seconds =
+          session->Evaluate(conf_from_levels(), datasize_gb).app_seconds;
+      const double reward = std::log(prev_seconds / now_seconds);
+
+      // Q-learning update against the next state's best value.
+      const int nbucket = std::clamp(
+          static_cast<int>(std::log2(now_seconds / reference_seconds) * 2) +
+              4,
+          0, 8);
+      auto& next_q = q_table[wf * 16 + nbucket];
+      if (next_q.empty()) next_q.assign(static_cast<size_t>(num_actions), 0.0);
+      const double next_best =
+          *std::max_element(next_q.begin(), next_q.end());
+      qvals[static_cast<size_t>(action)] +=
+          options_.alpha * (reward + options_.gamma * next_best -
+                            qvals[static_cast<size_t>(action)]);
+
+      prev_seconds = now_seconds;
+      if (now_seconds < result.best_observed_seconds) {
+        result.best_observed_seconds = now_seconds;
+        result.best_conf = conf_from_levels();
+      }
+      result.trajectory.push_back(result.best_observed_seconds);
+    }
+  }
+
+  result.optimization_seconds = session->optimization_seconds() - meter_start;
+  result.evaluations = session->evaluations() - evals_start;
+  return result;
+}
+
+std::unique_ptr<core::Tuner> MakeBaseline(const std::string& name,
+                                          uint64_t seed_salt) {
+  if (name == "Tuneful") {
+    TunefulTuner::Options o;
+    o.seed += seed_salt;
+    return std::make_unique<TunefulTuner>(o);
+  }
+  if (name == "DAC") {
+    DacTuner::Options o;
+    o.seed += seed_salt;
+    return std::make_unique<DacTuner>(o);
+  }
+  if (name == "GBO-RL") {
+    GboRlTuner::Options o;
+    o.seed += seed_salt;
+    return std::make_unique<GboRlTuner>(o);
+  }
+  if (name == "QTune") {
+    QtuneTuner::Options o;
+    o.seed += seed_salt;
+    return std::make_unique<QtuneTuner>(o);
+  }
+  RandomSearchTuner::Options o;
+  o.seed += seed_salt;
+  return std::make_unique<RandomSearchTuner>(o);
+}
+
+}  // namespace locat::tuners

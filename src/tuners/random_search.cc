@@ -1,0 +1,48 @@
+#include <algorithm>
+
+#include "tuners/baselines.h"
+
+namespace locat::tuners {
+
+std::vector<int> AllParamIndices() {
+  std::vector<int> dims(sparksim::kNumParams);
+  for (int i = 0; i < sparksim::kNumParams; ++i) dims[static_cast<size_t>(i)] = i;
+  return dims;
+}
+
+RandomSearchTuner::RandomSearchTuner(Options options)
+    : options_(options), rng_(options.seed), free_dims_(AllParamIndices()) {}
+
+void RandomSearchTuner::SetFreeParams(const std::vector<int>& param_indices) {
+  free_dims_ = param_indices;
+}
+
+core::TuningResult RandomSearchTuner::Tune(core::TuningSession* session,
+                                           double datasize_gb) {
+  const double meter_start = session->optimization_seconds();
+  const int evals_start = session->evaluations();
+  const sparksim::ConfigSpace& space = session->space();
+  const math::Vector base_unit = space.ToUnit(space.Repair(space.DefaultConf()));
+
+  core::TuningResult result;
+  result.tuner_name = name();
+  for (int i = 0; i < options_.evaluations; ++i) {
+    math::Vector unit = base_unit;
+    for (int d : free_dims_) {
+      unit[static_cast<size_t>(d)] = rng_.NextDouble();
+    }
+    const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
+    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+    if (result.best_observed_seconds <= 0.0 ||
+        rec.app_seconds < result.best_observed_seconds) {
+      result.best_observed_seconds = rec.app_seconds;
+      result.best_conf = conf;
+    }
+    result.trajectory.push_back(result.best_observed_seconds);
+  }
+  result.optimization_seconds = session->optimization_seconds() - meter_start;
+  result.evaluations = session->evaluations() - evals_start;
+  return result;
+}
+
+}  // namespace locat::tuners

@@ -1,0 +1,79 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tuners/baselines.h"
+
+namespace locat::tuners {
+
+TunefulTuner::TunefulTuner(Options options)
+    : options_(options), rng_(options.seed), free_dims_(AllParamIndices()) {}
+
+void TunefulTuner::SetFreeParams(const std::vector<int>& param_indices) {
+  free_dims_ = param_indices;
+}
+
+core::TuningResult TunefulTuner::Tune(core::TuningSession* session,
+                                      double datasize_gb) {
+  const double meter_start = session->optimization_seconds();
+  const int evals_start = session->evaluations();
+  const sparksim::ConfigSpace& space = session->space();
+
+  // Tuneful's incremental sensitivity analysis starts from the stock
+  // configuration; OAT influence estimates are conditioned on that base —
+  // the method's known weakness in high-dimensional spaces (Section 6 of
+  // the LOCAT paper).
+  const sparksim::SparkConf base_conf = space.Repair(space.DefaultConf());
+  const math::Vector base_unit = space.ToUnit(base_conf);
+
+  // --- Significance phase: one-at-a-time probes per parameter against
+  // the base configuration's runtime.
+  const double base_seconds =
+      session->Evaluate(base_conf, datasize_gb).app_seconds;
+  std::vector<double> influence(sparksim::kNumParams, 0.0);
+  for (int d : free_dims_) {
+    std::vector<double> observed = {base_seconds};
+    for (int probe = 0; probe < options_.oat_probes_per_param; ++probe) {
+      math::Vector unit = base_unit;
+      unit[static_cast<size_t>(d)] =
+          options_.oat_probes_per_param == 1
+              ? 1.0
+              : static_cast<double>(probe) /
+                    (options_.oat_probes_per_param - 1);
+      const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
+      observed.push_back(
+          session->Evaluate(conf, datasize_gb).app_seconds);
+    }
+    const auto [mn, mx] = std::minmax_element(observed.begin(),
+                                              observed.end());
+    influence[static_cast<size_t>(d)] = *mx - *mn;
+  }
+
+  // Keep the most influential parameters.
+  std::vector<int> order = free_dims_;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return influence[static_cast<size_t>(a)] > influence[static_cast<size_t>(b)];
+  });
+  const size_t keep = std::min<size_t>(
+      order.size(), static_cast<size_t>(options_.significant_params));
+  std::vector<int> significant(order.begin(),
+                               order.begin() + static_cast<long>(keep));
+  std::sort(significant.begin(), significant.end());
+
+  // --- GP-BO over the significant subspace.
+  BoSearch::Options bopts = options_.bo;
+  bopts.iterations = options_.bo_iterations;
+  BoSearch bo(bopts, &rng_);
+  bo.Run(session, datasize_gb, significant, base_conf, {});
+
+  core::TuningResult result;
+  result.tuner_name = name();
+  result.best_conf = bo.best_conf();
+  result.best_observed_seconds = bo.best_seconds();
+  result.trajectory = bo.trajectory();
+  result.optimization_seconds = session->optimization_seconds() - meter_start;
+  result.evaluations = session->evaluations() - evals_start;
+  return result;
+}
+
+}  // namespace locat::tuners

@@ -1,0 +1,148 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+
+namespace locat::harness {
+namespace {
+
+std::string TempCachePath(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("locat_test_cache_" + tag + ".csv"))
+      .string();
+}
+
+TEST(CellResultTest, SerializeRoundTrip) {
+  CellResult r;
+  r.optimization_seconds = 1234.5;
+  r.best_app_seconds = 678.9;
+  r.default_app_seconds = 9999.0;
+  r.gc_seconds = 12.5;
+  r.csq_seconds = 400.0;
+  r.ciq_seconds = 278.9;
+  r.evaluations = 42;
+  CellResult back;
+  ASSERT_TRUE(CellResult::Deserialize(r.Serialize(), &back));
+  EXPECT_DOUBLE_EQ(back.optimization_seconds, 1234.5);
+  EXPECT_DOUBLE_EQ(back.best_app_seconds, 678.9);
+  EXPECT_DOUBLE_EQ(back.ciq_seconds, 278.9);
+  EXPECT_EQ(back.evaluations, 42);
+}
+
+TEST(CellResultTest, DeserializeRejectsGarbage) {
+  CellResult out;
+  EXPECT_FALSE(CellResult::Deserialize("not,a,result", &out));
+}
+
+TEST(CellSpecTest, KeyIncludesEveryField) {
+  CellSpec a{"LOCAT", "TPC-DS", "x86", 300.0, 0};
+  CellSpec b = a;
+  EXPECT_EQ(a.Key(), b.Key());
+  b.datasize_gb = 400.0;
+  EXPECT_NE(a.Key(), b.Key());
+  b = a;
+  b.tuner = "DAC";
+  EXPECT_NE(a.Key(), b.Key());
+  b = a;
+  b.seed = 1;
+  EXPECT_NE(a.Key(), b.Key());
+}
+
+TEST(MakeTunerTest, SupportsAllNames) {
+  EXPECT_EQ(MakeTuner("LOCAT", 0)->name(), "LOCAT");
+  EXPECT_EQ(MakeTuner("LOCAT-AP", 0)->name(), "LOCAT-AP");
+  EXPECT_EQ(MakeTuner("Tuneful", 0)->name(), "Tuneful");
+  EXPECT_EQ(MakeTuner("DAC+QIT", 0)->name(), "DAC+QIT");
+  EXPECT_EQ(MakeTuner("QTune+QCSA", 0)->name(), "QTune+QCSA");
+  EXPECT_EQ(MakeTuner("GBO-RL+IICP", 0)->name(), "GBO-RL+IICP");
+}
+
+TEST(MakeAppClusterTest, Factories) {
+  EXPECT_EQ(MakeApp("TPC-DS").num_queries(), 104);
+  EXPECT_EQ(MakeApp("Scan").num_queries(), 1);
+  EXPECT_EQ(MakeCluster("arm").name, "arm4");
+  EXPECT_EQ(MakeCluster("x86").name, "x86_8");
+  EXPECT_EQ(SotaTunerNames().size(), 4u);
+}
+
+TEST(ExperimentRunnerTest, CanonicalCsqMatchesPaperForTpcDs) {
+  ExperimentRunner runner(TempCachePath("csq"));
+  const std::vector<int> csq = runner.CanonicalCsq("TPC-DS", "x86");
+  // The paper keeps 23 of 104 queries (Section 5.2); allow small slack for
+  // the stochastic tertile boundary.
+  EXPECT_GE(csq.size(), 18u);
+  EXPECT_LE(csq.size(), 30u);
+  // Q72 must be in the configuration-sensitive set.
+  const auto app = MakeApp("TPC-DS");
+  const int q72 = app.IndexOf("q72");
+  EXPECT_NE(std::find(csq.begin(), csq.end(), q72), csq.end());
+  // Q04 (long but insensitive) must not.
+  const int q04 = app.IndexOf("q04");
+  EXPECT_EQ(std::find(csq.begin(), csq.end(), q04), csq.end());
+}
+
+TEST(ExperimentRunnerTest, CachePersistsAcrossInstances) {
+  const std::string path = TempCachePath("persist");
+  std::remove(path.c_str());
+  CellSpec spec{"Random", "Scan", "x86", 100.0, 0};
+  CellResult first;
+  {
+    ExperimentRunner runner(path);
+    first = runner.Run(spec);
+    runner.Save();
+  }
+  ExperimentRunner reloaded(path);
+  const CellResult second = reloaded.Run(spec);
+  EXPECT_DOUBLE_EQ(first.optimization_seconds, second.optimization_seconds);
+  EXPECT_DOUBLE_EQ(first.best_app_seconds, second.best_app_seconds);
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentRunnerTest, RunAllReturnsInInputOrder) {
+  const std::string path = TempCachePath("order");
+  std::remove(path.c_str());
+  ExperimentRunner runner(path);
+  std::vector<CellSpec> specs = {
+      {"Random", "Scan", "x86", 100.0, 0},
+      {"Random", "Scan", "x86", 200.0, 0},
+  };
+  const auto results = runner.RunAll(specs, 2);
+  ASSERT_EQ(results.size(), 2u);
+  // The 200 GB cell takes longer in simulated time than the 100 GB one.
+  EXPECT_GT(results[1].default_app_seconds, results[0].default_app_seconds);
+  // Re-running hits the cache and returns identical numbers.
+  const auto again = runner.RunAll(specs, 1);
+  EXPECT_DOUBLE_EQ(again[0].best_app_seconds, results[0].best_app_seconds);
+  std::remove(path.c_str());
+}
+
+TEST(ExperimentRunnerTest, CellResultFieldsAreConsistent) {
+  const std::string path = TempCachePath("fields");
+  std::remove(path.c_str());
+  ExperimentRunner runner(path);
+  const CellResult r = runner.Run({"Random", "TPC-H", "x86", 100.0, 0});
+  EXPECT_GT(r.optimization_seconds, 0.0);
+  EXPECT_GT(r.best_app_seconds, 0.0);
+  EXPECT_GT(r.default_app_seconds, r.best_app_seconds);
+  EXPECT_GT(r.evaluations, 0);
+  // CSQ + CIQ is the per-query total (no submit overhead), so below the
+  // full app time.
+  EXPECT_LE(r.csq_seconds + r.ciq_seconds, r.best_app_seconds * 1.3);
+  EXPECT_GT(r.csq_seconds, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(WarmSequenceTest, AdaptsAcrossDataSizes) {
+  const WarmSequenceResult result =
+      RunLocatWarmSequence("Aggregation", "x86", {100.0, 200.0});
+  ASSERT_EQ(result.datasizes_gb.size(), 2u);
+  // The warm (second) tuning pass costs less than the cold one.
+  EXPECT_LT(result.incremental_optimization_seconds[1],
+            result.incremental_optimization_seconds[0]);
+  EXPECT_GT(result.best_app_seconds[0], 0.0);
+}
+
+}  // namespace
+}  // namespace locat::harness

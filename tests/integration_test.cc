@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/locat_tuner.h"
+#include "core/tuning.h"
+#include "sparksim/simulator.h"
+#include "tuners/baselines.h"
+#include "workloads/workloads.h"
+
+namespace locat {
+namespace {
+
+// End-to-end pipeline checks that exercise several modules together on
+// small budgets. These intentionally mirror the headline claims at toy
+// scale; the bench binaries reproduce the full-size figures.
+
+core::LocatTuner::Options SmallLocat(uint64_t seed) {
+  core::LocatTuner::Options opts;
+  opts.n_qcsa = 12;
+  opts.n_iicp = 10;
+  opts.lhs_init = 3;
+  opts.min_iterations = 5;
+  opts.max_iterations = 10;
+  opts.warm_iterations = 4;
+  opts.candidates = 120;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(IntegrationTest, LocatCheaperThanDacStyleSampling) {
+  const auto app = workloads::TpcH();
+
+  sparksim::ClusterSimulator sim_locat(sparksim::X86Cluster(), 500);
+  core::TuningSession locat_session(&sim_locat, app);
+  core::LocatTuner locat(SmallLocat(1));
+  const auto locat_result = locat.Tune(&locat_session, 100.0);
+
+  sparksim::ClusterSimulator sim_dac(sparksim::X86Cluster(), 500);
+  core::TuningSession dac_session(&sim_dac, app);
+  tuners::DacTuner::Options dopts;
+  dopts.training_samples = 60;  // scaled-down DAC budget
+  dopts.ga_generations = 10;
+  tuners::DacTuner dac(dopts);
+  const auto dac_result = dac.Tune(&dac_session, 100.0);
+
+  // LOCAT's optimization cost is far below a sampling-heavy baseline even
+  // at toy scale (the RQA + fewer evaluations).
+  EXPECT_LT(locat_result.optimization_seconds,
+            dac_result.optimization_seconds);
+}
+
+TEST(IntegrationTest, QcsaIdentifiesShuffleHeavyTpchQueries) {
+  const auto app = workloads::TpcH();
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 501);
+  core::TuningSession session(&sim, app);
+  core::LocatTuner tuner(SmallLocat(2));
+  tuner.Tune(&session, 100.0);
+  ASSERT_NE(tuner.qcsa_result(), nullptr);
+  const auto& csq = tuner.qcsa_result()->csq_indices;
+  // Q9 (the heaviest join) must be configuration sensitive.
+  const int q9 = app.IndexOf("q9");
+  EXPECT_NE(std::find(csq.begin(), csq.end(), q9), csq.end());
+  // Q6 (pure scan) must not.
+  const int q6 = app.IndexOf("q6");
+  EXPECT_EQ(std::find(csq.begin(), csq.end(), q6), csq.end());
+}
+
+TEST(IntegrationTest, DatasizeAwareWarmStartFindsValidConfQuickly) {
+  const auto app = workloads::HiBenchAggregation();
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 502);
+  core::TuningSession session(&sim, app);
+  core::LocatTuner tuner(SmallLocat(3));
+  tuner.Tune(&session, 100.0);
+
+  const int before = session.evaluations();
+  const auto warm = tuner.Tune(&session, 400.0);
+  EXPECT_LE(session.evaluations() - before, 10);
+  EXPECT_TRUE(session.space().Validate(warm.best_conf).ok());
+  // The warm configuration is at least sane at the new size: much better
+  // than the Spark defaults.
+  const double tuned =
+      session.MeasureFinal(warm.best_conf, 400.0).total_seconds;
+  const double dflt =
+      session
+          .MeasureFinal(session.space().Repair(session.space().DefaultConf()),
+                        400.0)
+          .total_seconds;
+  EXPECT_LT(tuned, dflt);
+}
+
+TEST(IntegrationTest, FullPipelineIsDeterministic) {
+  const auto app = workloads::TpcH();
+  auto run_once = [&]() {
+    sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 503);
+    core::TuningSession session(&sim, app);
+    core::LocatTuner tuner(SmallLocat(4));
+    const auto r1 = tuner.Tune(&session, 100.0);
+    const auto r2 = tuner.Tune(&session, 300.0);
+    return std::make_pair(r1.optimization_seconds, r2.best_observed_seconds);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace locat

@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "math/distributions.h"
+#include "math/stats.h"
+#include "ml/ei_mcmc.h"
+#include "ml/pca.h"
+#include "ml/random_forest.h"
+
+namespace locat::ml {
+namespace {
+
+using math::Matrix;
+using math::Vector;
+
+// ------------------------------------------------------------------ PCA
+
+TEST(PcaTest, RecoversAxisAlignedStructure) {
+  // Variance concentrated in dimension 1.
+  Rng rng(5);
+  Matrix x(50, 3);
+  for (size_t i = 0; i < 50; ++i) {
+    x(i, 0) = 0.5 + 0.01 * rng.NextGaussian();
+    x(i, 1) = rng.NextDouble();  // dominant variance
+    x(i, 2) = 0.5 + 0.01 * rng.NextGaussian();
+  }
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(x).ok());
+  EXPECT_EQ(pca.num_components(), 1);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.85);
+  // The first component is (roughly) dimension 1.
+  const Vector lo = pca.Project(Vector{0.5, 0.0, 0.5});
+  const Vector hi = pca.Project(Vector{0.5, 1.0, 0.5});
+  EXPECT_GT(std::fabs(hi[0] - lo[0]), 0.9);
+}
+
+TEST(PcaTest, ReconstructionRoundTripsOnSubspacePoints) {
+  Rng rng(7);
+  Matrix x(40, 4);
+  for (size_t i = 0; i < 40; ++i) {
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    x(i, 0) = a;
+    x(i, 1) = 2.0 * a;
+    x(i, 2) = b;
+    x(i, 3) = -b;
+  }
+  Pca pca;
+  Pca::Options opts;
+  opts.variance_to_retain = 0.999;
+  ASSERT_TRUE(pca.Fit(x, opts).ok());
+  const Vector original = x.Row(5);
+  const Vector back = pca.Reconstruct(pca.Project(original));
+  EXPECT_LT((back - original).Norm(), 1e-6);
+}
+
+TEST(PcaTest, RejectsDegenerateInput) {
+  Pca pca;
+  EXPECT_FALSE(pca.Fit(Matrix(1, 3)).ok());
+  EXPECT_FALSE(pca.Fit(Matrix(5, 3)).ok());  // all-zero: no variance
+}
+
+// --------------------------------------------------------- RandomForest
+
+TEST(RandomForestTest, FitsNonlinearFunction) {
+  Rng rng(11);
+  Matrix x(250, 2);
+  Vector y(250);
+  for (size_t i = 0; i < 250; ++i) {
+    x(i, 0) = rng.NextDouble();
+    x(i, 1) = rng.NextDouble();
+    y[i] = (x(i, 0) > 0.5 ? 3.0 : 0.0) + std::sin(5.0 * x(i, 1));
+  }
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  const auto preds = forest.PredictAll(x);
+  EXPECT_LT(math::MeanSquaredError(preds, y.data()), 0.25);
+}
+
+TEST(RandomForestTest, SpreadGrowsOffDistribution) {
+  Rng rng(13);
+  Matrix x(100, 1);
+  Vector y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.Uniform(0.0, 0.5);  // training mass in [0, 0.5]
+    y[i] = x(i, 0) * 10.0 + rng.Gaussian(0.0, 0.3);
+  }
+  RandomForest forest;
+  ASSERT_TRUE(forest.Fit(x, y).ok());
+  EXPECT_GE(forest.PredictStdDev(Vector{0.25}), 0.0);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  Rng rng(17);
+  Matrix x(60, 2);
+  Vector y(60);
+  for (size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.NextDouble();
+    x(i, 1) = rng.NextDouble();
+    y[i] = x(i, 0) + x(i, 1);
+  }
+  RandomForest a;
+  RandomForest b;
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(a.Predict(Vector{0.3, 0.7}), b.Predict(Vector{0.3, 0.7}));
+}
+
+// ----------------------------------------------------- Acquisition rules
+
+TEST(AcquisitionTest, ProbabilityOfImprovementProperties) {
+  // PI in [0, 1], monotone in the mean.
+  EXPECT_GE(math::ProbabilityOfImprovement(5.0, 1.0, 4.0), 0.0);
+  EXPECT_LE(math::ProbabilityOfImprovement(5.0, 1.0, 4.0), 1.0);
+  EXPECT_GT(math::ProbabilityOfImprovement(3.0, 1.0, 4.0),
+            math::ProbabilityOfImprovement(5.0, 1.0, 4.0));
+  // Degenerate sigma.
+  EXPECT_DOUBLE_EQ(math::ProbabilityOfImprovement(3.0, 0.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(math::ProbabilityOfImprovement(5.0, 0.0, 4.0), 0.0);
+}
+
+TEST(AcquisitionTest, UcbTradesOffMeanAndUncertainty) {
+  EXPECT_GT(math::NegativeLowerConfidenceBound(5.0, 2.0, 2.0),
+            math::NegativeLowerConfidenceBound(5.0, 1.0, 2.0));
+  EXPECT_GT(math::NegativeLowerConfidenceBound(4.0, 1.0, 2.0),
+            math::NegativeLowerConfidenceBound(5.0, 1.0, 2.0));
+}
+
+TEST(AcquisitionTest, EiMcmcSupportsAllKinds) {
+  Rng rng(19);
+  Matrix x(8, 1);
+  Vector y(8);
+  for (int i = 0; i < 8; ++i) {
+    x(static_cast<size_t>(i), 0) = i / 8.0;
+    y[static_cast<size_t>(i)] = std::cos(3.0 * i / 8.0);
+  }
+  for (AcquisitionKind kind :
+       {AcquisitionKind::kExpectedImprovement,
+        AcquisitionKind::kProbabilityOfImprovement, AcquisitionKind::kUcb}) {
+    EiMcmc::Options opts;
+    opts.acquisition = kind;
+    opts.num_hyper_samples = 3;
+    opts.burn_in = 4;
+    EiMcmc model(opts);
+    Rng fit_rng(21);
+    ASSERT_TRUE(model.Fit(x, y, &fit_rng).ok());
+    const double value = model.AcquisitionValue(Vector{0.5});
+    EXPECT_TRUE(std::isfinite(value));
+  }
+}
+
+}  // namespace
+}  // namespace locat::ml

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/online_service.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace locat::core {
+namespace {
+
+OnlineTuningService::Options TinyOptions() {
+  OnlineTuningService::Options opts;
+  opts.tuner.n_qcsa = 8;
+  opts.tuner.n_iicp = 6;
+  opts.tuner.lhs_init = 2;
+  opts.tuner.min_iterations = 3;
+  opts.tuner.max_iterations = 5;
+  opts.tuner.warm_iterations = 3;
+  opts.tuner.candidates = 60;
+  opts.tuner.seed = 31;
+  return opts;
+}
+
+TEST(OnlineServiceTest, ColdStartThenReuseWithinThreshold) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 600);
+  TuningSession session(&sim, workloads::TpcH());
+  OnlineTuningService service(&session, TinyOptions());
+
+  const auto conf_100 = service.RecommendedConf(100.0);
+  EXPECT_EQ(service.tuning_passes(), 1);
+  const double after_cold = service.optimization_seconds();
+  EXPECT_GT(after_cold, 0.0);
+
+  // 110 GB is within 25% of 100 GB: instant reuse, no new tuning cost.
+  const auto conf_110 = service.RecommendedConf(110.0);
+  EXPECT_EQ(service.tuning_passes(), 1);
+  EXPECT_DOUBLE_EQ(service.optimization_seconds(), after_cold);
+  EXPECT_TRUE(conf_110 == conf_100);
+}
+
+TEST(OnlineServiceTest, WarmRetuneForDistantSize) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 601);
+  TuningSession session(&sim, workloads::HiBenchAggregation());
+  OnlineTuningService service(&session, TinyOptions());
+
+  service.RecommendedConf(100.0);
+  const double after_cold = service.optimization_seconds();
+  const int evals_cold = session.evaluations();
+
+  // 400 GB is far from 100 GB: a warm adaptation runs, but it is much
+  // cheaper (per evaluation count) than the cold start.
+  service.RecommendedConf(400.0);
+  EXPECT_EQ(service.tuning_passes(), 2);
+  EXPECT_GT(service.optimization_seconds(), after_cold);
+  EXPECT_LT(session.evaluations() - evals_cold, evals_cold);
+  EXPECT_EQ(service.tuned_sizes().size(), 2u);
+}
+
+TEST(OnlineServiceTest, ReportRunFeedsModelWithoutCharging) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 602);
+  TuningSession session(&sim, workloads::HiBenchJoin());
+  OnlineTuningService service(&session, TinyOptions());
+
+  const auto conf = service.RecommendedConf(200.0);
+  const double meter = service.optimization_seconds();
+  service.ReportRun(200.0, conf, 1234.0);
+  EXPECT_DOUBLE_EQ(service.optimization_seconds(), meter);
+}
+
+TEST(OnlineServiceTest, ExternalRunsBeforeColdStartAreIgnored) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 603);
+  TuningSession session(&sim, workloads::HiBenchJoin());
+  OnlineTuningService service(&session, TinyOptions());
+  // Must not crash or corrupt state before any tuning happened.
+  sparksim::ConfigSpace space(sparksim::X86Cluster());
+  service.ReportRun(100.0, space.Repair(space.DefaultConf()), 999.0);
+  EXPECT_EQ(service.tuning_passes(), 0);
+}
+
+}  // namespace
+}  // namespace locat::core

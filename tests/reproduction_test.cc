@@ -1,0 +1,119 @@
+// Headline-claim regression tests: small, deterministic versions of the
+// paper facts the repository is calibrated to reproduce. If one of these
+// fails after a simulator/workload change, the corresponding figure bench
+// has drifted too.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/qcsa.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace locat {
+namespace {
+
+// Runs the canonical 30-sample QCSA used by the Figure 8 bench.
+core::QcsaResult TpcDsQcsa() {
+  const auto app = workloads::TpcDs();
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 1001);
+  sparksim::ConfigSpace space(sim.cluster());
+  Rng rng(2002);
+  std::vector<std::vector<double>> times(
+      static_cast<size_t>(app.num_queries()));
+  for (int run = 0; run < 30; ++run) {
+    const auto result = sim.RunApp(app, space.RandomValid(&rng), 100.0);
+    for (size_t q = 0; q < result.per_query.size(); ++q) {
+      times[q].push_back(result.per_query[q].exec_seconds);
+    }
+  }
+  auto qcsa = core::AnalyzeQuerySensitivity(times);
+  EXPECT_TRUE(qcsa.ok());
+  return std::move(qcsa).value();
+}
+
+TEST(ReproductionTest, TpcDsQcsaRecoversThePapers23Queries) {
+  const auto app = workloads::TpcDs();
+  const core::QcsaResult qcsa = TpcDsQcsa();
+
+  // Section 5.2: exactly these 23 queries survive QCSA.
+  const std::set<std::string> paper_csq = {
+      "q72", "q29", "q14b", "q43", "q41", "q99", "q57", "q33",
+      "q14a", "q69", "q40", "q64a", "q50", "q21", "q70", "q95",
+      "q54", "q23a", "q23b", "q15", "q58", "q62", "q20"};
+  std::set<std::string> ours;
+  for (int idx : qcsa.csq_indices) {
+    ours.insert(app.queries[static_cast<size_t>(idx)].name);
+  }
+  EXPECT_EQ(ours, paper_csq);
+}
+
+TEST(ReproductionTest, Q72IsTheMostSensitiveHeavyShuffler) {
+  const auto app = workloads::TpcDs();
+  const core::QcsaResult qcsa = TpcDsQcsa();
+  const int q72 = app.IndexOf("q72");
+  const int q04 = app.IndexOf("q04");
+  // Q72's CV dwarfs Q04's (paper: 3.49 vs 0.24; our ratio is smaller but
+  // the ordering and tertile split hold).
+  EXPECT_GT(qcsa.cv[static_cast<size_t>(q72)],
+            4.0 * qcsa.cv[static_cast<size_t>(q04)]);
+}
+
+TEST(ReproductionTest, Q72Shuffles52GbPer100Gb) {
+  const auto app = workloads::TpcDs();
+  sparksim::SimParams params;
+  params.noise_sigma = 0.0;
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 1, params);
+  sparksim::ConfigSpace space(sim.cluster());
+  // Section 5.11's measurement.
+  const auto metrics = sim.RunQuery(
+      app.queries[static_cast<size_t>(app.IndexOf("q72"))],
+      space.Repair(space.DefaultConf()), 100.0);
+  EXPECT_NEAR(metrics.shuffle_gb, 52.0, 3.0);
+  const auto q08 = sim.RunQuery(
+      app.queries[static_cast<size_t>(app.IndexOf("q08"))],
+      space.Repair(space.DefaultConf()), 100.0);
+  EXPECT_LT(q08.shuffle_gb, 0.05);  // "only 5 MB"
+}
+
+TEST(ReproductionTest, Q04IsLongButInsensitive) {
+  const auto app = workloads::TpcDs();
+  const core::QcsaResult qcsa = TpcDsQcsa();
+  const int q04 = app.IndexOf("q04");
+  // Q04 must be classified CIQ despite being one of the longest queries.
+  EXPECT_EQ(std::find(qcsa.csq_indices.begin(), qcsa.csq_indices.end(), q04),
+            qcsa.csq_indices.end());
+}
+
+TEST(ReproductionTest, RqaIsSubstantiallyCheaperThanFullApp) {
+  // Removing the 81 CIQs must pay: the RQA costs well under half of the
+  // full application under typical configurations (this is where QCSA's
+  // optimization-time saving comes from).
+  const auto app = workloads::TpcDs();
+  const core::QcsaResult qcsa = TpcDsQcsa();
+  sparksim::SimParams params;
+  params.noise_sigma = 0.0;
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 3, params);
+  sparksim::ConfigSpace space(sim.cluster());
+  // Under reasonable configurations (the region BO spends its reduced
+  // phase in) the 23 CSQs account for roughly half the application time,
+  // so each RQA run costs well below the full application. Under *bad*
+  // random configurations the CSQs blow up and dominate, which is exactly
+  // why they are the queries worth keeping.
+  sparksim::SparkConf conf = space.DefaultConf();
+  conf.Set(sparksim::kExecutorInstances, 35);
+  conf.Set(sparksim::kExecutorCores, 4);
+  conf.Set(sparksim::kExecutorMemory, 24);
+  conf.Set(sparksim::kExecutorMemoryOverhead, 4096);
+  conf.Set(sparksim::kSqlShufflePartitions, 700);
+  conf = space.Repair(conf);
+  const double full = sim.RunApp(app, conf, 100.0).total_seconds;
+  const double rqa =
+      sim.RunAppSubset(app, qcsa.csq_indices, conf, 100.0).total_seconds;
+  EXPECT_LT(rqa, 0.75 * full);
+}
+
+}  // namespace
+}  // namespace locat
