@@ -27,7 +27,7 @@ int main() {
   int day = 0;
   for (double ds : schedule) {
     ++day;
-    const sparksim::SparkConf conf = service.RecommendedConf(ds);
+    const sparksim::SparkConf conf = service.RecommendedConf(ds).value();
     // "Production" executes the job with the recommended configuration...
     const auto run = session.MeasureFinal(conf, ds);
     // ...and reports the outcome back, sharpening the DAGP for free.

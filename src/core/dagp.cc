@@ -26,10 +26,30 @@ void Dagp::Clear() {
   model_ = ml::EiMcmc(options_.ei);
 }
 
+void Dagp::SetObservability(obs::Tracer* tracer,
+                            obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    refits_counter_ = metrics->GetCounter(
+        "locat_dagp_refits_total", "EI-MCMC ensemble refits performed");
+    mcmc_evals_counter_ = metrics->GetCounter(
+        "locat_dagp_mcmc_density_evals_total",
+        "GP log-marginal-likelihood evaluations spent in slice sampling");
+    refit_seconds_hist_ = metrics->GetHistogram(
+        "locat_dagp_refit_seconds", "Wall-clock seconds per DAGP refit",
+        {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0});
+  } else {
+    refits_counter_ = nullptr;
+    mcmc_evals_counter_ = nullptr;
+    refit_seconds_hist_ = nullptr;
+  }
+}
+
 Status Dagp::Refit(Rng* rng) {
   if (y_.size() < 2) {
     return Status::FailedPrecondition("DAGP needs >= 2 observations");
   }
+  obs::ScopedSpan span(tracer_, "dagp/refit", "model");
   const size_t dim = x_.front().size();
   math::Matrix x(y_.size(), dim);
   math::Vector y(y_.size());
@@ -38,7 +58,24 @@ Status Dagp::Refit(Rng* rng) {
     y[i] = y_[i];
   }
   model_ = ml::EiMcmc(options_.ei);
-  return model_.Fit(x, y, rng);
+  const Status status = model_.Fit(x, y, rng);
+  if (status.ok()) {
+    const ml::EiMcmc::FitStats& stats = model_.last_fit_stats();
+    span.Arg("n", static_cast<double>(y_.size()));
+    span.Arg("dim", static_cast<double>(dim));
+    span.Arg("ensemble", stats.ensemble_size);
+    span.Arg("density_evals",
+             static_cast<double>(stats.sampler.density_evals));
+    if (refits_counter_ != nullptr) refits_counter_->Increment();
+    if (mcmc_evals_counter_ != nullptr) {
+      mcmc_evals_counter_->Increment(
+          static_cast<double>(stats.sampler.density_evals));
+    }
+    if (refit_seconds_hist_ != nullptr) {
+      refit_seconds_hist_->Observe(stats.wall_seconds);
+    }
+  }
+  return status;
 }
 
 double Dagp::ExpectedImprovement(const math::Vector& encoded_conf,

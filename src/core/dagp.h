@@ -7,6 +7,8 @@
 #include "common/status.h"
 #include "math/matrix.h"
 #include "ml/ei_mcmc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace locat::core {
 
@@ -73,6 +75,15 @@ class Dagp {
   /// Best (lowest) observed seconds so far.
   double best_seconds() const;
 
+  /// Wires tracing/metrics sinks (either may be null). Purely
+  /// observational: never changes fit results or RNG consumption.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// MCMC telemetry of the most recent successful Refit().
+  const ml::EiMcmc::FitStats& last_fit_stats() const {
+    return model_.last_fit_stats();
+  }
+
  private:
   math::Vector Assemble(const math::Vector& encoded_conf,
                         double datasize_gb) const;
@@ -81,6 +92,10 @@ class Dagp {
   std::vector<math::Vector> x_;  // encoded conf + normalized ds
   std::vector<double> y_;        // log(seconds)
   ml::EiMcmc model_{};
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* refits_counter_ = nullptr;
+  obs::Counter* mcmc_evals_counter_ = nullptr;
+  obs::Histogram* refit_seconds_hist_ = nullptr;
 };
 
 }  // namespace locat::core

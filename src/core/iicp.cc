@@ -53,38 +53,45 @@ StatusOr<math::Vector> IicpResult::DecodeSelected(
 
 StatusOr<IicpResult> Iicp::Run(const math::Matrix& unit_confs,
                                const std::vector<double>& times,
-                               const IicpOptions& options) {
+                               const IicpOptions& options,
+                               obs::Tracer* tracer) {
   const size_t n = unit_confs.rows();
   const size_t d = unit_confs.cols();
   if (n < 4 || times.size() != n) {
     return Status::InvalidArgument(
         "IICP needs >= 4 samples with matching times");
   }
+  obs::ScopedSpan run_span(tracer, "iicp/run", "analysis");
 
   IicpResult result;
   result.scc_abs_.resize(d, 0.0);
 
   // --- CPS: Spearman correlation of each parameter against runtime.
-  std::vector<double> column(n);
-  for (size_t p = 0; p < d; ++p) {
-    for (size_t i = 0; i < n; ++i) column[i] = unit_confs(i, p);
-    result.scc_abs_[p] =
-        std::fabs(ml::SpearmanCorrelation(column, times));
-    if (result.scc_abs_[p] >= options.scc_threshold) {
-      result.selected_.push_back(static_cast<int>(p));
+  {
+    obs::ScopedSpan cps_span(tracer, "iicp/cps", "analysis");
+    std::vector<double> column(n);
+    for (size_t p = 0; p < d; ++p) {
+      for (size_t i = 0; i < n; ++i) column[i] = unit_confs(i, p);
+      result.scc_abs_[p] =
+          std::fabs(ml::SpearmanCorrelation(column, times));
+      if (result.scc_abs_[p] >= options.scc_threshold) {
+        result.selected_.push_back(static_cast<int>(p));
+      }
     }
-  }
-  if (result.selected_.size() < 3) {
-    // Keep the 3 strongest correlations so CPE always has something to
-    // work with.
-    std::vector<int> order(d);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      return result.scc_abs_[static_cast<size_t>(a)] >
-             result.scc_abs_[static_cast<size_t>(b)];
-    });
-    result.selected_.assign(order.begin(), order.begin() + 3);
-    std::sort(result.selected_.begin(), result.selected_.end());
+    if (result.selected_.size() < 3) {
+      // Keep the 3 strongest correlations so CPE always has something to
+      // work with.
+      std::vector<int> order(d);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return result.scc_abs_[static_cast<size_t>(a)] >
+               result.scc_abs_[static_cast<size_t>(b)];
+      });
+      result.selected_.assign(order.begin(), order.begin() + 3);
+      std::sort(result.selected_.begin(), result.selected_.end());
+    }
+    cps_span.Arg("params", static_cast<double>(d));
+    cps_span.Arg("selected", static_cast<double>(result.selected_.size()));
   }
 
   // --- CPE: Gaussian-kernel KPCA on the CPS-selected dimensions. This is
@@ -92,6 +99,7 @@ StatusOr<IicpResult> Iicp::Run(const math::Matrix& unit_confs,
   // dimension is scaled by its CPS correlation strength, so the kernel's
   // principal directions emphasize runtime-relevant parameters instead of
   // plain configuration variance.
+  obs::ScopedSpan cpe_span(tracer, "iicp/cpe", "analysis");
   double max_scc = 1e-9;
   for (int p : result.selected_) {
     max_scc = std::max(max_scc, result.scc_abs_[static_cast<size_t>(p)]);
@@ -126,6 +134,11 @@ StatusOr<IicpResult> Iicp::Run(const math::Matrix& unit_confs,
   kopts.variance_to_retain = options.kpca_variance_to_retain;
   kopts.max_components = options.kpca_max_components;
   LOCAT_RETURN_IF_ERROR(result.kpca_.Fit(reduced, result.kernel_.get(), kopts));
+  cpe_span.Arg("bandwidth", bandwidth);
+  cpe_span.Arg("latent_dim", static_cast<double>(result.latent_dim()));
+  run_span.Arg("samples", static_cast<double>(n));
+  run_span.Arg("selected", static_cast<double>(result.selected_.size()));
+  run_span.Arg("latent_dim", static_cast<double>(result.latent_dim()));
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "math/matrix.h"
 #include "ml/kernels.h"
 #include "ml/kpca.h"
+#include "obs/trace.h"
 
 namespace locat::core {
 
@@ -77,9 +78,12 @@ class Iicp {
   /// Requires n >= 4. Never returns an empty selection: when no parameter
   /// clears the SCC bound, the top-3 by |SCC| are kept (the paper's
   /// pipeline implicitly assumes at least some correlated parameters).
+  ///
+  /// `tracer` (optional) records the CPS and CPE stages as nested spans.
   static StatusOr<IicpResult> Run(const math::Matrix& unit_confs,
                                   const std::vector<double>& times,
-                                  const IicpOptions& options = IicpOptions());
+                                  const IicpOptions& options = IicpOptions(),
+                                  obs::Tracer* tracer = nullptr);
 };
 
 }  // namespace locat::core

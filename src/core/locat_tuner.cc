@@ -18,6 +18,36 @@ LocatTuner::LocatTuner(Options options)
   dagp_ = Dagp(options_.dagp);
 }
 
+void LocatTuner::SetObservability(const obs::ObsContext& obs) {
+  Tuner::SetObservability(obs);
+  dagp_.SetObservability(obs.tracer, obs.metrics);
+}
+
+void LocatTuner::EmitIteration(double datasize_gb, double eval_seconds,
+                               double objective, bool full_app) {
+  const int iteration = iter_in_pass_++;
+  if (observer() == nullptr) return;
+  obs::BoIterationEvent ev;
+  ev.tuner = name();
+  ev.phase = phase_label_;
+  ev.iteration = iteration;
+  ev.datasize_gb = datasize_gb;
+  ev.eval_seconds = eval_seconds;
+  ev.objective_seconds = objective;
+  ev.incumbent_seconds = best_objective_;
+  ev.relative_ei = pending_relative_ei_;
+  ev.candidate_pool = pending_candidate_pool_;
+  ev.full_app = full_app;
+  const ml::EiMcmc::FitStats& fit = dagp_.last_fit_stats();
+  ev.dagp_fit_seconds = fit.wall_seconds;
+  ev.mcmc_ensemble = fit.ensemble_size;
+  ev.mcmc_density_evals = fit.sampler.density_evals;
+  ev.mcmc_acceptance = fit.sampler.acceptance_rate();
+  ev.rqa_share = rqa_share_;
+  ev.rqa_queries = static_cast<int>(rqa_.size());
+  observer()->OnIteration(ev);
+}
+
 std::string LocatTuner::name() const {
   if (options_.enable_qcsa && options_.enable_iicp) return "LOCAT";
   if (options_.enable_qcsa) return "LOCAT-AP";      // all parameters
@@ -49,6 +79,7 @@ double LocatTuner::RqaObjective(const std::vector<double>& per_query,
 double LocatTuner::EvaluateAndRecord(TuningSession* session,
                                      const sparksim::SparkConf& conf,
                                      double datasize_gb, bool full_app) {
+  const double meter_before = session->optimization_seconds();
   double objective = 0.0;
   Observation obs;
   obs.unit = session->space().ToUnit(conf);
@@ -71,6 +102,8 @@ double LocatTuner::EvaluateAndRecord(TuningSession* session,
     best_conf_ = conf;
   }
   trajectory_.push_back(best_objective_);
+  EmitIteration(datasize_gb, session->optimization_seconds() - meter_before,
+                objective, full_app);
   return objective;
 }
 
@@ -169,9 +202,11 @@ LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
     // Everything was a duplicate; fall back to a fresh random point.
     best.unit = session->space().RandomValidUnit(&rng_);
     best.relative_ei = 1.0;
-    return best;
+  } else {
+    best.relative_ei = 1.0 - std::exp(-std::max(0.0, best_ei));
   }
-  best.relative_ei = 1.0 - std::exp(-std::max(0.0, best_ei));
+  pending_relative_ei_ = best.relative_ei;
+  pending_candidate_pool_ = options_.candidates;
   return best;
 }
 
@@ -189,7 +224,7 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
             obs.per_query[static_cast<size_t>(q)]);
       }
     }
-    auto qcsa = AnalyzeQuerySensitivity(times);
+    auto qcsa = AnalyzeQuerySensitivity(times, tracer());
     if (qcsa.ok()) {
       qcsa_ = std::move(qcsa).value();
       rqa_ = qcsa_->csq_indices;
@@ -212,7 +247,7 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
       ts[static_cast<size_t>(i)] =
           observations_[static_cast<size_t>(i)].objective_seconds;
     }
-    auto iicp = Iicp::Run(confs, ts, options_.iicp);
+    auto iicp = Iicp::Run(confs, ts, options_.iicp, tracer());
     if (iicp.ok()) iicp_ = std::move(iicp).value();
   }
 
@@ -231,6 +266,8 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
     reduced_opts.ei.thin = 1;
   }
   dagp_ = Dagp(reduced_opts);
+  // The reassignment dropped the observability wiring; restore it.
+  dagp_.SetObservability(obs_.tracer, obs_.metrics);
   dagp_.Clear();
   for (auto& obs : observations_) {
     if (!obs.per_query.empty()) {
@@ -263,6 +300,32 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
       best_objective_ = obs.objective_seconds;
     }
   }
+
+  if (observer() != nullptr) {
+    if (qcsa_) {
+      obs::PhaseEvent ev;
+      ev.tuner = name();
+      ev.phase = "qcsa";
+      ev.fields = {
+          {"csq", static_cast<double>(qcsa_->csq_indices.size())},
+          {"ciq", static_cast<double>(qcsa_->ciq_indices.size())},
+          {"threshold", qcsa_->threshold},
+          {"rqa_share", rqa_share_},
+      };
+      observer()->OnPhase(ev);
+    }
+    if (iicp_) {
+      obs::PhaseEvent ev;
+      ev.tuner = name();
+      ev.phase = "iicp";
+      ev.fields = {
+          {"selected_params",
+           static_cast<double>(iicp_->selected_params().size())},
+          {"latent_dim", static_cast<double>(iicp_->latent_dim())},
+      };
+      observer()->OnPhase(ev);
+    }
+  }
 }
 
 void LocatTuner::ObserveExternalRun(const sparksim::ConfigSpace& space,
@@ -283,35 +346,56 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
   const double meter_start = session->optimization_seconds();
   const int evals_start = session->evaluations();
   trajectory_.clear();
+  iter_in_pass_ = 0;
+  obs::ScopedSpan tune_span(tracer(), "tune", "tuner");
+  tune_span.Arg("datasize_gb", datasize_gb);
+  tune_span.Arg("warm", cold_started_ ? 1.0 : 0.0);
 
   const sparksim::ConfigSpace& space = session->space();
 
   if (!cold_started_) {
     // Phase A: LHS start points + BO over the full space, full app.
-    const math::Matrix lhs =
-        ml::LatinHypercube(options_.lhs_init, sparksim::kNumParams, &rng_);
-    for (int i = 0; i < options_.lhs_init; ++i) {
-      const sparksim::SparkConf conf =
-          space.Repair(space.FromUnit(lhs.Row(static_cast<size_t>(i))));
-      EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/true);
-    }
-    while (static_cast<int>(observations_.size()) < options_.n_qcsa) {
-      // QCSA/IICP need a *diverse* sample set ("random configurations",
-      // Section 3.2), so two of three phase-A runs draw uniformly and
-      // only the third follows the acquisition function.
-      sparksim::SparkConf conf = space.RandomValid(&rng_);
-      if (observations_.size() % 3 == 2 && dagp_.Refit(&rng_).ok()) {
-        const Proposal prop = ProposeNext(session, datasize_gb);
-        conf = space.Repair(space.FromUnit(prop.unit));
+    {
+      obs::ScopedSpan span(tracer(), "tune/lhs", "tuner");
+      phase_label_ = "lhs";
+      pending_relative_ei_ = 0.0;
+      pending_candidate_pool_ = 0;
+      const math::Matrix lhs =
+          ml::LatinHypercube(options_.lhs_init, sparksim::kNumParams, &rng_);
+      for (int i = 0; i < options_.lhs_init; ++i) {
+        const sparksim::SparkConf conf =
+            space.Repair(space.FromUnit(lhs.Row(static_cast<size_t>(i))));
+        EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/true);
       }
-      EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/true);
+    }
+    {
+      obs::ScopedSpan span(tracer(), "tune/qcsa-sampling", "tuner");
+      phase_label_ = "qcsa";
+      while (static_cast<int>(observations_.size()) < options_.n_qcsa) {
+        // QCSA/IICP need a *diverse* sample set ("random configurations",
+        // Section 3.2), so two of three phase-A runs draw uniformly and
+        // only the third follows the acquisition function.
+        pending_relative_ei_ = 0.0;
+        pending_candidate_pool_ = 0;
+        sparksim::SparkConf conf = space.RandomValid(&rng_);
+        if (observations_.size() % 3 == 2 && dagp_.Refit(&rng_).ok()) {
+          const Proposal prop = ProposeNext(session, datasize_gb);
+          conf = space.Repair(space.FromUnit(prop.unit));
+        }
+        EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/true);
+      }
     }
 
     // Phase A': QCSA + IICP on the collected samples.
-    RunQcsaAndIicp(session);
+    {
+      obs::ScopedSpan span(tracer(), "tune/analyze", "tuner");
+      RunQcsaAndIicp(session);
+    }
     cold_started_ = true;
 
     // Phase B: BO on the RQA in the (possibly) reduced encoding.
+    obs::ScopedSpan span(tracer(), "tune/reduced", "tuner");
+    phase_label_ = "reduced";
     int iterations = 0;
     while (iterations < options_.max_iterations) {
       exploit_only_ = iterations >= (options_.max_iterations * 3) / 5;
@@ -328,6 +412,8 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
     }
   } else {
     // Warm start at a new data size: the DAGP transfers across ds.
+    obs::ScopedSpan span(tracer(), "tune/warm", "tuner");
+    phase_label_ = "warm";
     int iterations = 0;
     while (iterations < options_.warm_iterations) {
       if (!dagp_.Refit(&rng_).ok()) break;
@@ -354,6 +440,10 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
   // the DAGP posterior mean (standard BO practice — under noisy runs the
   // raw minimum is a winner's-curse artifact), then re-run the top few
   // once more (charged) and pick the best two-run average.
+  obs::ScopedSpan recommend_span(tracer(), "tune/recommend", "tuner");
+  phase_label_ = "recommend";
+  pending_relative_ei_ = 0.0;
+  pending_candidate_pool_ = 0;
   const bool have_model = dagp_.fitted() || dagp_.Refit(&rng_).ok();
   std::vector<std::pair<double, size_t>> ranked;
   for (size_t i = 0; i < observations_.size(); ++i) {
@@ -370,6 +460,7 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
   for (size_t r = 0; r < ranked.size() && r < 3; ++r) {
     const auto& obs = observations_[ranked[r].second];
     const sparksim::SparkConf conf = space.Repair(space.FromUnit(obs.unit));
+    const double meter_before = session->optimization_seconds();
     const EvalRecord& rec =
         session->EvaluateSubset(conf, datasize_gb, rqa_);
     const double avg = 0.5 * (rec.app_seconds + obs.objective_seconds);
@@ -378,6 +469,9 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
       best_conf_ = conf;
       best_objective_ = avg;
     }
+    EmitIteration(datasize_gb,
+                  session->optimization_seconds() - meter_before,
+                  rec.app_seconds, /*full_app=*/false);
   }
 
   TuningResult result;
@@ -388,6 +482,22 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
       session->optimization_seconds() - meter_start;
   result.evaluations = session->evaluations() - evals_start;
   result.trajectory = trajectory_;
+
+  tune_span.Arg("evaluations", static_cast<double>(result.evaluations));
+  tune_span.Arg("optimization_seconds", result.optimization_seconds);
+  tune_span.Arg("best_seconds", result.best_observed_seconds);
+  if (observer() != nullptr) {
+    obs::PhaseEvent ev;
+    ev.tuner = name();
+    ev.phase = "summary";
+    ev.fields = {
+        {"evaluations", static_cast<double>(result.evaluations)},
+        {"optimization_seconds", result.optimization_seconds},
+        {"best_seconds", result.best_observed_seconds},
+        {"datasize_gb", datasize_gb},
+    };
+    observer()->OnPhase(ev);
+  }
   return result;
 }
 

@@ -61,6 +61,7 @@ class LocatTuner : public Tuner {
 
   std::string name() const override;
   TuningResult Tune(TuningSession* session, double datasize_gb) override;
+  void SetObservability(const obs::ObsContext& obs) override;
 
   /// Feeds an already-executed production run into the DAGP (the online
   /// path: production runs are free observations). The full-application
@@ -116,6 +117,11 @@ class LocatTuner : public Tuner {
 
   void RunQcsaAndIicp(TuningSession* session);
 
+  /// Sends one BoIterationEvent for a just-charged evaluation; no-op
+  /// without an observer (the event is not even built).
+  void EmitIteration(double datasize_gb, double eval_seconds,
+                     double objective, bool full_app);
+
   Options options_;
   Rng rng_;
   bool cold_started_ = false;
@@ -129,6 +135,14 @@ class LocatTuner : public Tuner {
   bool exploit_only_ = false;
   double rqa_share_ = 1.0;  // mean RQA/full-app time ratio (cold start)
   std::vector<double> trajectory_;
+
+  // Telemetry context for the next EmitIteration. Plain stores, updated
+  // regardless of whether an observer is wired (they never feed back into
+  // the search), so the disabled path stays branch-free.
+  const char* phase_label_ = "lhs";
+  double pending_relative_ei_ = 0.0;
+  int pending_candidate_pool_ = 0;
+  int iter_in_pass_ = 0;
 };
 
 }  // namespace locat::core

@@ -1,5 +1,6 @@
 #include "core/online_service.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace locat::core {
@@ -8,22 +9,59 @@ OnlineTuningService::OnlineTuningService(TuningSession* session,
                                          Options options)
     : session_(session), options_(options), tuner_(options.tuner) {}
 
-sparksim::SparkConf OnlineTuningService::RecommendedConf(double datasize_gb) {
-  // Closest tuned size, if any.
+void OnlineTuningService::SetObservability(const obs::ObsContext& obs) {
+  obs_ = obs;
+  tuner_.SetObservability(obs);
+  if (obs_.metrics != nullptr) {
+    recommendations_counter_ = obs_.metrics->GetCounter(
+        "locat_service_recommendations_total",
+        "RecommendedConf calls answered");
+    reuse_counter_ = obs_.metrics->GetCounter(
+        "locat_service_reuse_total",
+        "Recommendations served from an already-tuned data size");
+    tuning_passes_counter_ = obs_.metrics->GetCounter(
+        "locat_service_tuning_passes_total",
+        "Cold or warm tuning passes triggered by recommendations");
+  } else {
+    recommendations_counter_ = nullptr;
+    reuse_counter_ = nullptr;
+    tuning_passes_counter_ = nullptr;
+  }
+}
+
+StatusOr<sparksim::SparkConf> OnlineTuningService::RecommendedConf(
+    double datasize_gb) {
+  if (!(datasize_gb > 0.0)) {
+    return Status::InvalidArgument(
+        "RecommendedConf needs a strictly positive datasize_gb");
+  }
+  obs::ScopedSpan span(obs_.tracer, "service/recommend", "service");
+  span.Arg("datasize_gb", datasize_gb);
+  if (recommendations_counter_ != nullptr) {
+    recommendations_counter_->Increment();
+  }
+  // Closest tuned size, if any. The gap is symmetric in the two sizes so
+  // the reuse decision does not depend on which of the pair was tuned
+  // first (|ds - x| / max(ds, x) instead of dividing by the tuned size).
   double best_gap = 1e300;
   const sparksim::SparkConf* nearest = nullptr;
   for (const auto& [ds, conf] : tuned_) {
-    const double gap = std::fabs(ds - datasize_gb) / ds;
+    const double gap =
+        std::fabs(ds - datasize_gb) / std::max(ds, datasize_gb);
     if (gap < best_gap) {
       best_gap = gap;
       nearest = &conf;
     }
   }
   if (nearest != nullptr && best_gap <= options_.retune_threshold) {
+    span.Arg("reused", 1.0);
+    if (reuse_counter_ != nullptr) reuse_counter_->Increment();
     return *nearest;
   }
+  span.Arg("reused", 0.0);
   const TuningResult result = tuner_.Tune(session_, datasize_gb);
   ++tuning_passes_;
+  if (tuning_passes_counter_ != nullptr) tuning_passes_counter_->Increment();
   tuned_[datasize_gb] = result.best_conf;
   return result.best_conf;
 }

@@ -16,7 +16,7 @@ namespace locat::core {
 ///
 ///   OnlineTuningService service(&session, options);
 ///   for each incoming run:
-///     auto conf = service.RecommendedConf(todays_datasize_gb);
+///     auto conf = service.RecommendedConf(todays_datasize_gb).value();
 ///     ... submit with conf; optionally report the outcome back ...
 ///     service.ReportRun(todays_datasize_gb, conf, observed_seconds);
 ///
@@ -31,7 +31,9 @@ class OnlineTuningService {
   struct Options {
     LocatTuner::Options tuner;
     /// Re-tune when the requested size differs from every tuned size by
-    /// more than this relative factor (|ds - tuned| / tuned).
+    /// more than this relative factor. The gap is symmetric:
+    /// |ds - tuned| / max(ds, tuned), so 100 -> 130 and 130 -> 100 make
+    /// the same reuse decision.
     double retune_threshold = 0.25;
 
     Options() {}
@@ -41,8 +43,9 @@ class OnlineTuningService {
   OnlineTuningService(TuningSession* session, Options options = Options());
 
   /// Returns a configuration for this data size, tuning (cold or warm)
-  /// when the service has nothing close enough yet.
-  sparksim::SparkConf RecommendedConf(double datasize_gb);
+  /// when the service has nothing close enough yet. InvalidArgument when
+  /// `datasize_gb` is not strictly positive.
+  StatusOr<sparksim::SparkConf> RecommendedConf(double datasize_gb);
 
   /// Feeds an observed production run back into the model (not charged to
   /// the optimization meter — the run happened anyway). Improves later
@@ -64,12 +67,20 @@ class OnlineTuningService {
 
   const LocatTuner& tuner() const { return tuner_; }
 
+  /// Wires observability into the service and its tuner (the session is
+  /// wired separately by whoever owns it). Purely observational.
+  void SetObservability(const obs::ObsContext& obs);
+
  private:
   TuningSession* session_;
   Options options_;
   LocatTuner tuner_;
   std::map<double, sparksim::SparkConf> tuned_;  // ds -> best conf
   int tuning_passes_ = 0;
+  obs::ObsContext obs_;
+  obs::Counter* recommendations_counter_ = nullptr;
+  obs::Counter* reuse_counter_ = nullptr;
+  obs::Counter* tuning_passes_counter_ = nullptr;
 };
 
 }  // namespace locat::core

@@ -7,7 +7,9 @@
 namespace locat::core {
 
 StatusOr<QcsaResult> AnalyzeQuerySensitivity(
-    const std::vector<std::vector<double>>& times_per_query) {
+    const std::vector<std::vector<double>>& times_per_query,
+    obs::Tracer* tracer) {
+  obs::ScopedSpan span(tracer, "qcsa/analyze", "analysis");
   if (times_per_query.empty()) {
     return Status::InvalidArgument("QCSA needs at least one query");
   }
@@ -49,6 +51,11 @@ StatusOr<QcsaResult> AnalyzeQuerySensitivity(
     }
     result.ciq_indices.clear();
   }
+  span.Arg("queries", static_cast<double>(times_per_query.size()));
+  span.Arg("samples", static_cast<double>(n_samples));
+  span.Arg("csq", static_cast<double>(result.csq_indices.size()));
+  span.Arg("ciq", static_cast<double>(result.ciq_indices.size()));
+  span.Arg("threshold", result.threshold);
   return result;
 }
 

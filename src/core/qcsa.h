@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 
 namespace locat::core {
 
@@ -28,8 +29,12 @@ struct QcsaResult {
 /// the j-th sampled run (the paper's matrix S, equation (2)).
 ///
 /// Every query must have the same number (>= 2) of samples.
+///
+/// `tracer` (optional) records the analysis as a span with the CSQ/CIQ
+/// split in its args.
 StatusOr<QcsaResult> AnalyzeQuerySensitivity(
-    const std::vector<std::vector<double>>& times_per_query);
+    const std::vector<std::vector<double>>& times_per_query,
+    obs::Tracer* tracer = nullptr);
 
 }  // namespace locat::core
 

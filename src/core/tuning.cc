@@ -20,13 +20,45 @@ void TuningSession::RestrictToQueries(std::vector<int> query_indices) {
   restriction_ = std::move(query_indices);
 }
 
+void TuningSession::SetObservability(const obs::ObsContext& obs) {
+  obs_ = obs;
+  if (obs_.metrics != nullptr) {
+    evals_counter_ = obs_.metrics->GetCounter(
+        "locat_evaluations_total",
+        "Configuration evaluations charged to the optimization-time meter");
+    opt_seconds_counter_ = obs_.metrics->GetCounter(
+        "locat_optimization_seconds_total",
+        "Simulated seconds charged to the optimization-time meter");
+    eval_seconds_hist_ = obs_.metrics->GetHistogram(
+        "locat_evaluation_seconds",
+        "Simulated seconds per charged configuration evaluation",
+        {10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0});
+  } else {
+    evals_counter_ = nullptr;
+    opt_seconds_counter_ = nullptr;
+    eval_seconds_hist_ = nullptr;
+  }
+}
+
 void TuningSession::ClearQueryRestriction() { restriction_.clear(); }
 
 const EvalRecord& TuningSession::EvaluateSubset(
     const sparksim::SparkConf& conf, double datasize_gb,
     const std::vector<int>& query_indices) {
+  obs::ScopedSpan span(obs_.tracer, "session/evaluate", "session");
   sparksim::AppRunResult run =
       simulator_->RunAppSubset(app_, query_indices, conf, datasize_gb);
+  span.Arg("queries", static_cast<double>(query_indices.size()));
+  span.Arg("datasize_gb", datasize_gb);
+  span.Arg("simulated_seconds", run.total_seconds);
+  span.Arg("oom", run.any_oom ? 1.0 : 0.0);
+  if (evals_counter_ != nullptr) evals_counter_->Increment();
+  if (opt_seconds_counter_ != nullptr) {
+    opt_seconds_counter_->Increment(run.total_seconds);
+  }
+  if (eval_seconds_hist_ != nullptr) {
+    eval_seconds_hist_->Observe(run.total_seconds);
+  }
 
   EvalRecord rec;
   rec.conf = conf;
@@ -56,6 +88,24 @@ sparksim::AppRunResult TuningSession::MeasureFinal(
 void TuningSession::Reset() {
   history_.clear();
   optimization_seconds_ = 0.0;
+}
+
+void EmitSimpleIteration(obs::TunerObserver* observer,
+                         const std::string& tuner, const char* phase,
+                         int iteration, double datasize_gb,
+                         double eval_seconds, double objective,
+                         double incumbent, bool full_app) {
+  if (observer == nullptr) return;
+  obs::BoIterationEvent ev;
+  ev.tuner = tuner;
+  ev.phase = phase;
+  ev.iteration = iteration;
+  ev.datasize_gb = datasize_gb;
+  ev.eval_seconds = eval_seconds;
+  ev.objective_seconds = objective;
+  ev.incumbent_seconds = incumbent;
+  ev.full_app = full_app;
+  observer->OnIteration(ev);
 }
 
 }  // namespace locat::core

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "sparksim/config.h"
 #include "sparksim/query_profile.h"
 #include "sparksim/simulator.h"
@@ -67,6 +68,13 @@ class TuningSession {
   void ClearQueryRestriction();
   bool restricted() const { return !restriction_.empty(); }
 
+  /// Wires tracing/metrics sinks (any member may be null). Charged
+  /// evaluations become "session/evaluate" spans and feed the
+  /// locat_evaluations_total / locat_optimization_seconds_total counters.
+  /// Purely observational — never alters evaluation results.
+  void SetObservability(const obs::ObsContext& obs);
+  const obs::ObsContext& obs() const { return obs_; }
+
  private:
   sparksim::ClusterSimulator* simulator_;
   sparksim::SparkSqlApp app_;
@@ -74,7 +82,21 @@ class TuningSession {
   std::vector<EvalRecord> history_;
   std::vector<int> restriction_;
   double optimization_seconds_ = 0.0;
+  obs::ObsContext obs_;
+  obs::Counter* evals_counter_ = nullptr;
+  obs::Counter* opt_seconds_counter_ = nullptr;
+  obs::Histogram* eval_seconds_hist_ = nullptr;
 };
+
+/// Builds and sends a minimal BoIterationEvent — the shared emit path for
+/// tuners without model-specific telemetry (the baselines). No-op when
+/// `observer` is null: the event is not even built, so disabled telemetry
+/// allocates nothing.
+void EmitSimpleIteration(obs::TunerObserver* observer,
+                         const std::string& tuner, const char* phase,
+                         int iteration, double datasize_gb,
+                         double eval_seconds, double objective,
+                         double incumbent, bool full_app);
 
 /// Outcome of one tuning run.
 struct TuningResult {
@@ -110,6 +132,19 @@ class Tuner {
   /// baseline tuners honor it so IICP can be retrofitted onto them
   /// (Section 5.10).
   virtual void SetFreeParams(const std::vector<int>& /*param_indices*/) {}
+
+  /// Wires observability sinks into the tuner. Overrides must call the
+  /// base and forward the context to owned sub-components. The null
+  /// context (the default) must leave tuner output byte-identical: no
+  /// extra RNG draws, no behavioral branches.
+  virtual void SetObservability(const obs::ObsContext& obs) { obs_ = obs; }
+
+ protected:
+  obs::TunerObserver* observer() const { return obs_.observer; }
+  obs::Tracer* tracer() const { return obs_.tracer; }
+  obs::MetricsRegistry* metrics() const { return obs_.metrics; }
+
+  obs::ObsContext obs_;
 };
 
 }  // namespace locat::core

@@ -1,11 +1,11 @@
 #include "ml/ei_mcmc.h"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "math/distributions.h"
 #include "math/stats.h"
-#include "ml/slice_sampler.h"
 
 namespace locat::ml {
 
@@ -27,6 +27,8 @@ Status EiMcmc::Fit(const math::Matrix& x, const math::Vector& y, Rng* rng) {
   if (x.rows() < 2 || x.rows() != y.size()) {
     return Status::InvalidArgument("EiMcmc::Fit needs >= 2 matching samples");
   }
+  const auto wall_start = std::chrono::steady_clock::now();
+  last_fit_stats_ = FitStats();
   best_observed_ = math::Min(y.data());
 
   const size_t dim = x.cols();
@@ -44,7 +46,7 @@ Status EiMcmc::Fit(const math::Matrix& x, const math::Vector& y, Rng* rng) {
   const math::Vector initial = GpHyperparams::Default(dim).Flatten();
   const std::vector<math::Vector> samples = sampler.Sample(
       initial, options_.num_hyper_samples, options_.burn_in, options_.thin,
-      rng);
+      rng, &last_fit_stats_.sampler);
 
   ensemble_.clear();
   ensemble_.reserve(samples.size());
@@ -59,7 +61,13 @@ Status EiMcmc::Fit(const math::Matrix& x, const math::Vector& y, Rng* rng) {
     GaussianProcess gp;
     LOCAT_RETURN_IF_ERROR(gp.Fit(x, y, GpHyperparams::Default(dim)));
     ensemble_.push_back(std::move(gp));
+    last_fit_stats_.used_fallback = true;
   }
+  last_fit_stats_.ensemble_size = static_cast<int>(ensemble_.size());
+  last_fit_stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return Status::OK();
 }
 

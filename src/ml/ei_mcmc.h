@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "ml/gp.h"
+#include "ml/slice_sampler.h"
 
 namespace locat::ml {
 
@@ -46,6 +47,20 @@ class EiMcmc {
     Options() {}
   };
 
+  /// Telemetry of the most recent Fit(): how much MCMC work the refit
+  /// cost and how the slice sampler behaved. Collected unconditionally
+  /// (a handful of integer increments and two clock reads against seconds
+  /// of linear algebra) so observability wiring cannot perturb the fit.
+  struct FitStats {
+    int ensemble_size = 0;
+    /// Host wall-clock seconds the whole Fit() call took.
+    double wall_seconds = 0.0;
+    /// True when every posterior sample failed to produce a usable GP and
+    /// the default-hyperparameter fallback was used.
+    bool used_fallback = false;
+    SliceSampler::Stats sampler;
+  };
+
   explicit EiMcmc(Options options = Options()) : options_(options) {}
 
   /// Fits the hyperparameter-marginalized model to (x, y). `x` is n x d
@@ -70,12 +85,16 @@ class EiMcmc {
   bool fitted() const { return !ensemble_.empty(); }
   const std::vector<GaussianProcess>& ensemble() const { return ensemble_; }
 
+  /// Stats of the most recent Fit() (zeroed before any fit).
+  const FitStats& last_fit_stats() const { return last_fit_stats_; }
+
  private:
   double LogPrior(const GpHyperparams& hp) const;
 
   Options options_;
   std::vector<GaussianProcess> ensemble_;
   double best_observed_ = 0.0;
+  FitStats last_fit_stats_;
 };
 
 }  // namespace locat::ml

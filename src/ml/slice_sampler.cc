@@ -6,7 +6,8 @@
 namespace locat::ml {
 
 double SliceSampler::SampleCoordinate(math::Vector* state, size_t coord,
-                                      double log_f0, Rng* rng) const {
+                                      double log_f0, Rng* rng,
+                                      Stats* stats) const {
   const double x0 = (*state)[coord];
   // Slice level: log(u) + log f(x0), u ~ U(0,1).
   const double log_y = log_f0 + std::log(1.0 - rng->NextDouble());
@@ -16,13 +17,16 @@ double SliceSampler::SampleCoordinate(math::Vector* state, size_t coord,
   double hi = lo + options_.width;
   auto eval_at = [&](double v) {
     (*state)[coord] = v;
+    if (stats != nullptr) ++stats->density_evals;
     return log_density_(*state);
   };
   for (int i = 0; i < options_.max_step_out && eval_at(lo) > log_y; ++i) {
     lo -= options_.width;
+    if (stats != nullptr) ++stats->step_outs;
   }
   for (int i = 0; i < options_.max_step_out && eval_at(hi) > log_y; ++i) {
     hi += options_.width;
+    if (stats != nullptr) ++stats->step_outs;
   }
 
   // Shrink until a point inside the slice is found.
@@ -30,8 +34,10 @@ double SliceSampler::SampleCoordinate(math::Vector* state, size_t coord,
     const double x1 = lo + (hi - lo) * rng->NextDouble();
     const double log_f1 = eval_at(x1);
     if (log_f1 > log_y) {
+      if (stats != nullptr) ++stats->accepted;
       return x1;  // state already holds x1.
     }
+    if (stats != nullptr) ++stats->shrinks;
     if (x1 < x0) {
       lo = x1;
     } else {
@@ -39,33 +45,38 @@ double SliceSampler::SampleCoordinate(math::Vector* state, size_t coord,
     }
   }
   // Pathological density; keep the original value.
+  if (stats != nullptr) ++stats->stuck;
   (*state)[coord] = x0;
   return x0;
 }
 
-math::Vector SliceSampler::Sweep(const math::Vector& state, Rng* rng) const {
+math::Vector SliceSampler::Sweep(const math::Vector& state, Rng* rng,
+                                 Stats* stats) const {
   math::Vector current = state;
   double log_f = log_density_(current);
+  if (stats != nullptr) ++stats->density_evals;
   if (!std::isfinite(log_f)) {
     // Caller gave an infeasible start; return unchanged.
     return current;
   }
   for (size_t coord = 0; coord < current.size(); ++coord) {
-    SampleCoordinate(&current, coord, log_f, rng);
+    SampleCoordinate(&current, coord, log_f, rng, stats);
     log_f = log_density_(current);
+    if (stats != nullptr) ++stats->density_evals;
   }
   return current;
 }
 
 std::vector<math::Vector> SliceSampler::Sample(const math::Vector& initial,
                                                int n_samples, int burn_in,
-                                               int thin, Rng* rng) const {
+                                               int thin, Rng* rng,
+                                               Stats* stats) const {
   std::vector<math::Vector> samples;
   samples.reserve(static_cast<size_t>(n_samples));
   math::Vector state = initial;
-  for (int i = 0; i < burn_in; ++i) state = Sweep(state, rng);
+  for (int i = 0; i < burn_in; ++i) state = Sweep(state, rng, stats);
   for (int s = 0; s < n_samples; ++s) {
-    for (int t = 0; t < std::max(1, thin); ++t) state = Sweep(state, rng);
+    for (int t = 0; t < std::max(1, thin); ++t) state = Sweep(state, rng, stats);
     samples.push_back(state);
   }
   return samples;

@@ -29,22 +29,47 @@ class SliceSampler {
     int max_shrink = 64;
   };
 
+  /// Work counters accumulated across a Sample() call — the telemetry the
+  /// BO loop reports as "MCMC hyperparameter acceptance stats". Purely
+  /// observational: collecting them draws no random numbers and changes
+  /// no sampling decision.
+  struct Stats {
+    int64_t density_evals = 0;  // log-density evaluations
+    int64_t step_outs = 0;      // bracket expansions
+    int64_t accepted = 0;       // coordinate proposals accepted
+    int64_t shrinks = 0;        // coordinate proposals rejected (shrunk)
+    int64_t stuck = 0;          // coordinates kept after max_shrink
+
+    /// Fraction of shrink-loop proposals that landed inside the slice.
+    double acceptance_rate() const {
+      const int64_t proposals = accepted + shrinks + stuck;
+      return proposals > 0
+                 ? static_cast<double>(accepted) /
+                       static_cast<double>(proposals)
+                 : 0.0;
+    }
+  };
+
   SliceSampler(LogDensity log_density, Options options)
       : log_density_(std::move(log_density)), options_(options) {}
 
   /// Performs one full sweep (each coordinate updated once, in order) from
   /// `state` and returns the new state. `state` must have finite density.
-  math::Vector Sweep(const math::Vector& state, Rng* rng) const;
+  /// `stats` (optional) accumulates work counters.
+  math::Vector Sweep(const math::Vector& state, Rng* rng,
+                     Stats* stats = nullptr) const;
 
   /// Runs `burn_in` sweeps then collects `n_samples` states, taking one
-  /// sample every `thin` sweeps.
+  /// sample every `thin` sweeps. `stats` (optional) accumulates work
+  /// counters over the whole call.
   std::vector<math::Vector> Sample(const math::Vector& initial, int n_samples,
-                                   int burn_in, int thin, Rng* rng) const;
+                                   int burn_in, int thin, Rng* rng,
+                                   Stats* stats = nullptr) const;
 
  private:
   /// Slice-samples a single coordinate, returning its new value.
   double SampleCoordinate(math::Vector* state, size_t coord, double log_f0,
-                          Rng* rng) const;
+                          Rng* rng, Stats* stats) const;
 
   LogDensity log_density_;
   Options options_;

@@ -1,0 +1,158 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace locat::obs {
+namespace {
+
+std::string FormatNumber(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, std::string help,
+                     std::vector<double> upper_bounds)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  assert(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::upper_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>(name, help)).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>(name, help)).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(
+                                name, help, std::move(upper_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+size_t MetricsRegistry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    if (!c->help().empty()) os << "# HELP " << name << " " << c->help() << "\n";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << FormatNumber(c->value()) << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!g->help().empty()) os << "# HELP " << name << " " << g->help() << "\n";
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << FormatNumber(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!h->help().empty()) os << "# HELP " << name << " " << h->help() << "\n";
+    os << "# TYPE " << name << " histogram\n";
+    const auto counts = h->bucket_counts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h->upper_bounds().size(); ++i) {
+      cumulative += counts[i];
+      os << name << "_bucket{le=\"" << FormatNumber(h->upper_bounds()[i])
+         << "\"} " << cumulative << "\n";
+    }
+    cumulative += counts.back();
+    os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << name << "_sum " << FormatNumber(h->sum()) << "\n";
+    os << name << "_count " << h->count() << "\n";
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << FormatNumber(c->value());
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << FormatNumber(g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":{\"buckets\":[";
+    const auto counts = h->bucket_counts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) os << ",";
+      const std::string le = i < h->upper_bounds().size()
+                                 ? FormatNumber(h->upper_bounds()[i])
+                                 : std::string("\"+Inf\"");
+      os << "[" << le << "," << counts[i] << "]";
+    }
+    os << "],\"sum\":" << FormatNumber(h->sum())
+       << ",\"count\":" << h->count() << "}";
+  }
+  os << "}}\n";
+}
+
+}  // namespace locat::obs

@@ -1,0 +1,116 @@
+#ifndef LOCAT_OBS_METRICS_H_
+#define LOCAT_OBS_METRICS_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace locat::obs {
+
+/// Monotonically increasing value (events, totals). Thread-safe.
+class Counter {
+ public:
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  void Increment(double delta = 1.0) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time value that may go up or down. Thread-safe.
+class Gauge {
+ public:
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus classic histogram semantics:
+/// cumulative `le` buckets plus an implicit +Inf, with _sum and _count).
+/// Thread-safe.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly ascending; an +Inf bucket is always
+  /// appended implicitly.
+  Histogram(std::string name, std::string help,
+            std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket (non-cumulative) counts, last entry = +Inf bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const;
+  double sum() const;
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::vector<double> upper_bounds_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;  // size upper_bounds_ + 1
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Owner and exporter for all metrics of one tuning process.
+///
+/// Get*() registers on first use and returns a stable pointer; callers
+/// cache the pointer at wiring time so the hot path is a single atomic
+/// add. Exports as Prometheus text exposition format and as JSON.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// Returns the existing histogram when `name` was registered before
+  /// (the bounds of the first registration win).
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> upper_bounds);
+
+  /// Prometheus text exposition (one # HELP/# TYPE pair and one or more
+  /// sample lines per metric), name-sorted.
+  void WritePrometheus(std::ostream& os) const;
+
+  /// Flat JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void WriteJson(std::ostream& os) const;
+
+  size_t metric_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace locat::obs
+
+#endif  // LOCAT_OBS_METRICS_H_

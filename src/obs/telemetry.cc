@@ -1,0 +1,131 @@
+#include "obs/telemetry.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace locat::obs {
+namespace {
+
+std::string Fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+void JsonlObserver::OnIteration(const BoIterationEvent& e) {
+  std::ostream& os = *os_;
+  os << "{\"type\":\"iteration\""
+     << ",\"tuner\":\"" << JsonEscape(e.tuner) << "\""
+     << ",\"phase\":\"" << JsonEscape(e.phase) << "\""
+     << ",\"iter\":" << e.iteration
+     << ",\"datasize_gb\":" << Fmt(e.datasize_gb)
+     << ",\"eval_seconds\":" << Fmt(e.eval_seconds)
+     << ",\"objective_seconds\":" << Fmt(e.objective_seconds)
+     << ",\"incumbent_seconds\":" << Fmt(e.incumbent_seconds)
+     << ",\"relative_ei\":" << Fmt(e.relative_ei)
+     << ",\"candidate_pool\":" << e.candidate_pool
+     << ",\"full_app\":" << (e.full_app ? "true" : "false")
+     << ",\"dagp_fit_seconds\":" << Fmt(e.dagp_fit_seconds)
+     << ",\"mcmc_ensemble\":" << e.mcmc_ensemble
+     << ",\"mcmc_density_evals\":" << e.mcmc_density_evals
+     << ",\"mcmc_acceptance\":" << Fmt(e.mcmc_acceptance)
+     << ",\"rqa_share\":" << Fmt(e.rqa_share)
+     << ",\"rqa_queries\":" << e.rqa_queries << "}\n";
+}
+
+void JsonlObserver::OnPhase(const PhaseEvent& e) {
+  std::ostream& os = *os_;
+  os << "{\"type\":\"phase\""
+     << ",\"tuner\":\"" << JsonEscape(e.tuner) << "\""
+     << ",\"phase\":\"" << JsonEscape(e.phase) << "\"";
+  for (const auto& [key, value] : e.fields) {
+    os << ",\"" << JsonEscape(key) << "\":" << Fmt(value);
+  }
+  os << "}\n";
+}
+
+StatusOr<std::vector<TelemetryRecord>> ParseTelemetry(
+    const std::string& text) {
+  std::vector<TelemetryRecord> records;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fail = [&](const char* what) {
+      return Status::InvalidArgument("telemetry line " +
+                                     std::to_string(line_no) + ": " + what);
+    };
+    TelemetryRecord rec;
+    size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+    };
+    skip_ws();
+    if (i >= line.size() || line[i] != '{') return fail("expected '{'");
+    ++i;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (i < line.size() && line[i] == '}') break;
+      if (!first) {
+        if (i >= line.size() || line[i] != ',') return fail("expected ','");
+        ++i;
+        skip_ws();
+      }
+      first = false;
+      // Key.
+      if (i >= line.size() || line[i] != '"') return fail("expected key");
+      std::string key;
+      for (++i; i < line.size() && line[i] != '"'; ++i) {
+        if (line[i] == '\\' && i + 1 < line.size()) ++i;
+        key.push_back(line[i]);
+      }
+      if (i >= line.size()) return fail("unterminated key");
+      ++i;  // closing quote
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') return fail("expected ':'");
+      ++i;
+      skip_ws();
+      if (i >= line.size()) return fail("missing value");
+      // Value: string, bool or number.
+      if (line[i] == '"') {
+        std::string value;
+        for (++i; i < line.size() && line[i] != '"'; ++i) {
+          if (line[i] == '\\' && i + 1 < line.size()) ++i;
+          value.push_back(line[i]);
+        }
+        if (i >= line.size()) return fail("unterminated string value");
+        ++i;
+        rec.strings[key] = std::move(value);
+      } else if (line.compare(i, 4, "true") == 0) {
+        rec.numbers[key] = 1.0;
+        i += 4;
+      } else if (line.compare(i, 5, "false") == 0) {
+        rec.numbers[key] = 0.0;
+        i += 5;
+      } else {
+        const char* start = line.c_str() + i;
+        char* end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start) return fail("malformed value");
+        rec.numbers[key] = v;
+        i += static_cast<size_t>(end - start);
+      }
+    }
+    rec.type = rec.Str("type");
+    if (rec.type.empty()) return fail("missing \"type\" field");
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace locat::obs

@@ -1,0 +1,173 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace locat::obs {
+namespace {
+
+// Per-thread lane id and nesting depth. Shared across Tracer instances;
+// in practice one tracer is live per process, and sharing keeps ScopedSpan
+// free of any per-tracer thread registry.
+std::atomic<int> g_next_tid{0};
+
+int ThreadLane() {
+  thread_local const int lane = g_next_tid.fetch_add(1);
+  return lane;
+}
+
+thread_local int tls_depth = 0;
+
+}  // namespace
+
+uint64_t MonotonicClock::NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+MonotonicClock* MonotonicClock::Default() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+Tracer::Tracer(Clock* clock)
+    : clock_(clock != nullptr ? clock : MonotonicClock::Default()) {}
+
+uint64_t Tracer::NowNanos() { return clock_->NowNanos(); }
+
+void Tracer::EndSpan(const char* name, const char* category,
+                     uint64_t start_ns, int depth, std::string args) {
+  const uint64_t end_ns = clock_->NowNanos();
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  ev.pid = kWallPid;
+  ev.tid = ThreadLane();
+  ev.depth = depth;
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::RecordComplete(std::string name, const char* category,
+                            uint64_t start_ns, uint64_t dur_ns, int pid,
+                            int tid, std::string args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = category;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  os << "{\"traceEvents\":[";
+  // Process-name metadata so Perfetto labels the two timelines.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kWallPid
+     << ",\"args\":{\"name\":\"locat (wall clock)\"}}";
+  os << ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kSimulatedPid
+     << ",\"args\":{\"name\":\"sparksim (simulated time)\"}}";
+  char buf[64];
+  for (const TraceEvent& ev : events) {
+    os << ",\n{\"name\":\"" << JsonEscape(ev.name) << "\",\"cat\":\""
+       << JsonEscape(ev.category) << "\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(ev.start_ns) / 1000.0,
+                  static_cast<double>(ev.dur_ns) / 1000.0);
+    os << buf << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+    if (!ev.args.empty()) os << ",\"args\":{" << ev.args << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name, const char* category)
+    : tracer_(tracer), name_(name), category_(category) {
+  if (tracer_ == nullptr) return;
+  depth_ = tls_depth++;
+  start_ns_ = tracer_->NowNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  --tls_depth;
+  tracer_->EndSpan(name_, category_, start_ns_, depth_, std::move(args_));
+}
+
+void ScopedSpan::Arg(const char* key, double value) {
+  if (tracer_ == nullptr) return;
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.9g", key, value);
+  if (!args_.empty()) args_ += ',';
+  args_ += buf;
+}
+
+void ScopedSpan::Arg(const char* key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":\"";
+  args_ += JsonEscape(value);
+  args_ += '"';
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace locat::obs

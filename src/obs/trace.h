@@ -1,0 +1,111 @@
+#ifndef LOCAT_OBS_TRACE_H_
+#define LOCAT_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace locat::obs {
+
+/// Timeline lanes in the exported trace. Wall-clock spans (the tuning
+/// pipeline's own cost) live in pid 1; the simulator additionally emits a
+/// *simulated-time* lane in pid 2, where span durations are simulated
+/// Spark seconds rather than host nanoseconds.
+inline constexpr int kWallPid = 1;
+inline constexpr int kSimulatedPid = 2;
+
+/// One completed span (Chrome trace_event "X" phase).
+struct TraceEvent {
+  std::string name;
+  const char* category = "locat";
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  int pid = kWallPid;
+  int tid = 0;
+  /// Nesting depth at emit time (wall lane only); informational, used by
+  /// tests to assert spans nest.
+  int depth = 0;
+  /// Extra JSON object members, e.g. "\"waves\":3,\"tasks\":781" (no
+  /// surrounding braces). Empty for most spans.
+  std::string args;
+};
+
+/// Span recorder with a Chrome trace_event JSON exporter.
+///
+/// Components hold a `Tracer*` that is null when tracing is off; the RAII
+/// `ScopedSpan` below is a no-op (no clock reads, no allocations) on a
+/// null tracer, so disabled tracing costs two pointer stores per scope.
+/// Thread-safe: spans may be recorded from several threads; each thread
+/// gets its own tid lane in the export.
+class Tracer {
+ public:
+  /// `clock` must outlive the tracer; defaults to the process steady
+  /// clock.
+  explicit Tracer(Clock* clock = nullptr);
+
+  /// Current timestamp from the injected clock.
+  uint64_t NowNanos();
+
+  /// Records a completed wall-lane span; used by ScopedSpan.
+  void EndSpan(const char* name, const char* category, uint64_t start_ns,
+               int depth, std::string args);
+
+  /// Records a span with caller-provided timestamps and lane — the
+  /// simulator uses this to lay out simulated time (pid = kSimulatedPid).
+  void RecordComplete(std::string name, const char* category,
+                      uint64_t start_ns, uint64_t dur_ns, int pid, int tid,
+                      std::string args = {});
+
+  size_t event_count() const;
+  std::vector<TraceEvent> snapshot() const;
+  void Clear();
+
+  /// Writes the whole buffer in Chrome `trace_event` JSON (the
+  /// `{"traceEvents":[...]}` object form), loadable in chrome://tracing
+  /// and Perfetto. Timestamps are exported in microseconds.
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: opens on construction, records on destruction. Null tracer
+/// => complete no-op. `name` and `category` must be string literals (or
+/// otherwise outlive the span).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Tracer* tracer, const char* name,
+                      const char* category = "locat");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric/string argument to the span (no-op when the
+  /// tracer is null).
+  void Arg(const char* key, double value);
+  void Arg(const char* key, const std::string& value);
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* category_;
+  uint64_t start_ns_ = 0;
+  int depth_ = 0;
+  std::string args_;
+};
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the trace, metrics and
+/// telemetry exporters.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace locat::obs
+
+#endif  // LOCAT_OBS_TRACE_H_

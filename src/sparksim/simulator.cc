@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 
 namespace locat::sparksim {
@@ -24,6 +25,19 @@ double WaveTime(double core_seconds, double tasks, double slots, double speed,
 int CodegenFields(const std::string& name) {
   const size_t h = std::hash<std::string>{}(name);
   return 50 + static_cast<int>(h % 150);
+}
+
+// Simulated seconds -> nanoseconds of simulated-lane trace time. The lane
+// uses 1 simulated second = 1 ms of trace time so hour-long apps stay
+// readable next to the wall-clock lane.
+uint64_t SimLaneNs(double seconds) {
+  return static_cast<uint64_t>(std::max(0.0, seconds) * 1e6);
+}
+
+std::string NumArg(const char* key, double value) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.9g", key, value);
+  return buf;
 }
 
 }  // namespace
@@ -361,6 +375,8 @@ QueryMetrics ClusterSimulator::SimulateQuery(const QueryProfile& query,
   m.scan_seconds *= noise;
   m.shuffle_seconds *= noise;
   m.gc_seconds *= noise;
+  m.scan_tasks = scan_tasks;
+  m.task_waves = total_waves;
   return m;
 }
 
@@ -385,6 +401,7 @@ AppRunResult ClusterSimulator::RunApp(const SparkSqlApp& app,
 AppRunResult ClusterSimulator::RunAppSubset(
     const SparkSqlApp& app, const std::vector<int>& query_indices,
     const SparkConf& conf, double datasize_gb) {
+  obs::ScopedSpan app_span(tracer_, "sim/app", "sim");
   AppRunResult result;
   result.per_query.reserve(query_indices.size());
 
@@ -395,6 +412,14 @@ AppRunResult ClusterSimulator::RunAppSubset(
       std::min(1.0, conf.Get(kDriverCores) / 4.0);
   double submit = params_.app_submit_overhead_s * (1.2 - 0.2 * driver_relief);
 
+  const uint64_t lane_start = sim_lane_cursor_ns_;
+  uint64_t cursor = lane_start;
+  if (tracer_ != nullptr) {
+    tracer_->RecordComplete("submit", "sim", cursor, SimLaneNs(submit),
+                            obs::kSimulatedPid, 0);
+  }
+  cursor += SimLaneNs(submit);
+
   result.total_seconds = submit;
   for (int idx : query_indices) {
     if (idx < 0 || idx >= app.num_queries()) continue;
@@ -404,8 +429,55 @@ AppRunResult ClusterSimulator::RunAppSubset(
     result.gc_seconds += qm.gc_seconds;
     result.shuffle_gb += qm.shuffle_gb;
     result.any_oom = result.any_oom || qm.oom;
+    if (tracer_ != nullptr) {
+      // Query span with stage children laid out back-to-back inside it;
+      // containment gives Perfetto the nesting.
+      std::string args = NumArg("scan_tasks", qm.scan_tasks);
+      args += ',';
+      args += NumArg("task_waves", qm.task_waves);
+      args += ',';
+      args += NumArg("shuffle_gb", qm.shuffle_gb);
+      args += ',';
+      args += NumArg("spill_gb", qm.spill_gb);
+      args += ',';
+      args += NumArg("oom", qm.oom ? 1.0 : 0.0);
+      tracer_->RecordComplete(qm.name, "sim", cursor,
+                              SimLaneNs(qm.exec_seconds), obs::kSimulatedPid, 0,
+                              std::move(args));
+      uint64_t stage_cursor = cursor;
+      tracer_->RecordComplete("scan", "sim", stage_cursor,
+                              SimLaneNs(qm.scan_seconds), obs::kSimulatedPid, 0,
+                              NumArg("waves", qm.task_waves));
+      stage_cursor += SimLaneNs(qm.scan_seconds);
+      if (qm.shuffle_seconds > 0.0) {
+        tracer_->RecordComplete("shuffle", "sim", stage_cursor,
+                                SimLaneNs(qm.shuffle_seconds), obs::kSimulatedPid,
+                                0, NumArg("shuffle_gb", qm.shuffle_gb));
+        stage_cursor += SimLaneNs(qm.shuffle_seconds);
+      }
+      if (qm.gc_seconds > 0.0) {
+        tracer_->RecordComplete("gc", "sim", stage_cursor,
+                                SimLaneNs(qm.gc_seconds), obs::kSimulatedPid, 0);
+      }
+    }
+    cursor += SimLaneNs(qm.exec_seconds);
     result.per_query.push_back(std::move(qm));
   }
+
+  if (tracer_ != nullptr) {
+    std::string args = NumArg("queries", static_cast<double>(
+                                             result.per_query.size()));
+    args += ',';
+    args += NumArg("datasize_gb", datasize_gb);
+    args += ',';
+    args += NumArg("simulated_seconds", result.total_seconds);
+    tracer_->RecordComplete(app.name.empty() ? "app" : app.name, "sim",
+                            lane_start, cursor - lane_start, obs::kSimulatedPid, 0,
+                            std::move(args));
+    app_span.Arg("queries", static_cast<double>(result.per_query.size()));
+    app_span.Arg("simulated_seconds", result.total_seconds);
+  }
+  sim_lane_cursor_ns_ = cursor;
   return result;
 }
 

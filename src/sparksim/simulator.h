@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "sparksim/cluster.h"
 #include "sparksim/config.h"
 #include "sparksim/query_profile.h"
@@ -81,6 +82,8 @@ struct QueryMetrics {
   double shuffle_seconds = 0.0;  // wide-stage time (network + reduce)
   double shuffle_gb = 0.0;       // bytes shuffled (uncompressed)
   double spill_gb = 0.0;         // bytes spilled to disk
+  double scan_tasks = 0.0;       // map/scan tasks launched
+  double task_waves = 0.0;       // scheduling waves across all stages
   bool oom = false;              // hit the OOM retry path
 };
 
@@ -132,6 +135,14 @@ class ClusterSimulator {
   /// Total runs performed (used by tests to check accounting).
   int64_t runs_performed() const { return runs_performed_; }
 
+  /// Wires a tracer (null disables, the default). App runs then emit a
+  /// wall-lane "sim/app" span plus a *simulated-time* timeline in
+  /// obs::kSimulatedPid: one span per app/query/stage whose duration is
+  /// the simulated Spark seconds (encoded at 1 simulated second = 1 ms of
+  /// trace time), laid out back-to-back across runs. Purely
+  /// observational: results and the noise RNG stream are unaffected.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Resource picture derived from a configuration.
   struct Resources {
@@ -155,6 +166,11 @@ class ClusterSimulator {
   SimParams params_;
   Rng noise_rng_;
   int64_t runs_performed_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  /// Virtual-time cursor of the simulated lane (ns of trace time); app
+  /// runs are appended back-to-back so the exported timeline reads as one
+  /// continuous cluster schedule.
+  uint64_t sim_lane_cursor_ns_ = 0;
 };
 
 }  // namespace locat::sparksim

@@ -8,6 +8,10 @@
 //   locat qcsa <app> <cluster> [runs]     # query sensitivity analysis
 //   locat tune <app> <cluster> <ds> [tuner]
 //                                         # run LOCAT (or a baseline)
+//   locat report <telemetry.jsonl>        # per-phase breakdown of a run
+//
+// `tune` accepts observability flags (see Usage) that write a Chrome
+// trace, a Prometheus metrics snapshot, and per-iteration JSONL telemetry.
 //
 // Clusters: "arm" (4-node KUNPENG) or "x86" (8-node Xeon).
 // Apps: TPC-DS, TPC-H, Join, Scan, Aggregation.
@@ -15,8 +19,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <numeric>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <iostream>
 
@@ -25,6 +33,9 @@
 #include "core/qcsa.h"
 #include "core/tuning.h"
 #include "harness/experiments.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "sparksim/simulator.h"
 #include "workloads/workloads.h"
 
@@ -43,6 +54,15 @@ int Usage() {
       "  qcsa <app> <cluster> [runs]      query sensitivity analysis\n"
       "  tune <app> <cluster> <ds> [t]    tune (t: LOCAT|Tuneful|DAC|"
       "GBO-RL|QTune|Random)\n"
+      "  report <telemetry.jsonl>         per-phase breakdown of a tune run\n"
+      "tune flags:\n"
+      "  --seed N            repetition salt for the tuner and simulator\n"
+      "  --trace FILE        write a Chrome trace_event JSON timeline\n"
+      "                      (chrome://tracing, Perfetto); includes the\n"
+      "                      simulated-time lane of the cluster simulator\n"
+      "  --metrics FILE      write a Prometheus text metrics snapshot\n"
+      "  --telemetry FILE    write per-iteration BO telemetry as JSONL\n"
+      "                      (input of `locat report`)\n"
       "clusters: arm | x86; apps: TPC-DS | TPC-H | Join | Scan | "
       "Aggregation\n");
   return 2;
@@ -178,12 +198,50 @@ int CmdQcsa(const std::string& app_name, const std::string& cluster,
   return 0;
 }
 
+/// Observability flags of `tune`, parsed out of argv before the
+/// positional arguments.
+struct ObsFlags {
+  uint64_t seed = 0;
+  std::string trace_path;
+  std::string metrics_path;
+  std::string telemetry_path;
+};
+
 int CmdTune(const std::string& app_name, const std::string& cluster,
-            double ds, const std::string& tuner_name) {
+            double ds, const std::string& tuner_name, const ObsFlags& flags) {
   const auto app = harness::MakeApp(app_name);
-  sparksim::ClusterSimulator sim(harness::MakeCluster(cluster), 21);
+  sparksim::ClusterSimulator sim(harness::MakeCluster(cluster),
+                                 21 + flags.seed);
   core::TuningSession session(&sim, app);
-  auto tuner = harness::MakeTuner(tuner_name, 0);
+  auto tuner = harness::MakeTuner(tuner_name, flags.seed);
+
+  // Observability sinks: each is wired only when its output was requested,
+  // so a plain `tune` keeps the all-null (zero-cost) path.
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  std::ofstream telemetry_os;
+  std::unique_ptr<obs::JsonlObserver> observer;
+  obs::ObsContext ctx;
+  if (!flags.trace_path.empty()) {
+    ctx.tracer = &tracer;
+    sim.set_tracer(&tracer);
+  }
+  if (!flags.metrics_path.empty()) ctx.metrics = &metrics;
+  if (!flags.telemetry_path.empty()) {
+    telemetry_os.open(flags.telemetry_path);
+    if (!telemetry_os) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   flags.telemetry_path.c_str());
+      return 1;
+    }
+    observer = std::make_unique<obs::JsonlObserver>(&telemetry_os);
+    ctx.observer = observer.get();
+  }
+  if (ctx.any()) {
+    session.SetObservability(ctx);
+    tuner->SetObservability(ctx);
+  }
+
   std::printf("Tuning %s @ %.0f GB on %s with %s...\n", app.name.c_str(), ds,
               cluster.c_str(), tuner->name().c_str());
   const auto result = tuner->Tune(&session, ds);
@@ -199,28 +257,183 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
   std::printf("tuned run: %.0f s | defaults: %.0f s | improvement %.1fx\n",
               tuned, dflt, dflt / tuned);
   std::printf("\n%s\n", result.best_conf.ToString().c_str());
+
+  if (!flags.trace_path.empty()) {
+    std::ofstream os(flags.trace_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", flags.trace_path.c_str());
+      return 1;
+    }
+    tracer.WriteChromeTrace(os);
+    std::printf("trace: %s (%zu events)\n", flags.trace_path.c_str(),
+                tracer.event_count());
+  }
+  if (!flags.metrics_path.empty()) {
+    std::ofstream os(flags.metrics_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_path.c_str());
+      return 1;
+    }
+    metrics.WritePrometheus(os);
+    std::printf("metrics: %s\n", flags.metrics_path.c_str());
+  }
+  if (!flags.telemetry_path.empty()) {
+    telemetry_os.close();
+    std::printf("telemetry: %s\n", flags.telemetry_path.c_str());
+  }
+  return 0;
+}
+
+int CmdReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = obs::ParseTelemetry(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  // Aggregate iteration events by phase, in first-seen order.
+  struct PhaseAgg {
+    std::string phase;
+    int events = 0;
+    double eval_seconds = 0.0;
+    double best_seconds = 0.0;
+  };
+  std::vector<PhaseAgg> phases;
+  std::string tuner;
+  double total_eval_seconds = 0.0;
+  int total_events = 0;
+  double summary_opt = 0.0;
+  double summary_best = 0.0;
+  double summary_evals = 0.0;
+  bool have_summary = false;
+  for (const auto& rec : parsed.value()) {
+    if (rec.type == "iteration") {
+      if (tuner.empty()) tuner = rec.Str("tuner");
+      const std::string phase = rec.Str("phase");
+      PhaseAgg* agg = nullptr;
+      for (auto& p : phases) {
+        if (p.phase == phase) {
+          agg = &p;
+          break;
+        }
+      }
+      if (agg == nullptr) {
+        phases.push_back(PhaseAgg{phase});
+        agg = &phases.back();
+      }
+      const double eval = rec.Num("eval_seconds");
+      const double incumbent = rec.Num("incumbent_seconds");
+      ++agg->events;
+      agg->eval_seconds += eval;
+      if (incumbent > 0.0 &&
+          (agg->best_seconds <= 0.0 || incumbent < agg->best_seconds)) {
+        agg->best_seconds = incumbent;
+      }
+      ++total_events;
+      total_eval_seconds += eval;
+    } else if (rec.type == "phase" && rec.Str("phase") == "summary") {
+      have_summary = true;
+      summary_opt = rec.Num("optimization_seconds");
+      summary_best = rec.Num("best_seconds");
+      summary_evals = rec.Num("evaluations");
+    }
+  }
+  if (total_events == 0) {
+    std::fprintf(stderr, "%s: no iteration events\n", path.c_str());
+    return 1;
+  }
+
+  if (!tuner.empty()) std::printf("tuner: %s\n", tuner.c_str());
+  TablePrinter tp({"phase", "evals", "charged (s)", "share", "best (s)"});
+  for (const auto& p : phases) {
+    tp.AddRow({p.phase, std::to_string(p.events),
+               TablePrinter::Num(p.eval_seconds, 1),
+               TablePrinter::Num(100.0 * p.eval_seconds /
+                                     std::max(1e-12, total_eval_seconds),
+                                 1) +
+                   "%",
+               p.best_seconds > 0.0 ? TablePrinter::Num(p.best_seconds, 1)
+                                    : ""});
+  }
+  tp.AddRow({"total", std::to_string(total_events),
+             TablePrinter::Num(total_eval_seconds, 1), "100.0%", ""});
+  tp.Print(std::cout);
+
+  if (have_summary) {
+    const double drift =
+        summary_opt > 0.0
+            ? 100.0 * (total_eval_seconds - summary_opt) / summary_opt
+            : 0.0;
+    std::printf(
+        "meter: %.1f s over %.0f evaluations | best %.1f s | "
+        "phase sum vs meter: %+.2f%%\n",
+        summary_opt, summary_evals, summary_best, drift);
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string cmd = argv[1];
+  // Split argv into positionals and --flag value pairs (tune flags).
+  std::vector<std::string> pos;
+  ObsFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.trace_path = v;
+    } else if (arg == "--metrics") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.metrics_path = v;
+    } else if (arg == "--telemetry") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.telemetry_path = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.empty()) return Usage();
+  const std::string& cmd = pos[0];
   if (cmd == "catalog") return CmdCatalog();
   if (cmd == "apps") return CmdApps();
-  if (cmd == "simulate" && argc >= 5) {
-    return CmdSimulate(argv[2], argv[3], std::atof(argv[4]));
+  if (cmd == "simulate" && pos.size() >= 4) {
+    return CmdSimulate(pos[1], pos[2], std::atof(pos[3].c_str()));
   }
-  if (cmd == "sweep" && argc >= 6) {
-    return CmdSweep(argv[2], argv[3], std::atof(argv[4]), argv[5]);
+  if (cmd == "sweep" && pos.size() >= 5) {
+    return CmdSweep(pos[1], pos[2], std::atof(pos[3].c_str()), pos[4]);
   }
-  if (cmd == "qcsa" && argc >= 4) {
-    return CmdQcsa(argv[2], argv[3], argc >= 5 ? std::atoi(argv[4]) : 30);
+  if (cmd == "qcsa" && pos.size() >= 3) {
+    return CmdQcsa(pos[1], pos[2],
+                   pos.size() >= 4 ? std::atoi(pos[3].c_str()) : 30);
   }
-  if (cmd == "tune" && argc >= 5) {
-    return CmdTune(argv[2], argv[3], std::atof(argv[4]),
-                   argc >= 6 ? argv[5] : "LOCAT");
+  if (cmd == "tune" && pos.size() >= 4) {
+    return CmdTune(pos[1], pos[2], std::atof(pos[3].c_str()),
+                   pos.size() >= 5 ? pos[4] : "LOCAT", flags);
+  }
+  if (cmd == "report" && pos.size() >= 2) {
+    return CmdReport(pos[1]);
   }
   return Usage();
 }

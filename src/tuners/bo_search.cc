@@ -20,6 +20,7 @@ void BoSearch::Run(core::TuningSession* session, double datasize_gb,
                    const std::vector<math::Vector>& initial_units) {
   const sparksim::ConfigSpace& space = session->space();
   const math::Vector base_unit = space.ToUnit(base_conf);
+  obs::ScopedSpan run_span(obs_.tracer, "bo_search/run", "tuner");
 
   std::vector<math::Vector> xs;   // GP inputs (free dims only), log targets
   std::vector<double> ys;
@@ -33,6 +34,7 @@ void BoSearch::Run(core::TuningSession* session, double datasize_gb,
       unit[static_cast<size_t>(d)] = unit_full[static_cast<size_t>(d)];
     }
     const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
+    const double meter_before = session->optimization_seconds();
     const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
     xs.push_back(FreeDims(space.ToUnit(conf), free_dims));
     ys.push_back(std::log(std::max(1e-6, rec.app_seconds)));
@@ -41,6 +43,13 @@ void BoSearch::Run(core::TuningSession* session, double datasize_gb,
       best_conf_ = conf;
     }
     trajectory_.push_back(best_seconds_);
+    if (obs_.observer != nullptr) {
+      core::EmitSimpleIteration(
+          obs_.observer, tuner_name_, "bo",
+          static_cast<int>(trajectory_.size()) - 1, datasize_gb,
+          session->optimization_seconds() - meter_before, rec.app_seconds,
+          best_seconds_, rec.full_app);
+    }
   };
 
   for (const auto& u : initial_units) evaluate(u);

@@ -38,6 +38,13 @@ class BoSearch {
 
   BoSearch(Options options, Rng* rng) : options_(options), rng_(rng) {}
 
+  /// Wires observability and the owning tuner's name into the loop so
+  /// every charged evaluation emits one BoIterationEvent (phase "bo").
+  void SetObservability(const obs::ObsContext& obs, std::string tuner_name) {
+    obs_ = obs;
+    tuner_name_ = std::move(tuner_name);
+  }
+
   /// Runs the BO loop: evaluates `options.iterations` configurations on
   /// the session (charged), starting from `initial_units` (already
   /// evaluated ones may be passed via AddPrior). Returns nothing; read
@@ -61,6 +68,8 @@ class BoSearch {
   sparksim::SparkConf best_conf_;
   double best_seconds_ = 0.0;
   std::vector<double> trajectory_;
+  obs::ObsContext obs_;
+  std::string tuner_name_;
 };
 
 }  // namespace locat::tuners

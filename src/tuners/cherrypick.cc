@@ -28,6 +28,7 @@ core::TuningResult CherryPickTuner::Tune(core::TuningSession* session,
   BoSearch::Options bopts = options_.bo;
   bopts.iterations = options_.bo_iterations;
   BoSearch bo(bopts, &rng_);
+  bo.SetObservability(obs_, name());
   bo.Run(session, datasize_gb, free_dims_,
          space.Repair(space.DefaultConf()), starts);
 

@@ -41,80 +41,98 @@ core::TuningResult DacTuner::Tune(core::TuningSession* session,
   // datasize-aware model.)
   std::vector<math::Vector> units;
   std::vector<double> seconds;
-  for (int i = 0; i < options_.training_samples; ++i) {
-    math::Vector unit = base_unit;
-    for (int d : free_dims_) unit[static_cast<size_t>(d)] = rng_.NextDouble();
-    const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
-    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
-    units.push_back(space.ToUnit(conf));
-    seconds.push_back(rec.app_seconds);
-    if (result.best_observed_seconds <= 0.0 ||
-        rec.app_seconds < result.best_observed_seconds) {
-      result.best_observed_seconds = rec.app_seconds;
-      result.best_conf = conf;
-    }
-    result.trajectory.push_back(result.best_observed_seconds);
-  }
-
-  // --- Phase 2: fit the GBRT performance model on (free dims -> log t).
-  math::Matrix x(units.size(), free_dims_.size());
-  math::Vector y(units.size());
-  for (size_t i = 0; i < units.size(); ++i) {
-    for (size_t j = 0; j < free_dims_.size(); ++j) {
-      x(i, j) = units[i][static_cast<size_t>(free_dims_[j])];
-    }
-    y[i] = std::log(std::max(1e-6, seconds[i]));
-  }
-  // DAC's published model reports >15% relative error (Figure 16); a
-  // deliberately shallow ensemble reproduces that accuracy envelope.
-  ml::Gbrt::Options gopts;
-  gopts.num_trees = 60;
-  gopts.tree.max_depth = 3;
-  ml::Gbrt model(gopts);
-  if (!model.Fit(x, y).ok()) {
-    result.optimization_seconds =
-        session->optimization_seconds() - meter_start;
-    result.evaluations = session->evaluations() - evals_start;
-    return result;
-  }
-
-  // --- Phase 3: genetic search over the model.
-  std::vector<math::Vector> population;
-  for (int i = 0; i < options_.ga_population; ++i) {
-    math::Vector ind(free_dims_.size());
-    for (size_t j = 0; j < ind.size(); ++j) ind[j] = rng_.NextDouble();
-    population.push_back(std::move(ind));
-  }
-  auto fitness_of = [&](const math::Vector& ind) {
-    return model.Predict(ind);
-  };
-  std::vector<double> fitness(population.size());
-  for (size_t i = 0; i < population.size(); ++i) {
-    fitness[i] = fitness_of(population[i]);
-  }
-  for (int gen = 0; gen < options_.ga_generations; ++gen) {
-    std::vector<math::Vector> next;
-    next.reserve(population.size());
-    // Elitism: carry the best individual over unchanged.
-    const size_t best_idx = static_cast<size_t>(
-        std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
-    next.push_back(population[best_idx]);
-    while (next.size() < population.size()) {
-      const math::Vector& pa = population[Tournament(fitness, &rng_)];
-      const math::Vector& pb = population[Tournament(fitness, &rng_)];
-      math::Vector child(pa.size());
-      for (size_t j = 0; j < child.size(); ++j) {
-        child[j] = rng_.Bernoulli(0.5) ? pa[j] : pb[j];
-        if (rng_.Bernoulli(options_.ga_mutation)) {
-          child[j] = std::clamp(child[j] + rng_.Gaussian(0.0, 0.15), 0.0, 1.0);
-        }
+  {
+    obs::ScopedSpan span(tracer(), "dac/sample", "tuner");
+    for (int i = 0; i < options_.training_samples; ++i) {
+      math::Vector unit = base_unit;
+      for (int d : free_dims_) {
+        unit[static_cast<size_t>(d)] = rng_.NextDouble();
       }
-      next.push_back(std::move(child));
+      const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
+      const double meter_before = session->optimization_seconds();
+      const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+      units.push_back(space.ToUnit(conf));
+      seconds.push_back(rec.app_seconds);
+      if (result.best_observed_seconds <= 0.0 ||
+          rec.app_seconds < result.best_observed_seconds) {
+        result.best_observed_seconds = rec.app_seconds;
+        result.best_conf = conf;
+      }
+      result.trajectory.push_back(result.best_observed_seconds);
+      core::EmitSimpleIteration(
+          observer(), result.tuner_name, "sample", i, datasize_gb,
+          session->optimization_seconds() - meter_before, rec.app_seconds,
+          result.best_observed_seconds, rec.full_app);
     }
-    population = std::move(next);
+  }
+
+  std::vector<math::Vector> population;
+  std::vector<double> fitness;
+  {
+    // --- Phase 2: fit the GBRT performance model on (free dims -> log t).
+    obs::ScopedSpan model_span(tracer(), "dac/model+ga", "tuner");
+    math::Matrix x(units.size(), free_dims_.size());
+    math::Vector y(units.size());
+    for (size_t i = 0; i < units.size(); ++i) {
+      for (size_t j = 0; j < free_dims_.size(); ++j) {
+        x(i, j) = units[i][static_cast<size_t>(free_dims_[j])];
+      }
+      y[i] = std::log(std::max(1e-6, seconds[i]));
+    }
+    // DAC's published model reports >15% relative error (Figure 16); a
+    // deliberately shallow ensemble reproduces that accuracy envelope.
+    ml::Gbrt::Options gopts;
+    gopts.num_trees = 60;
+    gopts.tree.max_depth = 3;
+    ml::Gbrt model(gopts);
+    if (!model.Fit(x, y).ok()) {
+      result.optimization_seconds =
+          session->optimization_seconds() - meter_start;
+      result.evaluations = session->evaluations() - evals_start;
+      return result;
+    }
+
+    // --- Phase 3: genetic search over the model.
+    for (int i = 0; i < options_.ga_population; ++i) {
+      math::Vector ind(free_dims_.size());
+      for (size_t j = 0; j < ind.size(); ++j) ind[j] = rng_.NextDouble();
+      population.push_back(std::move(ind));
+    }
+    auto fitness_of = [&](const math::Vector& ind) {
+      return model.Predict(ind);
+    };
+    fitness.resize(population.size());
     for (size_t i = 0; i < population.size(); ++i) {
       fitness[i] = fitness_of(population[i]);
     }
+    for (int gen = 0; gen < options_.ga_generations; ++gen) {
+      std::vector<math::Vector> next;
+      next.reserve(population.size());
+      // Elitism: carry the best individual over unchanged.
+      const size_t best_idx = static_cast<size_t>(
+          std::min_element(fitness.begin(), fitness.end()) -
+          fitness.begin());
+      next.push_back(population[best_idx]);
+      while (next.size() < population.size()) {
+        const math::Vector& pa = population[Tournament(fitness, &rng_)];
+        const math::Vector& pb = population[Tournament(fitness, &rng_)];
+        math::Vector child(pa.size());
+        for (size_t j = 0; j < child.size(); ++j) {
+          child[j] = rng_.Bernoulli(0.5) ? pa[j] : pb[j];
+          if (rng_.Bernoulli(options_.ga_mutation)) {
+            child[j] =
+                std::clamp(child[j] + rng_.Gaussian(0.0, 0.15), 0.0, 1.0);
+          }
+        }
+        next.push_back(std::move(child));
+      }
+      population = std::move(next);
+      for (size_t i = 0; i < population.size(); ++i) {
+        fitness[i] = fitness_of(population[i]);
+      }
+    }
+    model_span.Arg("training_samples", static_cast<double>(units.size()));
+    model_span.Arg("generations", static_cast<double>(options_.ga_generations));
   }
 
   // --- Phase 4: validate the model's top candidates on the cluster.
@@ -128,6 +146,7 @@ core::TuningResult DacTuner::Tune(core::TuningSession* session,
   const int validations =
       std::min<int>(options_.validation_runs,
                     static_cast<int>(population.size()));
+  obs::ScopedSpan validate_span(tracer(), "dac/validate", "tuner");
   double best_validated = 0.0;
   for (int v = 0; v < validations; ++v) {
     math::Vector unit = base_unit;
@@ -136,6 +155,7 @@ core::TuningResult DacTuner::Tune(core::TuningSession* session,
       unit[static_cast<size_t>(free_dims_[j])] = ind[j];
     }
     const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
+    const double meter_before = session->optimization_seconds();
     const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
     if (best_validated <= 0.0 || rec.app_seconds < best_validated) {
       best_validated = rec.app_seconds;
@@ -143,6 +163,10 @@ core::TuningResult DacTuner::Tune(core::TuningSession* session,
       result.best_observed_seconds = rec.app_seconds;
     }
     result.trajectory.push_back(result.best_observed_seconds);
+    core::EmitSimpleIteration(
+        observer(), result.tuner_name, "validate", v, datasize_gb,
+        session->optimization_seconds() - meter_before, rec.app_seconds,
+        result.best_observed_seconds, rec.full_app);
   }
 
   result.optimization_seconds = session->optimization_seconds() - meter_start;

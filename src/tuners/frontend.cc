@@ -8,6 +8,11 @@ QcsaIicpFrontend::QcsaIicpFrontend(std::unique_ptr<core::Tuner> inner,
                                    Options options)
     : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
 
+void QcsaIicpFrontend::SetObservability(const obs::ObsContext& obs) {
+  core::Tuner::SetObservability(obs);
+  inner_->SetObservability(obs);
+}
+
 std::string QcsaIicpFrontend::name() const {
   std::string suffix;
   if (options_.apply_qcsa && options_.apply_iicp) {
@@ -35,22 +40,47 @@ core::TuningResult QcsaIicpFrontend::Tune(core::TuningSession* session,
   std::vector<std::vector<double>> per_query(
       static_cast<size_t>(session->app().num_queries()));
   session->ClearQueryRestriction();
-  for (int i = 0; i < n_samples; ++i) {
-    const sparksim::SparkConf conf = space.RandomValid(&rng_);
-    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
-    units.push_back(rec.unit);
-    seconds.push_back(rec.app_seconds);
-    for (size_t q = 0; q < rec.per_query_seconds.size(); ++q) {
-      per_query[q].push_back(rec.per_query_seconds[q]);
+  {
+    obs::ScopedSpan span(tracer(), "frontend/sampling", "tuner");
+    double sample_best = 0.0;
+    for (int i = 0; i < n_samples; ++i) {
+      const sparksim::SparkConf conf = space.RandomValid(&rng_);
+      const double meter_before = session->optimization_seconds();
+      const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+      units.push_back(rec.unit);
+      seconds.push_back(rec.app_seconds);
+      for (size_t q = 0; q < rec.per_query_seconds.size(); ++q) {
+        per_query[q].push_back(rec.per_query_seconds[q]);
+      }
+      if (sample_best <= 0.0 || rec.app_seconds < sample_best) {
+        sample_best = rec.app_seconds;
+      }
+      if (observer() != nullptr) {
+        core::EmitSimpleIteration(
+            observer(), name(), "sampling", i, datasize_gb,
+            session->optimization_seconds() - meter_before, rec.app_seconds,
+            sample_best, rec.full_app);
+      }
     }
   }
 
   // --- QCSA: restrict the session to the CSQs.
   if (options_.apply_qcsa && n_samples >= 2) {
-    auto qcsa = core::AnalyzeQuerySensitivity(per_query);
+    auto qcsa = core::AnalyzeQuerySensitivity(per_query, tracer());
     if (qcsa.ok()) {
       qcsa_ = std::move(qcsa).value();
       session->RestrictToQueries(qcsa_->csq_indices);
+      if (observer() != nullptr) {
+        obs::PhaseEvent ev;
+        ev.tuner = name();
+        ev.phase = "qcsa";
+        ev.fields = {
+            {"csq", static_cast<double>(qcsa_->csq_indices.size())},
+            {"ciq", static_cast<double>(qcsa_->ciq_indices.size())},
+            {"threshold", qcsa_->threshold},
+        };
+        observer()->OnPhase(ev);
+      }
     }
   }
 
@@ -64,10 +94,21 @@ core::TuningResult QcsaIicpFrontend::Tune(core::TuningSession* session,
       confs.SetRow(static_cast<size_t>(i), units[static_cast<size_t>(i)]);
       ts[static_cast<size_t>(i)] = seconds[static_cast<size_t>(i)];
     }
-    auto iicp = core::Iicp::Run(confs, ts, options_.iicp);
+    auto iicp = core::Iicp::Run(confs, ts, options_.iicp, tracer());
     if (iicp.ok()) {
       iicp_ = std::move(iicp).value();
       inner_->SetFreeParams(iicp_->selected_params());
+      if (observer() != nullptr) {
+        obs::PhaseEvent ev;
+        ev.tuner = name();
+        ev.phase = "iicp";
+        ev.fields = {
+            {"selected_params",
+             static_cast<double>(iicp_->selected_params().size())},
+            {"latent_dim", static_cast<double>(iicp_->latent_dim())},
+        };
+        observer()->OnPhase(ev);
+      }
     }
   }
 

@@ -38,6 +38,7 @@ class QcsaIicpFrontend : public core::Tuner {
   std::string name() const override;
   core::TuningResult Tune(core::TuningSession* session,
                           double datasize_gb) override;
+  void SetObservability(const obs::ObsContext& obs) override;
 
   const core::QcsaResult* qcsa_result() const {
     return qcsa_ ? &*qcsa_ : nullptr;

@@ -80,6 +80,7 @@ core::TuningResult GboRlTuner::Tune(core::TuningSession* session,
   BoSearch::Options bopts = options_.bo;
   bopts.iterations = options_.bo_iterations;
   BoSearch bo(bopts, &rng_);
+  bo.SetObservability(obs_, name());
   bo.Run(session, datasize_gb, MemoryCentricDims(free_dims_),
          space.Repair(space.DefaultConf()), seeds);
 

@@ -53,6 +53,23 @@ core::TuningResult QtuneTuner::Tune(core::TuningSession* session,
     return space.Repair(space.FromUnit(unit));
   };
 
+  obs::ScopedSpan tune_span(tracer(), "qtune/episodes", "tuner");
+  int qtune_iter = 0;
+  auto charged_evaluate = [&](const sparksim::SparkConf& conf) {
+    const double meter_before = session->optimization_seconds();
+    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+    const double incumbent =
+        (result.best_observed_seconds <= 0.0 ||
+         rec.app_seconds < result.best_observed_seconds)
+            ? rec.app_seconds
+            : result.best_observed_seconds;
+    core::EmitSimpleIteration(
+        observer(), result.tuner_name, "episode", qtune_iter++, datasize_gb,
+        session->optimization_seconds() - meter_before, rec.app_seconds,
+        incumbent, rec.full_app);
+    return rec.app_seconds;
+  };
+
   double reference_seconds = 0.0;  // first observation sets the scale
   for (int ep = 0; ep < options_.episodes; ++ep) {
     // Episodes restart from a random level assignment (exploration across
@@ -60,8 +77,7 @@ core::TuningResult QtuneTuner::Tune(core::TuningSession* session,
     for (size_t j = 0; j < level.size(); ++j) {
       level[j] = static_cast<int>(rng_.UniformInt(0, levels - 1));
     }
-    double prev_seconds =
-        session->Evaluate(conf_from_levels(), datasize_gb).app_seconds;
+    double prev_seconds = charged_evaluate(conf_from_levels());
     if (reference_seconds <= 0.0) reference_seconds = prev_seconds;
     if (result.best_observed_seconds <= 0.0 ||
         prev_seconds < result.best_observed_seconds) {
@@ -91,8 +107,7 @@ core::TuningResult QtuneTuner::Tune(core::TuningSession* session,
       const int direction = (action % 2 == 0) ? 1 : -1;
       level[pidx] = std::clamp(level[pidx] + direction, 0, levels - 1);
 
-      const double now_seconds =
-          session->Evaluate(conf_from_levels(), datasize_gb).app_seconds;
+      const double now_seconds = charged_evaluate(conf_from_levels());
       const double reward = std::log(prev_seconds / now_seconds);
 
       // Q-learning update against the next state's best value.

@@ -26,12 +26,15 @@ core::TuningResult RandomSearchTuner::Tune(core::TuningSession* session,
 
   core::TuningResult result;
   result.tuner_name = name();
+  obs::ScopedSpan tune_span(tracer(), "tune", "tuner");
+  tune_span.Arg("tuner", result.tuner_name);
   for (int i = 0; i < options_.evaluations; ++i) {
     math::Vector unit = base_unit;
     for (int d : free_dims_) {
       unit[static_cast<size_t>(d)] = rng_.NextDouble();
     }
     const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
+    const double meter_before = session->optimization_seconds();
     const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
     if (result.best_observed_seconds <= 0.0 ||
         rec.app_seconds < result.best_observed_seconds) {
@@ -39,6 +42,11 @@ core::TuningResult RandomSearchTuner::Tune(core::TuningSession* session,
       result.best_conf = conf;
     }
     result.trajectory.push_back(result.best_observed_seconds);
+    core::EmitSimpleIteration(observer(), result.tuner_name, "random", i,
+                              datasize_gb,
+                              session->optimization_seconds() - meter_before,
+                              rec.app_seconds, result.best_observed_seconds,
+                              rec.full_app);
   }
   result.optimization_seconds = session->optimization_seconds() - meter_start;
   result.evaluations = session->evaluations() - evals_start;

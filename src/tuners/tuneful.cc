@@ -28,25 +28,41 @@ core::TuningResult TunefulTuner::Tune(core::TuningSession* session,
 
   // --- Significance phase: one-at-a-time probes per parameter against
   // the base configuration's runtime.
-  const double base_seconds =
-      session->Evaluate(base_conf, datasize_gb).app_seconds;
   std::vector<double> influence(sparksim::kNumParams, 0.0);
-  for (int d : free_dims_) {
-    std::vector<double> observed = {base_seconds};
-    for (int probe = 0; probe < options_.oat_probes_per_param; ++probe) {
-      math::Vector unit = base_unit;
-      unit[static_cast<size_t>(d)] =
-          options_.oat_probes_per_param == 1
-              ? 1.0
-              : static_cast<double>(probe) /
-                    (options_.oat_probes_per_param - 1);
-      const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
-      observed.push_back(
-          session->Evaluate(conf, datasize_gb).app_seconds);
+  {
+    obs::ScopedSpan oat_span(tracer(), "tuneful/oat", "tuner");
+    int oat_iter = 0;
+    double oat_best = 0.0;
+    auto oat_evaluate = [&](const sparksim::SparkConf& conf) {
+      const double meter_before = session->optimization_seconds();
+      const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+      if (oat_best <= 0.0 || rec.app_seconds < oat_best) {
+        oat_best = rec.app_seconds;
+      }
+      core::EmitSimpleIteration(
+          observer(), "Tuneful", "oat", oat_iter++, datasize_gb,
+          session->optimization_seconds() - meter_before, rec.app_seconds,
+          oat_best, rec.full_app);
+      return rec.app_seconds;
+    };
+    const double base_seconds = oat_evaluate(base_conf);
+    for (int d : free_dims_) {
+      std::vector<double> observed = {base_seconds};
+      for (int probe = 0; probe < options_.oat_probes_per_param; ++probe) {
+        math::Vector unit = base_unit;
+        unit[static_cast<size_t>(d)] =
+            options_.oat_probes_per_param == 1
+                ? 1.0
+                : static_cast<double>(probe) /
+                      (options_.oat_probes_per_param - 1);
+        const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
+        observed.push_back(oat_evaluate(conf));
+      }
+      const auto [mn, mx] = std::minmax_element(observed.begin(),
+                                                observed.end());
+      influence[static_cast<size_t>(d)] = *mx - *mn;
     }
-    const auto [mn, mx] = std::minmax_element(observed.begin(),
-                                              observed.end());
-    influence[static_cast<size_t>(d)] = *mx - *mn;
+    oat_span.Arg("probes", static_cast<double>(oat_iter));
   }
 
   // Keep the most influential parameters.
@@ -64,6 +80,7 @@ core::TuningResult TunefulTuner::Tune(core::TuningSession* session,
   BoSearch::Options bopts = options_.bo;
   bopts.iterations = options_.bo_iterations;
   BoSearch bo(bopts, &rng_);
+  bo.SetObservability(obs_, name());
   bo.Run(session, datasize_gb, significant, base_conf, {});
 
   core::TuningResult result;

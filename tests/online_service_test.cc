@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/online_service.h"
 #include "sparksim/simulator.h"
 #include "workloads/workloads.h"
@@ -25,13 +27,13 @@ TEST(OnlineServiceTest, ColdStartThenReuseWithinThreshold) {
   TuningSession session(&sim, workloads::TpcH());
   OnlineTuningService service(&session, TinyOptions());
 
-  const auto conf_100 = service.RecommendedConf(100.0);
+  const auto conf_100 = service.RecommendedConf(100.0).value();
   EXPECT_EQ(service.tuning_passes(), 1);
   const double after_cold = service.optimization_seconds();
   EXPECT_GT(after_cold, 0.0);
 
   // 110 GB is within 25% of 100 GB: instant reuse, no new tuning cost.
-  const auto conf_110 = service.RecommendedConf(110.0);
+  const auto conf_110 = service.RecommendedConf(110.0).value();
   EXPECT_EQ(service.tuning_passes(), 1);
   EXPECT_DOUBLE_EQ(service.optimization_seconds(), after_cold);
   EXPECT_TRUE(conf_110 == conf_100);
@@ -42,13 +44,13 @@ TEST(OnlineServiceTest, WarmRetuneForDistantSize) {
   TuningSession session(&sim, workloads::HiBenchAggregation());
   OnlineTuningService service(&session, TinyOptions());
 
-  service.RecommendedConf(100.0);
+  ASSERT_TRUE(service.RecommendedConf(100.0).ok());
   const double after_cold = service.optimization_seconds();
   const int evals_cold = session.evaluations();
 
   // 400 GB is far from 100 GB: a warm adaptation runs, but it is much
   // cheaper (per evaluation count) than the cold start.
-  service.RecommendedConf(400.0);
+  ASSERT_TRUE(service.RecommendedConf(400.0).ok());
   EXPECT_EQ(service.tuning_passes(), 2);
   EXPECT_GT(service.optimization_seconds(), after_cold);
   EXPECT_LT(session.evaluations() - evals_cold, evals_cold);
@@ -60,7 +62,7 @@ TEST(OnlineServiceTest, ReportRunFeedsModelWithoutCharging) {
   TuningSession session(&sim, workloads::HiBenchJoin());
   OnlineTuningService service(&session, TinyOptions());
 
-  const auto conf = service.RecommendedConf(200.0);
+  const auto conf = service.RecommendedConf(200.0).value();
   const double meter = service.optimization_seconds();
   service.ReportRun(200.0, conf, 1234.0);
   EXPECT_DOUBLE_EQ(service.optimization_seconds(), meter);
@@ -74,6 +76,45 @@ TEST(OnlineServiceTest, ExternalRunsBeforeColdStartAreIgnored) {
   sparksim::ConfigSpace space(sparksim::X86Cluster());
   service.ReportRun(100.0, space.Repair(space.DefaultConf()), 999.0);
   EXPECT_EQ(service.tuning_passes(), 0);
+}
+
+TEST(OnlineServiceTest, RejectsNonPositiveDatasize) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 604);
+  TuningSession session(&sim, workloads::HiBenchJoin());
+  OnlineTuningService service(&session, TinyOptions());
+
+  EXPECT_EQ(service.RecommendedConf(0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.RecommendedConf(-5.0).status().code(),
+            StatusCode::kInvalidArgument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(service.RecommendedConf(nan).status().code(),
+            StatusCode::kInvalidArgument);
+  // Nothing was tuned; the invalid requests never reached the tuner.
+  EXPECT_EQ(service.tuning_passes(), 0);
+  EXPECT_DOUBLE_EQ(service.optimization_seconds(), 0.0);
+}
+
+TEST(OnlineServiceTest, ReuseGapIsSymmetric) {
+  // Regression: the gap used to be |ds - x| / ds with ds the *tuned*
+  // size, so tuned=100, requested=130 gave 0.30 (> 0.25 => retune) even
+  // though 130 -> 100 would have given 0.23 (reuse). The symmetric gap
+  // |ds - x| / max(ds, x) = 0.23 reuses in both directions.
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 605);
+  TuningSession session(&sim, workloads::HiBenchAggregation());
+  OnlineTuningService service(&session, TinyOptions());
+
+  const auto conf_100 = service.RecommendedConf(100.0).value();
+  ASSERT_EQ(service.tuning_passes(), 1);
+
+  const auto conf_130 = service.RecommendedConf(130.0).value();
+  EXPECT_EQ(service.tuning_passes(), 1) << "symmetric gap 30/130 = 0.23 "
+                                           "is within the 0.25 threshold";
+  EXPECT_TRUE(conf_130 == conf_100);
+
+  // Far outside the threshold in either direction still re-tunes.
+  service.RecommendedConf(400.0).value();
+  EXPECT_EQ(service.tuning_passes(), 2);
 }
 
 }  // namespace
