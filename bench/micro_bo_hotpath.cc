@@ -1,0 +1,190 @@
+// BO hot-path speedup bench: the seed's sequential surrogate refit +
+// per-candidate acquisition scoring vs the cached/batched/pooled path.
+//
+// For each training-set size n it times one EI-MCMC Fit plus one
+// 500-candidate acquisition sweep, twice:
+//   legacy: Options::fast_path = false (full kernel rebuild per MCMC
+//           density evaluation, full refit per ensemble member) and one
+//           AcquisitionValue call per candidate;
+//   fast:   Options::fast_path = true (GpKernelCache + factorization
+//           reuse + pooled ensemble fits) and one AcquisitionValueBatch
+//           call for the whole pool.
+// Wall times are minima over `reps` repetitions (hand-rolled
+// steady_clock timing; google-benchmark cannot time a two-phase
+// fit+score pair as one unit), written to BENCH_bo_hotpath.json.
+//
+// Both paths sample the same hyperparameter posterior; the headline
+// "speedup" column is (legacy fit + legacy score) / (fast fit + fast
+// score). The acceptance bar is >= 3x at n = 120.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "math/matrix.h"
+#include "ml/ei_mcmc.h"
+
+namespace {
+
+using namespace locat;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kDim = 10;        // ~ IICP latent dims + data size
+constexpr int kCandidates = 500;
+constexpr int kReps = 3;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Synthetic tuning-shaped dataset: smooth multimodal target over [0,1]^d
+/// with mild observation noise, same generator for every rep.
+void MakeDataset(int n, math::Matrix* x, math::Vector* y) {
+  Rng rng(1234);
+  *x = math::Matrix(static_cast<size_t>(n), kDim);
+  *y = math::Vector(static_cast<size_t>(n));
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < kDim; ++j) {
+      const double v = rng.NextDouble();
+      (*x)(i, j) = v;
+      s += std::sin(4.0 * v + static_cast<double>(j)) / (1.0 + j);
+    }
+    (*y)[i] = 100.0 + 20.0 * s + 0.5 * rng.NextGaussian();
+  }
+}
+
+math::Matrix MakeCandidates() {
+  Rng rng(99);
+  math::Matrix xs(kCandidates, kDim);
+  for (size_t i = 0; i < kCandidates; ++i) {
+    for (size_t j = 0; j < kDim; ++j) xs(i, j) = rng.NextDouble();
+  }
+  return xs;
+}
+
+struct CaseResult {
+  int n = 0;
+  double legacy_fit_s = 0.0;
+  double legacy_score_s = 0.0;
+  double fast_fit_s = 0.0;
+  double fast_score_s = 0.0;
+  double speedup() const {
+    return (legacy_fit_s + legacy_score_s) / (fast_fit_s + fast_score_s);
+  }
+};
+
+CaseResult RunCase(int n) {
+  math::Matrix x;
+  math::Vector y;
+  MakeDataset(n, &x, &y);
+  const math::Matrix xs = MakeCandidates();
+
+  CaseResult out;
+  out.n = n;
+  out.legacy_fit_s = out.legacy_score_s = out.fast_fit_s = out.fast_score_s =
+      std::numeric_limits<double>::infinity();
+
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Seed path: sequential density evaluations and refits, one
+    // acquisition call per candidate.
+    {
+      ml::EiMcmc::Options opts;
+      opts.fast_path = false;
+      ml::EiMcmc model(opts);
+      Rng rng(7);
+      auto t0 = Clock::now();
+      if (!model.Fit(x, y, &rng).ok()) std::abort();
+      auto t1 = Clock::now();
+      double sink = 0.0;
+      for (size_t i = 0; i < kCandidates; ++i) {
+        sink += model.AcquisitionValue(xs.Row(i));
+      }
+      auto t2 = Clock::now();
+      if (!(sink >= 0.0)) std::abort();  // keep the loop observable
+      out.legacy_fit_s = std::min(out.legacy_fit_s, Seconds(t0, t1));
+      out.legacy_score_s = std::min(out.legacy_score_s, Seconds(t1, t2));
+    }
+    // Cached + batched + pooled path.
+    {
+      ml::EiMcmc::Options opts;
+      opts.fast_path = true;
+      ml::EiMcmc model(opts);
+      Rng rng(7);
+      auto t0 = Clock::now();
+      if (!model.Fit(x, y, &rng).ok()) std::abort();
+      auto t1 = Clock::now();
+      const math::Vector eis = model.AcquisitionValueBatch(xs);
+      auto t2 = Clock::now();
+      if (!(eis.Sum() >= 0.0)) std::abort();
+      out.fast_fit_s = std::min(out.fast_fit_s, Seconds(t0, t1));
+      out.fast_score_s = std::min(out.fast_score_s, Seconds(t1, t2));
+    }
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, const std::vector<CaseResult>& cases) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  os.precision(6);
+  os << "{\n"
+     << "  \"benchmark\": \"bo_hotpath\",\n"
+     << "  \"dim\": " << kDim << ",\n"
+     << "  \"candidates\": " << kCandidates << ",\n"
+     << "  \"threads\": " << common::ThreadPool::Global()->num_threads()
+     << ",\n"
+     << "  \"cases\": [\n";
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    os << "    {\"n\": " << c.n
+       << ", \"legacy_fit_s\": " << c.legacy_fit_s
+       << ", \"legacy_score_s\": " << c.legacy_score_s
+       << ", \"fast_fit_s\": " << c.fast_fit_s
+       << ", \"fast_score_s\": " << c.fast_score_s
+       << ", \"speedup\": " << c.speedup() << "}"
+       << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_bo_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      common::ThreadPool::SetGlobalThreads(std::atoi(argv[++i]));
+    }
+  }
+
+  std::vector<CaseResult> cases;
+  TablePrinter tp({"n", "legacy fit (s)", "legacy score (s)", "fast fit (s)",
+                   "fast score (s)", "speedup"});
+  for (int n : {20, 60, 120}) {
+    const CaseResult c = RunCase(n);
+    cases.push_back(c);
+    tp.AddRow({std::to_string(c.n), TablePrinter::Num(c.legacy_fit_s, 4),
+               TablePrinter::Num(c.legacy_score_s, 4),
+               TablePrinter::Num(c.fast_fit_s, 4),
+               TablePrinter::Num(c.fast_score_s, 4),
+               TablePrinter::Num(c.speedup(), 2) + "x"});
+  }
+  tp.Print(std::cout);
+  WriteJson(out_path, cases);
+  return 0;
+}

@@ -84,6 +84,19 @@ double Dagp::ExpectedImprovement(const math::Vector& encoded_conf,
   return model_.AcquisitionValue(Assemble(encoded_conf, datasize_gb));
 }
 
+math::Vector Dagp::ExpectedImprovementBatch(
+    const std::vector<math::Vector>& encoded_confs,
+    double datasize_gb) const {
+  assert(model_.fitted());
+  if (encoded_confs.empty()) return math::Vector();
+  const size_t dim = encoded_confs.front().size() + 1;
+  math::Matrix xs(encoded_confs.size(), dim);
+  for (size_t i = 0; i < encoded_confs.size(); ++i) {
+    xs.SetRow(i, Assemble(encoded_confs[i], datasize_gb));
+  }
+  return model_.AcquisitionValueBatch(xs);
+}
+
 double Dagp::RelativeExpectedImprovement(const math::Vector& encoded_conf,
                                          double datasize_gb) const {
   const double ei_log = ExpectedImprovement(encoded_conf, datasize_gb);
@@ -100,6 +113,26 @@ Dagp::Prediction Dagp::Predict(const math::Vector& encoded_conf,
   // Mean of a lognormal: exp(mu + sigma^2 / 2).
   out.seconds = std::exp(p.mean + 0.5 * p.variance);
   out.log_variance = p.variance;
+  return out;
+}
+
+std::vector<Dagp::Prediction> Dagp::PredictBatch(
+    const std::vector<math::Vector>& encoded_confs,
+    const std::vector<double>& datasizes_gb) const {
+  assert(model_.fitted());
+  assert(encoded_confs.size() == datasizes_gb.size());
+  std::vector<Prediction> out(encoded_confs.size());
+  if (encoded_confs.empty()) return out;
+  const size_t dim = encoded_confs.front().size() + 1;
+  math::Matrix xs(encoded_confs.size(), dim);
+  for (size_t i = 0; i < encoded_confs.size(); ++i) {
+    xs.SetRow(i, Assemble(encoded_confs[i], datasizes_gb[i]));
+  }
+  const auto p = model_.PredictAveragedBatch(xs);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].seconds = std::exp(p.mean[i] + 0.5 * p.variance[i]);
+    out[i].log_variance = p.variance[i];
+  }
   return out;
 }
 

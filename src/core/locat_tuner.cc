@@ -1,6 +1,7 @@
 #include "core/locat_tuner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "ml/lhs.h"
@@ -40,6 +41,7 @@ void LocatTuner::EmitIteration(double datasize_gb, double eval_seconds,
   ev.full_app = full_app;
   const ml::EiMcmc::FitStats& fit = dagp_.last_fit_stats();
   ev.dagp_fit_seconds = fit.wall_seconds;
+  ev.acq_seconds = pending_acq_seconds_;
   ev.mcmc_ensemble = fit.ensemble_size;
   ev.mcmc_density_evals = fit.sampler.density_evals;
   ev.mcmc_acceptance = fit.sampler.acceptance_rate();
@@ -110,19 +112,32 @@ double LocatTuner::EvaluateAndRecord(TuningSession* session,
 LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
                                              double datasize_gb) {
   const sparksim::ConfigSpace& space = session->space();
+  // Wall clock of the whole proposal (incumbent scan, candidate
+  // generation, EI scoring) — the acquisition half of the per-iteration
+  // optimization overhead, reported next to the surrogate-fit half.
+  // Measured unconditionally, like EiMcmc::FitStats.wall_seconds.
+  const auto acq_start = std::chrono::steady_clock::now();
 
   // Anchor the local candidate families on the *posterior-mean* incumbent
   // rather than the raw noisy minimum: a single lucky observation would
-  // otherwise drag the whole local search to a mediocre region.
+  // otherwise drag the whole local search to a mediocre region. Scored as
+  // one batched prediction over the history.
   math::Vector best_unit = space.ToUnit(best_conf_);
-  if (dagp_.fitted()) {
-    double best_score = 0.0;
+  if (dagp_.fitted() && !observations_.empty()) {
+    std::vector<math::Vector> encoded;
+    encoded.reserve(observations_.size());
     for (const auto& obs : observations_) {
-      const double score =
-          dagp_.Predict(EncodeUnit(obs.unit), datasize_gb).seconds;
+      encoded.push_back(EncodeUnit(obs.unit));
+    }
+    const std::vector<double> sizes(observations_.size(), datasize_gb);
+    const std::vector<Dagp::Prediction> preds =
+        dagp_.PredictBatch(encoded, sizes);
+    double best_score = 0.0;
+    for (size_t i = 0; i < preds.size(); ++i) {
+      const double score = preds[i].seconds;
       if (best_score <= 0.0 || score < best_score) {
         best_score = score;
-        best_unit = obs.unit;
+        best_unit = observations_[i].unit;
       }
     }
   }
@@ -149,8 +164,14 @@ LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
   }
   const bool have_incumbent = best_objective_ > 0.0;
 
-  Proposal best;
-  double best_ei = -1.0;
+  // Generate the whole pool first (sequentially — candidate generation is
+  // where the RNG stream lives), then score every survivor in one batched
+  // EI pass. Near-duplicates are dropped *before* scoring, exactly as the
+  // scalar loop did.
+  std::vector<math::Vector> pool_units;
+  std::vector<math::Vector> pool_encoded;
+  pool_units.reserve(static_cast<size_t>(options_.candidates));
+  pool_encoded.reserve(static_cast<size_t>(options_.candidates));
   for (int c = 0; c < options_.candidates; ++c) {
     math::Vector unit = best_unit;
     int family = have_incumbent ? c % 3 : 1;
@@ -178,7 +199,7 @@ LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
     // *valid* configuration (Section 5.12 constraints).
     const sparksim::SparkConf conf =
         space.Repair(space.FromUnit(unit));
-    const math::Vector valid_unit = space.ToUnit(conf);
+    math::Vector valid_unit = space.ToUnit(conf);
     // Skip near-duplicates of past observations: re-running an evaluated
     // configuration wastes a cluster run and starves QCSA/IICP of sample
     // diversity.
@@ -191,11 +212,22 @@ LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
       }
     }
     if (duplicate) continue;
-    const double ei = dagp_.ExpectedImprovement(EncodeUnit(valid_unit),
-                                                datasize_gb);
-    if (ei > best_ei) {
-      best_ei = ei;
-      best.unit = valid_unit;
+    pool_encoded.push_back(EncodeUnit(valid_unit));
+    pool_units.push_back(std::move(valid_unit));
+  }
+
+  Proposal best;
+  double best_ei = -1.0;
+  if (!pool_units.empty()) {
+    const math::Vector eis =
+        dagp_.ExpectedImprovementBatch(pool_encoded, datasize_gb);
+    // Scan in generation order with strict '>' so the first maximum wins,
+    // matching the scalar loop's tie-break.
+    for (size_t i = 0; i < pool_units.size(); ++i) {
+      if (eis[i] > best_ei) {
+        best_ei = eis[i];
+        best.unit = pool_units[i];
+      }
     }
   }
   if (best_ei < 0.0) {
@@ -207,6 +239,10 @@ LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
   }
   pending_relative_ei_ = best.relative_ei;
   pending_candidate_pool_ = options_.candidates;
+  pending_acq_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    acq_start)
+          .count();
   return best;
 }
 
@@ -360,6 +396,7 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
       phase_label_ = "lhs";
       pending_relative_ei_ = 0.0;
       pending_candidate_pool_ = 0;
+      pending_acq_seconds_ = 0.0;
       const math::Matrix lhs =
           ml::LatinHypercube(options_.lhs_init, sparksim::kNumParams, &rng_);
       for (int i = 0; i < options_.lhs_init; ++i) {
@@ -377,6 +414,7 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
         // only the third follows the acquisition function.
         pending_relative_ei_ = 0.0;
         pending_candidate_pool_ = 0;
+        pending_acq_seconds_ = 0.0;
         sparksim::SparkConf conf = space.RandomValid(&rng_);
         if (observations_.size() % 3 == 2 && dagp_.Refit(&rng_).ok()) {
           const Proposal prop = ProposeNext(session, datasize_gb);
@@ -444,16 +482,38 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
   phase_label_ = "recommend";
   pending_relative_ei_ = 0.0;
   pending_candidate_pool_ = 0;
+  pending_acq_seconds_ = 0.0;
   const bool have_model = dagp_.fitted() || dagp_.Refit(&rng_).ok();
   std::vector<std::pair<double, size_t>> ranked;
-  for (size_t i = 0; i < observations_.size(); ++i) {
-    const auto& obs = observations_[i];
-    if (obs.datasize_gb != datasize_gb) continue;
-    const double score =
-        have_model
-            ? dagp_.Predict(EncodeUnit(obs.unit), datasize_gb).seconds
-            : obs.objective_seconds;
-    ranked.push_back({score, i});
+  if (have_model) {
+    // One batched posterior-mean pass over this data size's history.
+    const auto acq_start = std::chrono::steady_clock::now();
+    std::vector<math::Vector> encoded;
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < observations_.size(); ++i) {
+      const auto& obs = observations_[i];
+      if (obs.datasize_gb != datasize_gb) continue;
+      encoded.push_back(EncodeUnit(obs.unit));
+      indices.push_back(i);
+    }
+    if (!encoded.empty()) {
+      const std::vector<double> sizes(encoded.size(), datasize_gb);
+      const std::vector<Dagp::Prediction> preds =
+          dagp_.PredictBatch(encoded, sizes);
+      for (size_t k = 0; k < preds.size(); ++k) {
+        ranked.push_back({preds[k].seconds, indices[k]});
+      }
+    }
+    pending_acq_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      acq_start)
+            .count();
+  } else {
+    for (size_t i = 0; i < observations_.size(); ++i) {
+      const auto& obs = observations_[i];
+      if (obs.datasize_gb != datasize_gb) continue;
+      ranked.push_back({obs.objective_seconds, i});
+    }
   }
   std::sort(ranked.begin(), ranked.end());
   double champion = 0.0;

@@ -142,6 +142,7 @@ class LocatTuner : public Tuner {
   const char* phase_label_ = "lhs";
   double pending_relative_ei_ = 0.0;
   int pending_candidate_pool_ = 0;
+  double pending_acq_seconds_ = 0.0;
   int iter_in_pass_ = 0;
 };
 

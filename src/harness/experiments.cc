@@ -1,6 +1,5 @@
 #include "harness/experiments.h"
 
-#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/thread_pool.h"
 #include "core/locat_tuner.h"
 #include "core/qcsa.h"
 #include "tuners/baselines.h"
@@ -253,19 +253,13 @@ std::vector<CellResult> ExperimentRunner::RunAll(
     return results;
   }
 
+  // Dedicated pool sized to the request; Run() serializes cache access
+  // internally and each cell writes only its own slot, so results are in
+  // input order regardless of scheduling.
+  common::ThreadPool pool(threads);
   std::vector<CellResult> results(specs.size());
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const size_t i = next.fetch_add(1);
-      if (i >= specs.size()) break;
-      results[i] = Run(specs[i]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  pool.ParallelForEach(specs.size(),
+                       [&](size_t i) { results[i] = Run(specs[i]); });
   Save();
   return results;
 }

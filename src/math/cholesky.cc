@@ -33,10 +33,15 @@ StatusOr<Cholesky> Cholesky::FactorWithJitter(const Matrix& a,
                                               int max_attempts) {
   auto first = Factor(a);
   if (first.ok()) return first;
+  // Attempt 0 already failed on `a` itself, so the jittered copy is built
+  // exactly once; later attempts only bump the diagonal in place by the
+  // difference to the next jitter level.
+  Matrix regularized = a;
   double jitter = initial_jitter;
+  double applied = 0.0;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    Matrix regularized = a;
-    regularized.AddToDiagonal(jitter);
+    regularized.AddToDiagonal(jitter - applied);
+    applied = jitter;
     auto result = Factor(regularized);
     if (result.ok()) {
       Cholesky chol = std::move(result).value();
@@ -70,6 +75,26 @@ Vector Cholesky::SolveLower(const Vector& b) const {
     double s = b[i];
     for (size_t j = 0; j < i; ++j) s -= l_(i, j) * y[j];
     y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Matrix Cholesky::SolveLowerMatrix(const Matrix& b) const {
+  const size_t n = l_.rows();
+  assert(b.rows() == n);
+  const size_t m = b.cols();
+  Matrix y = b;
+  for (size_t i = 0; i < n; ++i) {
+    double* yi = y.RowData(i);
+    const double* li = l_.RowData(i);
+    for (size_t j = 0; j < i; ++j) {
+      const double l_ij = li[j];
+      if (l_ij == 0.0) continue;
+      const double* yj = y.RowData(j);
+      for (size_t c = 0; c < m; ++c) yi[c] -= l_ij * yj[c];
+    }
+    const double inv = 1.0 / li[i];
+    for (size_t c = 0; c < m; ++c) yi[c] *= inv;
   }
   return y;
 }

@@ -112,6 +112,22 @@ Matrix Matrix::operator*(const Matrix& other) const {
   return out;
 }
 
+Matrix Matrix::MultiplyTransposed(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowData(i);
+    double* out_row = out.RowData(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b = other.RowData(j);
+      double s = 0.0;
+      for (size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
+      out_row[j] = s;
+    }
+  }
+  return out;
+}
+
 Vector Matrix::operator*(const Vector& v) const {
   assert(cols_ == v.size());
   Vector out(rows_);

@@ -83,6 +83,16 @@ class Matrix {
 
   /// Returns row `r` as a Vector.
   Vector Row(size_t r) const;
+  /// Borrowed pointer to the `cols()` contiguous entries of row `r` —
+  /// the allocation-free accessor hot loops use instead of Row().
+  const double* RowData(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  double* RowData(size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
   /// Returns column `c` as a Vector.
   Vector Col(size_t c) const;
   /// Overwrites row `r`; sizes must match.
@@ -92,6 +102,11 @@ class Matrix {
 
   /// Matrix-matrix product; inner dimensions must agree.
   Matrix operator*(const Matrix& other) const;
+  /// `this * other^T` without materializing the transpose. Both operands
+  /// are walked row-major, so the inner dot product is contiguous in both
+  /// — the cache-friendly kernel behind batched GP cross-kernels.
+  /// Requires `cols() == other.cols()`.
+  Matrix MultiplyTransposed(const Matrix& other) const;
   /// Matrix-vector product; `v.size()` must equal `cols()`.
   Vector operator*(const Vector& v) const;
 

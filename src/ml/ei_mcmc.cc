@@ -3,7 +3,10 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "math/distributions.h"
 #include "math/stats.h"
 
@@ -32,28 +35,78 @@ Status EiMcmc::Fit(const math::Matrix& x, const math::Vector& y, Rng* rng) {
   best_observed_ = math::Min(y.data());
 
   const size_t dim = x.cols();
-  auto log_posterior = [&](const math::Vector& flat) {
-    const GpHyperparams hp = GpHyperparams::Unflatten(flat);
-    const double lml = GaussianProcess::ComputeLogMarginalLikelihood(x, y, hp);
-    if (!std::isfinite(lml)) return -std::numeric_limits<double>::infinity();
-    return lml + LogPrior(hp);
-  };
-
   SliceSampler::Options sopts;
   sopts.width = 0.8;
-  SliceSampler sampler(log_posterior, sopts);
-
   const math::Vector initial = GpHyperparams::Default(dim).Flatten();
-  const std::vector<math::Vector> samples = sampler.Sample(
-      initial, options_.num_hyper_samples, options_.burn_in, options_.thin,
-      rng, &last_fit_stats_.sampler);
 
   ensemble_.clear();
-  ensemble_.reserve(samples.size());
-  for (const auto& flat : samples) {
-    GaussianProcess gp;
-    Status s = gp.Fit(x, y, GpHyperparams::Unflatten(flat));
-    if (s.ok()) ensemble_.push_back(std::move(gp));
+  if (options_.fast_path) {
+    // Kernel-cached density: pair squared-distances precomputed once, one
+    // exp per pair per proposal, and the factorization of every density
+    // evaluation memoized. The sampler's last evaluation of each sweep is
+    // at exactly the retained state, so the callback harvests that
+    // factorization and the ensemble member adopts it instead of
+    // refactoring.
+    GpKernelCache cache(x, y);
+    auto log_posterior = [&](const math::Vector& flat) {
+      const GpHyperparams hp = GpHyperparams::Unflatten(flat);
+      const double lml = cache.LogMarginalLikelihood(hp);
+      if (!std::isfinite(lml)) {
+        return -std::numeric_limits<double>::infinity();
+      }
+      return lml + LogPrior(hp);
+    };
+    SliceSampler sampler(log_posterior, sopts);
+
+    std::vector<std::optional<GpKernelCache::Factorization>> harvested;
+    auto on_sample = [&](int /*index*/, const math::Vector& state) {
+      harvested.push_back(cache.TakeMemoized(state));
+    };
+    const std::vector<math::Vector> samples = sampler.Sample(
+        initial, options_.num_hyper_samples, options_.burn_in, options_.thin,
+        rng, &last_fit_stats_.sampler, on_sample);
+
+    // Fit the members concurrently, one slot per sample, then assemble in
+    // sample order — results are independent of the thread count. Workers
+    // only read `cache` and write their own slot; no RNG is touched.
+    std::vector<std::optional<GaussianProcess>> slots(samples.size());
+    common::ThreadPool::Global()->ParallelForEach(
+        samples.size(), [&](size_t i) {
+          const GpHyperparams hp = GpHyperparams::Unflatten(samples[i]);
+          GaussianProcess gp;
+          const Status s =
+              harvested[i].has_value()
+                  ? gp.AdoptFit(cache, hp, std::move(*harvested[i]))
+                  : gp.Fit(cache, hp);
+          if (s.ok()) slots[i].emplace(std::move(gp));
+        });
+    ensemble_.reserve(samples.size());
+    for (auto& slot : slots) {
+      if (slot.has_value()) ensemble_.push_back(std::move(*slot));
+    }
+  } else {
+    // Sequential baseline: every density evaluation rebuilds the kernel
+    // from raw hyperparameters and every ensemble member refits from
+    // scratch.
+    auto log_posterior = [&](const math::Vector& flat) {
+      const GpHyperparams hp = GpHyperparams::Unflatten(flat);
+      const double lml =
+          GaussianProcess::ComputeLogMarginalLikelihood(x, y, hp);
+      if (!std::isfinite(lml)) {
+        return -std::numeric_limits<double>::infinity();
+      }
+      return lml + LogPrior(hp);
+    };
+    SliceSampler sampler(log_posterior, sopts);
+    const std::vector<math::Vector> samples = sampler.Sample(
+        initial, options_.num_hyper_samples, options_.burn_in, options_.thin,
+        rng, &last_fit_stats_.sampler);
+    ensemble_.reserve(samples.size());
+    for (const auto& flat : samples) {
+      GaussianProcess gp;
+      Status s = gp.Fit(x, y, GpHyperparams::Unflatten(flat));
+      if (s.ok()) ensemble_.push_back(std::move(gp));
+    }
   }
   if (ensemble_.empty()) {
     // Fall back to the default hyperparameters so callers always get a
@@ -93,6 +146,42 @@ double EiMcmc::AcquisitionValue(const math::Vector& x) const {
   return total / static_cast<double>(ensemble_.size());
 }
 
+math::Vector EiMcmc::AcquisitionValueBatch(const math::Matrix& xs) const {
+  assert(fitted());
+  const size_t m = xs.rows();
+  const size_t members = ensemble_.size();
+  // One batched prediction per ensemble member, computed concurrently.
+  // Each member's result depends only on that member, so the per-candidate
+  // accumulation below (fixed member order) is thread-count invariant.
+  std::vector<GaussianProcess::BatchPrediction> preds(members);
+  common::ThreadPool::Global()->ParallelForEach(members, [&](size_t k) {
+    preds[k] = ensemble_[k].PredictBatch(xs);
+  });
+
+  math::Vector out(m);
+  for (size_t c = 0; c < m; ++c) {
+    double total = 0.0;
+    for (size_t k = 0; k < members; ++k) {
+      const double mean = preds[k].mean[c];
+      const double sd = std::sqrt(preds[k].variance[c]);
+      switch (options_.acquisition) {
+        case AcquisitionKind::kProbabilityOfImprovement:
+          total += math::ProbabilityOfImprovement(mean, sd, best_observed_);
+          break;
+        case AcquisitionKind::kUcb:
+          total += math::NegativeLowerConfidenceBound(mean, sd,
+                                                      options_.ucb_beta);
+          break;
+        case AcquisitionKind::kExpectedImprovement:
+          total += math::ExpectedImprovement(mean, sd, best_observed_);
+          break;
+      }
+    }
+    out[c] = total / static_cast<double>(members);
+  }
+  return out;
+}
+
 GaussianProcess::Prediction EiMcmc::PredictAveraged(
     const math::Vector& x) const {
   assert(fitted());
@@ -108,6 +197,35 @@ GaussianProcess::Prediction EiMcmc::PredictAveraged(
   GaussianProcess::Prediction out;
   out.mean = mean;
   out.variance = std::max(0.0, second_moment / n - mean * mean);
+  return out;
+}
+
+GaussianProcess::BatchPrediction EiMcmc::PredictAveragedBatch(
+    const math::Matrix& xs) const {
+  assert(fitted());
+  const size_t m = xs.rows();
+  const size_t members = ensemble_.size();
+  std::vector<GaussianProcess::BatchPrediction> preds(members);
+  common::ThreadPool::Global()->ParallelForEach(members, [&](size_t k) {
+    preds[k] = ensemble_[k].PredictBatch(xs);
+  });
+
+  GaussianProcess::BatchPrediction out;
+  out.mean = math::Vector(m);
+  out.variance = math::Vector(m);
+  const double n = static_cast<double>(members);
+  for (size_t c = 0; c < m; ++c) {
+    double mean = 0.0;
+    double second_moment = 0.0;
+    for (size_t k = 0; k < members; ++k) {
+      const double mu = preds[k].mean[c];
+      mean += mu;
+      second_moment += preds[k].variance[c] + mu * mu;
+    }
+    mean /= n;
+    out.mean[c] = mean;
+    out.variance[c] = std::max(0.0, second_moment / n - mean * mean);
+  }
   return out;
 }
 

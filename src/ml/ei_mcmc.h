@@ -43,6 +43,15 @@ class EiMcmc {
     AcquisitionKind acquisition = AcquisitionKind::kExpectedImprovement;
     /// Exploration weight for the UCB rule.
     double ucb_beta = 2.0;
+    /// When true (the default), Fit evaluates the MCMC density through a
+    /// GpKernelCache (pair distances precomputed once, factorization of
+    /// each retained sample reused for its ensemble member) and fits
+    /// ensemble members on the shared thread pool. When false, Fit runs
+    /// the straightforward sequential path (full kernel rebuild per
+    /// density evaluation, full refit per ensemble member) — kept as the
+    /// benchmark baseline. Both paths draw the same random numbers and
+    /// sample the same posterior.
+    bool fast_path = true;
 
     Options() {}
   };
@@ -71,9 +80,21 @@ class EiMcmc {
   /// the posterior GP ensemble.
   double AcquisitionValue(const math::Vector& x) const;
 
+  /// Acquisition values for all rows of `xs` at once. Each ensemble
+  /// member runs one batched prediction (concurrently on the shared
+  /// thread pool); the per-candidate average then accumulates members in
+  /// fixed index order, so the result is bit-identical for any thread
+  /// count.
+  math::Vector AcquisitionValueBatch(const math::Matrix& xs) const;
+
   /// Ensemble-averaged predictive mean and (law-of-total-variance)
   /// variance.
   GaussianProcess::Prediction PredictAveraged(const math::Vector& x) const;
+
+  /// Batched PredictAveraged for all rows of `xs`; same determinism
+  /// contract as AcquisitionValueBatch.
+  GaussianProcess::BatchPrediction PredictAveragedBatch(
+      const math::Matrix& xs) const;
 
   /// Lowest observed target so far — the incumbent EI is computed against.
   double best_observed() const { return best_observed_; }

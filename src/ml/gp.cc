@@ -10,8 +10,32 @@ namespace {
 
 constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5 * log(2*pi)
 
-double ArdSqExp(const math::Vector& a, const math::Vector& b,
-                const GpHyperparams& hp) {
+/// exp(-2 * log_l_d) per dimension — the multiplicative form of the ARD
+/// lengthscales. Computing these once per kernel build (instead of one
+/// exp + divide per dimension per pair) is the main cost reduction in the
+/// MCMC hot path.
+math::Vector KernelWeights(const GpHyperparams& hp) {
+  math::Vector w(hp.log_lengthscales.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = std::exp(-2.0 * hp.log_lengthscales[i]);
+  }
+  return w;
+}
+
+double WeightedSqExp(const double* a, const double* b, const math::Vector& w,
+                     double signal_variance) {
+  double s = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    const double diff = a[i] - b[i];
+    s += w[i] * (diff * diff);
+  }
+  return signal_variance * std::exp(-0.5 * s);
+}
+
+/// The original per-pair kernel evaluation: one exp + divide per
+/// dimension. Retained as the reference/baseline implementation.
+double ReferenceArdSqExp(const math::Vector& a, const math::Vector& b,
+                         const GpHyperparams& hp) {
   double s = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     const double l = std::exp(hp.log_lengthscales[i]);
@@ -23,17 +47,36 @@ double ArdSqExp(const math::Vector& a, const math::Vector& b,
 
 math::Matrix BuildKernelMatrix(const math::Matrix& x, const GpHyperparams& hp) {
   const size_t n = x.rows();
+  const size_t d = x.cols();
+  const math::Vector w = KernelWeights(hp);
+  const double sv = std::exp(hp.log_signal_variance);
+  const double diag = sv + std::exp(hp.log_noise_variance) + 1e-10;
   math::Matrix k(n, n);
   for (size_t i = 0; i < n; ++i) {
-    const math::Vector xi = x.Row(i);
-    for (size_t j = i; j < n; ++j) {
-      const double v = ArdSqExp(xi, x.Row(j), hp);
+    const double* xi = x.RowData(i);
+    for (size_t j = 0; j < i; ++j) {
+      const double* xj = x.RowData(j);
+      double s = 0.0;
+      for (size_t c = 0; c < d; ++c) {
+        const double diff = xi[c] - xj[c];
+        s += w[c] * (diff * diff);
+      }
+      const double v = sv * std::exp(-0.5 * s);
       k(i, j) = v;
       k(j, i) = v;
     }
+    k(i, i) = diag;
   }
-  k.AddToDiagonal(std::exp(hp.log_noise_variance) + 1e-10);
   return k;
+}
+
+void Standardize(const math::Vector& y, math::Vector* ys, double* mean,
+                 double* std) {
+  *mean = math::Mean(y.data());
+  *std = math::StdDev(y.data());
+  if (*std < 1e-12) *std = 1.0;  // Constant targets: predict the mean.
+  *ys = math::Vector(y.size());
+  for (size_t i = 0; i < y.size(); ++i) (*ys)[i] = (y[i] - *mean) / *std;
 }
 
 }  // namespace
@@ -66,6 +109,94 @@ GpHyperparams GpHyperparams::Unflatten(const math::Vector& flat) {
   return hp;
 }
 
+GpKernelCache::GpKernelCache(const math::Matrix& x, const math::Vector& y)
+    : x_(x) {
+  Standardize(y, &ys_, &y_mean_, &y_std_);
+  const size_t n = x_.rows();
+  const size_t d = x_.cols();
+  pair_sqdiff_.resize(n * (n - 1) / 2 * d);
+  double* out = pair_sqdiff_.data();
+  for (size_t i = 0; i < n; ++i) {
+    const double* xi = x_.RowData(i);
+    for (size_t j = 0; j < i; ++j) {
+      const double* xj = x_.RowData(j);
+      for (size_t c = 0; c < d; ++c) {
+        const double diff = xi[c] - xj[c];
+        out[c] = diff * diff;
+      }
+      out += d;
+    }
+  }
+}
+
+math::Matrix GpKernelCache::BuildKernel(const GpHyperparams& hp) const {
+  const size_t n = x_.rows();
+  const size_t d = x_.cols();
+  const math::Vector w = KernelWeights(hp);
+  const double sv = std::exp(hp.log_signal_variance);
+  const double diag = sv + std::exp(hp.log_noise_variance) + 1e-10;
+  math::Matrix k(n, n);
+  const double* sq = pair_sqdiff_.data();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      double s = 0.0;
+      for (size_t c = 0; c < d; ++c) s += w[c] * sq[c];
+      sq += d;
+      const double v = sv * std::exp(-0.5 * s);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) = diag;
+  }
+  return k;
+}
+
+double GpKernelCache::LogMarginalLikelihood(const GpHyperparams& hp) {
+  if (hp.log_lengthscales.size() != x_.cols() || x_.rows() == 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  // The slice sampler re-evaluates the density at the state it just
+  // accepted (once per coordinate, at the end of each sweep); answer those
+  // repeats from the memo instead of refactoring.
+  if (memo_.has_value()) {
+    const math::Vector flat = hp.Flatten();
+    if (flat.size() == memo_key_.size()) {
+      bool match = true;
+      for (size_t i = 0; i < flat.size(); ++i) {
+        if (memo_key_[i] != flat[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return memo_->log_marginal_likelihood;
+    }
+  }
+  math::Matrix k = BuildKernel(hp);
+  auto chol = math::Cholesky::FactorWithJitter(k);
+  if (!chol.ok()) return -std::numeric_limits<double>::infinity();
+  math::Vector alpha = chol->Solve(ys_);
+  const double n = static_cast<double>(x_.rows());
+  const double lml = -0.5 * ys_.Dot(alpha) - 0.5 * chol->LogDeterminant() -
+                     n * kHalfLog2Pi;
+  memo_.emplace(
+      Factorization{std::move(chol).value(), std::move(alpha), lml});
+  memo_key_ = hp.Flatten();
+  return lml;
+}
+
+std::optional<GpKernelCache::Factorization> GpKernelCache::TakeMemoized(
+    const math::Vector& flat) {
+  if (!memo_.has_value() || memo_key_.size() != flat.size()) {
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (memo_key_[i] != flat[i]) return std::nullopt;
+  }
+  std::optional<Factorization> out = std::move(memo_);
+  memo_.reset();
+  return out;
+}
+
 Status GaussianProcess::Fit(const math::Matrix& x, const math::Vector& y,
                             const GpHyperparams& hp) {
   if (x.rows() == 0 || x.rows() != y.size()) {
@@ -77,11 +208,8 @@ Status GaussianProcess::Fit(const math::Matrix& x, const math::Vector& y,
   x_ = x;
   hp_ = hp;
 
-  y_mean_ = math::Mean(y.data());
-  y_std_ = math::StdDev(y.data());
-  if (y_std_ < 1e-12) y_std_ = 1.0;  // Constant targets: predict the mean.
-  math::Vector ys(y.size());
-  for (size_t i = 0; i < y.size(); ++i) ys[i] = (y[i] - y_mean_) / y_std_;
+  math::Vector ys;
+  Standardize(y, &ys, &y_mean_, &y_std_);
 
   math::Matrix k = BuildKernelMatrix(x_, hp_);
   auto chol = math::Cholesky::FactorWithJitter(k);
@@ -92,32 +220,144 @@ Status GaussianProcess::Fit(const math::Matrix& x, const math::Vector& y,
   const double n = static_cast<double>(x_.rows());
   log_marginal_likelihood_ = -0.5 * ys.Dot(alpha_) -
                              0.5 * chol_->LogDeterminant() - n * kHalfLog2Pi;
-  fitted_ = true;
+  FinishFit();
   return Status::OK();
 }
 
-double GaussianProcess::KernelValue(const math::Vector& a,
-                                    const math::Vector& b) const {
-  return ArdSqExp(a, b, hp_);
+Status GaussianProcess::Fit(const GpKernelCache& cache,
+                            const GpHyperparams& hp) {
+  if (hp.log_lengthscales.size() != cache.input_dim()) {
+    return Status::InvalidArgument("lengthscale dimension mismatch");
+  }
+  x_ = cache.x();
+  hp_ = hp;
+  y_mean_ = cache.y_mean();
+  y_std_ = cache.y_std();
+
+  math::Matrix k = cache.BuildKernel(hp);
+  auto chol = math::Cholesky::FactorWithJitter(k);
+  if (!chol.ok()) return chol.status();
+  chol_ = std::move(chol).value();
+  alpha_ = chol_->Solve(cache.standardized_y());
+
+  const double n = static_cast<double>(x_.rows());
+  log_marginal_likelihood_ = -0.5 * cache.standardized_y().Dot(alpha_) -
+                             0.5 * chol_->LogDeterminant() - n * kHalfLog2Pi;
+  FinishFit();
+  return Status::OK();
+}
+
+Status GaussianProcess::AdoptFit(const GpKernelCache& cache,
+                                 const GpHyperparams& hp,
+                                 GpKernelCache::Factorization factorization) {
+  if (hp.log_lengthscales.size() != cache.input_dim()) {
+    return Status::InvalidArgument("lengthscale dimension mismatch");
+  }
+  x_ = cache.x();
+  hp_ = hp;
+  y_mean_ = cache.y_mean();
+  y_std_ = cache.y_std();
+  chol_ = std::move(factorization.chol);
+  alpha_ = std::move(factorization.alpha);
+  log_marginal_likelihood_ = factorization.log_marginal_likelihood;
+  FinishFit();
+  return Status::OK();
+}
+
+void GaussianProcess::FinishFit() {
+  inv_sq_lengthscales_ = KernelWeights(hp_);
+  signal_variance_ = std::exp(hp_.log_signal_variance);
+  fitted_ = true;
 }
 
 GaussianProcess::Prediction GaussianProcess::Predict(
     const math::Vector& x) const {
   assert(fitted_);
+  assert(x.size() == x_.cols());
   const size_t n = x_.rows();
+  const double* xp = x.data().data();
   math::Vector kstar(n);
-  for (size_t i = 0; i < n; ++i) kstar[i] = KernelValue(x, x_.Row(i));
+  for (size_t i = 0; i < n; ++i) {
+    kstar[i] = WeightedSqExp(xp, x_.RowData(i), inv_sq_lengthscales_,
+                             signal_variance_);
+  }
 
   Prediction pred;
   pred.mean = y_mean_ + y_std_ * kstar.Dot(alpha_);
 
   // var = k(x,x) - k*^T (K + noise I)^-1 k*, computed via the triangular
-  // solve v = L^-1 k*.
+  // solve v = L^-1 k*. k(x,x) is exactly the signal variance.
   const math::Vector v = chol_->SolveLower(kstar);
-  double var = KernelValue(x, x) - v.Dot(v);
+  double var = signal_variance_ - v.Dot(v);
   if (var < 0.0) var = 0.0;
   pred.variance = var * y_std_ * y_std_;
   return pred;
+}
+
+GaussianProcess::Prediction GaussianProcess::PredictReference(
+    const math::Vector& x) const {
+  assert(fitted_);
+  const size_t n = x_.rows();
+  math::Vector kstar(n);
+  for (size_t i = 0; i < n; ++i) {
+    kstar[i] = ReferenceArdSqExp(x, x_.Row(i), hp_);
+  }
+
+  Prediction pred;
+  pred.mean = y_mean_ + y_std_ * kstar.Dot(alpha_);
+  const math::Vector v = chol_->SolveLower(kstar);
+  double var = ReferenceArdSqExp(x, x, hp_) - v.Dot(v);
+  if (var < 0.0) var = 0.0;
+  pred.variance = var * y_std_ * y_std_;
+  return pred;
+}
+
+GaussianProcess::BatchPrediction GaussianProcess::PredictBatch(
+    const math::Matrix& xs) const {
+  assert(fitted_);
+  assert(xs.cols() == x_.cols());
+  const size_t m = xs.rows();
+  const size_t n = x_.rows();
+  BatchPrediction out;
+  out.mean = math::Vector(m);
+  out.variance = math::Vector(m);
+  if (m == 0) return out;
+
+  // Candidate-major cross-kernel: km(c, i) = k(xs_c, x_i). Row c is the
+  // k* vector of candidate c, contiguous for the mean dot product.
+  math::Matrix km(m, n);
+  for (size_t c = 0; c < m; ++c) {
+    const double* xc = xs.RowData(c);
+    double* row = km.RowData(c);
+    for (size_t i = 0; i < n; ++i) {
+      row[i] = WeightedSqExp(xc, x_.RowData(i), inv_sq_lengthscales_,
+                             signal_variance_);
+    }
+  }
+
+  for (size_t c = 0; c < m; ++c) {
+    const double* row = km.RowData(c);
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) s += row[i] * alpha_[i];
+    out.mean[c] = y_mean_ + y_std_ * s;
+  }
+
+  // One blocked forward substitution for every candidate at once:
+  // V = L^-1 K*^T, then var_c = k(x,x) - sum_i V(i,c)^2. The column sums
+  // accumulate i in increasing order, matching the per-point Predict.
+  const math::Matrix v = chol_->SolveLowerMatrix(km.Transpose());
+  math::Vector sumsq(m);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = v.RowData(i);
+    for (size_t c = 0; c < m; ++c) sumsq[c] += row[c] * row[c];
+  }
+  const double ys2 = y_std_ * y_std_;
+  for (size_t c = 0; c < m; ++c) {
+    double var = signal_variance_ - sumsq[c];
+    if (var < 0.0) var = 0.0;
+    out.variance[c] = var * ys2;
+  }
+  return out;
 }
 
 double GaussianProcess::ComputeLogMarginalLikelihood(const math::Matrix& x,
@@ -127,14 +367,28 @@ double GaussianProcess::ComputeLogMarginalLikelihood(const math::Matrix& x,
       hp.log_lengthscales.size() != x.cols()) {
     return -std::numeric_limits<double>::infinity();
   }
-  const double y_mean = math::Mean(y.data());
-  double y_std = math::StdDev(y.data());
-  if (y_std < 1e-12) y_std = 1.0;
-  math::Vector ys(y.size());
-  for (size_t i = 0; i < y.size(); ++i) ys[i] = (y[i] - y_mean) / y_std;
+  math::Vector ys;
+  double y_mean = 0.0;
+  double y_std = 1.0;
+  Standardize(y, &ys, &y_mean, &y_std);
 
-  math::Matrix k = BuildKernelMatrix(x, hp);
-  auto chol = math::Cholesky::Factor(k);
+  // Reference kernel build (per-pair exps) on purpose: this static entry
+  // point doubles as the benchmark baseline for the cached path.
+  const size_t n_pts = x.rows();
+  math::Matrix k(n_pts, n_pts);
+  for (size_t i = 0; i < n_pts; ++i) {
+    const math::Vector xi = x.Row(i);
+    for (size_t j = i; j < n_pts; ++j) {
+      const double v = ReferenceArdSqExp(xi, x.Row(j), hp);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  k.AddToDiagonal(std::exp(hp.log_noise_variance) + 1e-10);
+
+  // Same jittered factorization as Fit, so the sampler's density and the
+  // retained fit cannot disagree near the positive-definiteness boundary.
+  auto chol = math::Cholesky::FactorWithJitter(k);
   if (!chol.ok()) return -std::numeric_limits<double>::infinity();
   const math::Vector alpha = chol->Solve(ys);
   const double n = static_cast<double>(x.rows());

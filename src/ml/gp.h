@@ -30,6 +30,74 @@ struct GpHyperparams {
   static GpHyperparams Unflatten(const math::Vector& flat);
 };
 
+/// Precomputed kernel structure for repeated hyperparameter evaluations on
+/// one fixed (x, y) dataset — the MCMC hot path.
+///
+/// The slice sampler evaluates the log marginal likelihood at hundreds of
+/// hyperparameter proposals per Fit, and every evaluation needs the full
+/// n x n kernel matrix. The entries only depend on the hyperparameters
+/// through `sum_d w_d * (x_i[d] - x_j[d])^2` with `w_d = exp(-2 log_l_d)`,
+/// so this cache stores the per-pair per-dimension squared differences
+/// once; each proposal then costs one exp per pair instead of d exps, d
+/// divisions, and two Vector copies per pair.
+///
+/// The cache also standardizes the targets once and memoizes the
+/// factorization of the most recent successful likelihood evaluation.
+/// The slice sampler's final density evaluation of each sweep lands
+/// exactly on the retained sample, so `TakeMemoized` lets the caller
+/// build that sample's GP ensemble member without refactoring (O(n^3)
+/// saved per retained sample).
+class GpKernelCache {
+ public:
+  /// Precomputes pair structure for `x` (n x d) and standardizes `y`.
+  GpKernelCache(const math::Matrix& x, const math::Vector& y);
+
+  size_t num_points() const { return x_.rows(); }
+  size_t input_dim() const { return x_.cols(); }
+  const math::Matrix& x() const { return x_; }
+  /// Targets standardized to zero mean / unit variance.
+  const math::Vector& standardized_y() const { return ys_; }
+  double y_mean() const { return y_mean_; }
+  double y_std() const { return y_std_; }
+
+  /// Kernel matrix K(hp) with the noise + 1e-10 diagonal already added.
+  /// Const and thread-safe.
+  math::Matrix BuildKernel(const GpHyperparams& hp) const;
+
+  /// The reusable result of one likelihood evaluation.
+  struct Factorization {
+    math::Cholesky chol;
+    math::Vector alpha;  // (K + noise I)^-1 y_standardized
+    double log_marginal_likelihood = 0.0;
+  };
+
+  /// Log marginal likelihood of the cached data under `hp` (same value as
+  /// `GaussianProcess::ComputeLogMarginalLikelihood`, jittered path).
+  /// Returns -inf when the kernel cannot be factored even with jitter.
+  /// Memoizes the factorization of the last successful call; NOT
+  /// thread-safe because of that memo write.
+  double LogMarginalLikelihood(const GpHyperparams& hp);
+
+  /// Moves out the memoized factorization iff it was produced for exactly
+  /// the hyperparameters `flat` (element-wise equality on the flattened
+  /// vector). Returns nullopt on a miss; the memo is consumed either way
+  /// only on a hit.
+  std::optional<Factorization> TakeMemoized(const math::Vector& flat);
+
+ private:
+  math::Matrix x_;
+  math::Vector ys_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  // Row p holds the d squared differences of pair p, pairs enumerated as
+  // (i, j) with j < i, p = i*(i-1)/2 + j. Contiguous so a kernel build is
+  // one linear scan.
+  std::vector<double> pair_sqdiff_;
+
+  std::optional<Factorization> memo_;
+  math::Vector memo_key_;
+};
+
 /// Gaussian-process regression with an ARD squared-exponential kernel.
 ///
 /// This is the surrogate model underlying DAGP (the datasize-aware GP): the
@@ -48,6 +116,18 @@ class GaussianProcess {
   Status Fit(const math::Matrix& x, const math::Vector& y,
              const GpHyperparams& hp);
 
+  /// Fits against a prebuilt kernel cache (same result as the (x, y)
+  /// overload on the cache's data, but reuses the cached pair structure
+  /// and standardization). The cache is only read, so concurrent Fit
+  /// calls against one cache are safe.
+  Status Fit(const GpKernelCache& cache, const GpHyperparams& hp);
+
+  /// Adopts an already-computed factorization (from
+  /// `GpKernelCache::TakeMemoized`) instead of refactoring — O(n^2) copy
+  /// instead of O(n^2 d) kernel build + O(n^3) factorization.
+  Status AdoptFit(const GpKernelCache& cache, const GpHyperparams& hp,
+                  GpKernelCache::Factorization factorization);
+
   struct Prediction {
     double mean = 0.0;
     double variance = 0.0;
@@ -57,13 +137,34 @@ class GaussianProcess {
   /// Must be called after a successful Fit.
   Prediction Predict(const math::Vector& x) const;
 
+  /// Straightforward per-point prediction that rebuilds everything from
+  /// the raw hyperparameters (per-dimension exp + divide, Vector row
+  /// copies). Kept as the ground-truth implementation for equivalence
+  /// tests and as the benchmark baseline; produces the same posterior as
+  /// `Predict` up to floating-point reassociation.
+  Prediction PredictReference(const math::Vector& x) const;
+
+  struct BatchPrediction {
+    math::Vector mean;
+    math::Vector variance;
+  };
+
+  /// Posterior mean/variance for all rows of `xs` (m x d) at once: forms
+  /// the m x n cross-kernel in one pass and runs one blocked forward
+  /// substitution instead of m per-point triangular solves. Each row's
+  /// result depends only on that row, so any chunking of `xs` yields
+  /// bit-identical values.
+  BatchPrediction PredictBatch(const math::Matrix& xs) const;
+
   /// Log marginal likelihood of the fitted data under the fitted
   /// hyperparameters (up to the usual constant).
   double LogMarginalLikelihood() const { return log_marginal_likelihood_; }
 
   /// Computes the log marginal likelihood for candidate hyperparameters
-  /// without retaining the fit; used by the MCMC sampler. Returns -inf
-  /// (lowest double) when the kernel matrix cannot be factored.
+  /// without retaining the fit. Uses the same jittered factorization path
+  /// as Fit, so the sampler and the fit agree on the density. Returns
+  /// -inf (lowest double) when the kernel matrix cannot be factored even
+  /// with jitter.
   static double ComputeLogMarginalLikelihood(const math::Matrix& x,
                                              const math::Vector& y,
                                              const GpHyperparams& hp);
@@ -74,11 +175,16 @@ class GaussianProcess {
   const GpHyperparams& hyperparams() const { return hp_; }
 
  private:
-  double KernelValue(const math::Vector& a, const math::Vector& b) const;
+  /// Derives the cached kernel weights from hp_ and flips fitted_.
+  void FinishFit();
 
   bool fitted_ = false;
   math::Matrix x_;
   GpHyperparams hp_;
+  // exp(-2 * log_lengthscale_d) per dimension and exp(log_signal_variance),
+  // derived once at Fit so predictions never re-exponentiate.
+  math::Vector inv_sq_lengthscales_;
+  double signal_variance_ = 1.0;
   double y_mean_ = 0.0;
   double y_std_ = 1.0;
   std::optional<math::Cholesky> chol_;

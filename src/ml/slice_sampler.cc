@@ -67,10 +67,9 @@ math::Vector SliceSampler::Sweep(const math::Vector& state, Rng* rng,
   return current;
 }
 
-std::vector<math::Vector> SliceSampler::Sample(const math::Vector& initial,
-                                               int n_samples, int burn_in,
-                                               int thin, Rng* rng,
-                                               Stats* stats) const {
+std::vector<math::Vector> SliceSampler::Sample(
+    const math::Vector& initial, int n_samples, int burn_in, int thin,
+    Rng* rng, Stats* stats, const SampleCallback& on_sample) const {
   std::vector<math::Vector> samples;
   samples.reserve(static_cast<size_t>(n_samples));
   math::Vector state = initial;
@@ -78,6 +77,7 @@ std::vector<math::Vector> SliceSampler::Sample(const math::Vector& initial,
   for (int s = 0; s < n_samples; ++s) {
     for (int t = 0; t < std::max(1, thin); ++t) state = Sweep(state, rng, stats);
     samples.push_back(state);
+    if (on_sample) on_sample(s, state);
   }
   return samples;
 }

@@ -59,12 +59,21 @@ class SliceSampler {
   math::Vector Sweep(const math::Vector& state, Rng* rng,
                      Stats* stats = nullptr) const;
 
+  /// Invoked right after each retained sample with (sample_index, state).
+  /// The density has just been evaluated at exactly `state` (the final
+  /// evaluation of the sweep that produced it), which lets density
+  /// implementations hand their cached factorization of that state to the
+  /// caller. Must not mutate sampler state or draw random numbers.
+  using SampleCallback = std::function<void(int, const math::Vector&)>;
+
   /// Runs `burn_in` sweeps then collects `n_samples` states, taking one
   /// sample every `thin` sweeps. `stats` (optional) accumulates work
-  /// counters over the whole call.
+  /// counters over the whole call; `on_sample` (optional) observes each
+  /// retained sample as it is produced.
   std::vector<math::Vector> Sample(const math::Vector& initial, int n_samples,
                                    int burn_in, int thin, Rng* rng,
-                                   Stats* stats = nullptr) const;
+                                   Stats* stats = nullptr,
+                                   const SampleCallback& on_sample = {}) const;
 
  private:
   /// Slice-samples a single coordinate, returning its new value.

@@ -30,6 +30,7 @@ void JsonlObserver::OnIteration(const BoIterationEvent& e) {
      << ",\"candidate_pool\":" << e.candidate_pool
      << ",\"full_app\":" << (e.full_app ? "true" : "false")
      << ",\"dagp_fit_seconds\":" << Fmt(e.dagp_fit_seconds)
+     << ",\"acq_seconds\":" << Fmt(e.acq_seconds)
      << ",\"mcmc_ensemble\":" << e.mcmc_ensemble
      << ",\"mcmc_density_evals\":" << e.mcmc_density_evals
      << ",\"mcmc_acceptance\":" << Fmt(e.mcmc_acceptance)

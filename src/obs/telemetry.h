@@ -29,6 +29,11 @@ struct BoIterationEvent {
   int candidate_pool = 0;      // EI candidates scanned for this proposal
   bool full_app = true;        // full application vs RQA subset
   double dagp_fit_seconds = 0.0;   // wall seconds of the preceding refit
+  double acq_seconds = 0.0;        // wall seconds scoring candidates for
+                                   // this proposal (incumbent scan + EI);
+                                   // with dagp_fit_seconds this splits the
+                                   // per-iteration optimization overhead
+                                   // into surrogate-fit vs acquisition
   int mcmc_ensemble = 0;           // fitted GPs in the EI-MCMC ensemble
   int64_t mcmc_density_evals = 0;  // posterior evaluations in that refit
   double mcmc_acceptance = 0.0;    // slice-sampler proposal acceptance rate

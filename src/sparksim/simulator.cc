@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace locat::sparksim {
 namespace {
@@ -85,7 +88,7 @@ ClusterSimulator::Resources ClusterSimulator::DeriveResources(
 QueryMetrics ClusterSimulator::SimulateQuery(const QueryProfile& query,
                                              const SparkConf& conf,
                                              double datasize_gb,
-                                             double noise) {
+                                             double noise) const {
   QueryMetrics m;
   m.name = query.name;
 
@@ -405,6 +408,33 @@ AppRunResult ClusterSimulator::RunAppSubset(
   AppRunResult result;
   result.per_query.reserve(query_indices.size());
 
+  std::vector<int> valid;
+  valid.reserve(query_indices.size());
+  for (int idx : query_indices) {
+    if (idx < 0 || idx >= app.num_queries()) continue;
+    valid.push_back(idx);
+  }
+
+  // Draw every noise factor up front, in exactly the order the sequential
+  // per-query loop drew them: the RNG stream (and runs_performed_) must
+  // not depend on how the evaluations below are scheduled.
+  std::vector<double> noises(valid.size(), 1.0);
+  for (size_t i = 0; i < valid.size(); ++i) {
+    ++runs_performed_;
+    if (params_.noise_sigma > 0.0) {
+      noises[i] = noise_rng_.LognormalNoise(params_.noise_sigma);
+    }
+  }
+
+  // Evaluate the cost model for all queries concurrently. SimulateQuery
+  // is const and each slot is written by exactly one index, so the result
+  // is bit-identical for any thread count.
+  std::vector<QueryMetrics> metrics(valid.size());
+  common::ThreadPool::Global()->ParallelForEach(valid.size(), [&](size_t i) {
+    metrics[i] = SimulateQuery(app.queries[static_cast<size_t>(valid[i])],
+                               conf, datasize_gb, noises[i]);
+  });
+
   // Driver pressure: many tasks + a small driver heap slow down
   // scheduling for the whole application.
   const double driver_relief =
@@ -421,10 +451,8 @@ AppRunResult ClusterSimulator::RunAppSubset(
   cursor += SimLaneNs(submit);
 
   result.total_seconds = submit;
-  for (int idx : query_indices) {
-    if (idx < 0 || idx >= app.num_queries()) continue;
-    QueryMetrics qm =
-        RunQuery(app.queries[static_cast<size_t>(idx)], conf, datasize_gb);
+  for (size_t i = 0; i < valid.size(); ++i) {
+    QueryMetrics qm = std::move(metrics[i]);
     result.total_seconds += qm.exec_seconds;
     result.gc_seconds += qm.gc_seconds;
     result.shuffle_gb += qm.shuffle_gb;

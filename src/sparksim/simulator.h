@@ -159,8 +159,10 @@ class ClusterSimulator {
   Resources DeriveResources(const SparkConf& conf,
                             const QueryProfile& query) const;
 
+  /// Pure cost-model evaluation: const, draws no randomness (the noise
+  /// factor is passed in), so app runs can evaluate queries concurrently.
   QueryMetrics SimulateQuery(const QueryProfile& query, const SparkConf& conf,
-                             double datasize_gb, double noise);
+                             double datasize_gb, double noise) const;
 
   ClusterSpec cluster_;
   SimParams params_;

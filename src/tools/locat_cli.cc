@@ -29,6 +29,7 @@
 #include <iostream>
 
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/locat_tuner.h"
 #include "core/qcsa.h"
 #include "core/tuning.h"
@@ -57,6 +58,10 @@ int Usage() {
       "  report <telemetry.jsonl>         per-phase breakdown of a tune run\n"
       "tune flags:\n"
       "  --seed N            repetition salt for the tuner and simulator\n"
+      "  --threads N         worker threads for the BO hot path (GP\n"
+      "                      ensemble fits, acquisition scoring, RQA query\n"
+      "                      evaluation); results are bit-identical for\n"
+      "                      any N. Default: hardware concurrency\n"
       "  --trace FILE        write a Chrome trace_event JSON timeline\n"
       "                      (chrome://tracing, Perfetto); includes the\n"
       "                      simulated-time lane of the cluster simulator\n"
@@ -304,6 +309,8 @@ int CmdReport(const std::string& path) {
     std::string phase;
     int events = 0;
     double eval_seconds = 0.0;
+    double fit_seconds = 0.0;  // surrogate (DAGP) fitting wall time
+    double acq_seconds = 0.0;  // acquisition-scoring wall time
     double best_seconds = 0.0;
   };
   std::vector<PhaseAgg> phases;
@@ -333,6 +340,8 @@ int CmdReport(const std::string& path) {
       const double incumbent = rec.Num("incumbent_seconds");
       ++agg->events;
       agg->eval_seconds += eval;
+      agg->fit_seconds += rec.Num("dagp_fit_seconds");
+      agg->acq_seconds += rec.Num("acq_seconds");
       if (incumbent > 0.0 &&
           (agg->best_seconds <= 0.0 || incumbent < agg->best_seconds)) {
         agg->best_seconds = incumbent;
@@ -352,19 +361,31 @@ int CmdReport(const std::string& path) {
   }
 
   if (!tuner.empty()) std::printf("tuner: %s\n", tuner.c_str());
-  TablePrinter tp({"phase", "evals", "charged (s)", "share", "best (s)"});
+  // "fit" and "acq" split the tuner's own per-iteration overhead into
+  // surrogate fitting and acquisition scoring (real wall time, not
+  // simulated seconds); "charged" remains the simulated evaluation cost.
+  TablePrinter tp({"phase", "evals", "charged (s)", "share", "fit (s)",
+                   "acq (s)", "best (s)"});
+  double total_fit_seconds = 0.0;
+  double total_acq_seconds = 0.0;
   for (const auto& p : phases) {
+    total_fit_seconds += p.fit_seconds;
+    total_acq_seconds += p.acq_seconds;
     tp.AddRow({p.phase, std::to_string(p.events),
                TablePrinter::Num(p.eval_seconds, 1),
                TablePrinter::Num(100.0 * p.eval_seconds /
                                      std::max(1e-12, total_eval_seconds),
                                  1) +
                    "%",
+               TablePrinter::Num(p.fit_seconds, 3),
+               TablePrinter::Num(p.acq_seconds, 3),
                p.best_seconds > 0.0 ? TablePrinter::Num(p.best_seconds, 1)
                                     : ""});
   }
   tp.AddRow({"total", std::to_string(total_events),
-             TablePrinter::Num(total_eval_seconds, 1), "100.0%", ""});
+             TablePrinter::Num(total_eval_seconds, 1), "100.0%",
+             TablePrinter::Num(total_fit_seconds, 3),
+             TablePrinter::Num(total_acq_seconds, 3), ""});
   tp.Print(std::cout);
 
   if (have_summary) {
@@ -395,6 +416,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Usage();
       flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      common::ThreadPool::SetGlobalThreads(std::atoi(v));
     } else if (arg == "--trace") {
       const char* v = value();
       if (v == nullptr) return Usage();

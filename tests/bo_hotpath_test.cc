@@ -1,0 +1,393 @@
+// Tests of the BO hot-path performance layer: batched GP predictions,
+// the kernel-computation cache, and end-to-end thread-count invariance
+// of the tuner. The contract under test is "fast, but bit-for-bit the
+// same answer" — every optimization here must be invisible in results.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/locat_tuner.h"
+#include "core/tuning.h"
+#include "math/cholesky.h"
+#include "math/matrix.h"
+#include "ml/ei_mcmc.h"
+#include "ml/gp.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace locat {
+namespace {
+
+using math::Matrix;
+using math::Vector;
+using ml::GaussianProcess;
+using ml::GpHyperparams;
+using ml::GpKernelCache;
+
+/// Deterministic synthetic regression set: smooth target + mild noise.
+void MakeDataset(size_t n, size_t d, Matrix* x, Vector* y) {
+  Rng rng(417);
+  *x = Matrix(n, d);
+  *y = Vector(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double v = rng.NextDouble();
+      (*x)(i, j) = v;
+      s += std::sin(3.0 * v + static_cast<double>(j));
+    }
+    (*y)[i] = s + 0.05 * rng.NextGaussian();
+  }
+}
+
+GpHyperparams MakeHyperparams(size_t d) {
+  GpHyperparams hp = GpHyperparams::Default(d);
+  for (size_t j = 0; j < d; ++j) {
+    hp.log_lengthscales[j] = -1.0 + 0.07 * static_cast<double>(j);
+  }
+  hp.log_signal_variance = 0.3;
+  hp.log_noise_variance = -3.5;
+  return hp;
+}
+
+// --------------------------------------------------- SolveLowerMatrix
+
+TEST(SolveLowerMatrixTest, MatchesPerColumnSolveLower) {
+  Rng rng(11);
+  const size_t n = 24;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      const double v = rng.NextDouble() - 0.5;
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+    a(i, i) += static_cast<double>(n);  // diagonally dominant => SPD
+  }
+  const auto chol = math::Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+
+  const size_t m = 7;
+  Matrix b(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < m; ++c) b(i, c) = rng.NextGaussian();
+  }
+  const Matrix y = chol->SolveLowerMatrix(b);
+  ASSERT_EQ(y.rows(), n);
+  ASSERT_EQ(y.cols(), m);
+  for (size_t c = 0; c < m; ++c) {
+    Vector col(n);
+    for (size_t i = 0; i < n; ++i) col[i] = b(i, c);
+    const Vector ref = chol->SolveLower(col);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y(i, c), ref[i], 1e-12) << "col " << c << " row " << i;
+    }
+  }
+}
+
+// -------------------------------------------------------- PredictBatch
+
+TEST(PredictBatchTest, MatchesPerPointPredict) {
+  Matrix x;
+  Vector y;
+  MakeDataset(60, 9, &x, &y);
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y, MakeHyperparams(9)).ok());
+
+  Rng rng(5);
+  const size_t m = 200;
+  Matrix xs(m, 9);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < 9; ++j) xs(i, j) = rng.NextDouble();
+  }
+  const GaussianProcess::BatchPrediction batch = gp.PredictBatch(xs);
+  ASSERT_EQ(batch.mean.size(), m);
+  ASSERT_EQ(batch.variance.size(), m);
+  for (size_t i = 0; i < m; ++i) {
+    const auto p = gp.Predict(xs.Row(i));
+    EXPECT_NEAR(batch.mean[i], p.mean, 1e-12) << "candidate " << i;
+    EXPECT_NEAR(batch.variance[i], p.variance, 1e-12) << "candidate " << i;
+    EXPECT_GE(batch.variance[i], 0.0);
+  }
+}
+
+TEST(PredictBatchTest, AnyChunkingIsBitIdentical) {
+  Matrix x;
+  Vector y;
+  MakeDataset(40, 6, &x, &y);
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y, MakeHyperparams(6)).ok());
+
+  Rng rng(6);
+  const size_t m = 64;
+  Matrix xs(m, 6);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < 6; ++j) xs(i, j) = rng.NextDouble();
+  }
+  const auto whole = gp.PredictBatch(xs);
+  // Split into two uneven chunks; rows must come out bit-identical.
+  const size_t cut = 19;
+  Matrix lo(cut, 6);
+  Matrix hi(m - cut, 6);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      if (i < cut) {
+        lo(i, j) = xs(i, j);
+      } else {
+        hi(i - cut, j) = xs(i, j);
+      }
+    }
+  }
+  const auto a = gp.PredictBatch(lo);
+  const auto b = gp.PredictBatch(hi);
+  for (size_t i = 0; i < m; ++i) {
+    const double mean = i < cut ? a.mean[i] : b.mean[i - cut];
+    const double var = i < cut ? a.variance[i] : b.variance[i - cut];
+    EXPECT_EQ(whole.mean[i], mean) << "candidate " << i;
+    EXPECT_EQ(whole.variance[i], var) << "candidate " << i;
+  }
+}
+
+TEST(PredictTest, ReferenceImplementationAgrees) {
+  Matrix x;
+  Vector y;
+  MakeDataset(50, 7, &x, &y);
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y, MakeHyperparams(7)).ok());
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    Vector q(7);
+    for (size_t j = 0; j < 7; ++j) q[j] = rng.NextDouble();
+    const auto fast = gp.Predict(q);
+    const auto ref = gp.PredictReference(q);
+    EXPECT_NEAR(fast.mean, ref.mean, 1e-10);
+    EXPECT_NEAR(fast.variance, ref.variance, 1e-10);
+  }
+}
+
+// ------------------------------------------------------- GpKernelCache
+
+TEST(GpKernelCacheTest, LogMarginalLikelihoodMatchesReference) {
+  Matrix x;
+  Vector y;
+  MakeDataset(35, 8, &x, &y);
+  GpKernelCache cache(x, y);
+  for (int t = 0; t < 5; ++t) {
+    GpHyperparams hp = MakeHyperparams(8);
+    hp.log_signal_variance += 0.11 * t;
+    hp.log_noise_variance -= 0.2 * t;
+    const double cached = cache.LogMarginalLikelihood(hp);
+    const double ref =
+        GaussianProcess::ComputeLogMarginalLikelihood(x, y, hp);
+    EXPECT_NEAR(cached, ref, 1e-8 * std::abs(ref)) << "variant " << t;
+  }
+}
+
+TEST(GpKernelCacheTest, CacheFitMatchesDirectFit) {
+  Matrix x;
+  Vector y;
+  MakeDataset(30, 5, &x, &y);
+  const GpHyperparams hp = MakeHyperparams(5);
+  GaussianProcess direct;
+  ASSERT_TRUE(direct.Fit(x, y, hp).ok());
+  GpKernelCache cache(x, y);
+  GaussianProcess via_cache;
+  ASSERT_TRUE(via_cache.Fit(cache, hp).ok());
+  Rng rng(8);
+  for (int t = 0; t < 20; ++t) {
+    Vector q(5);
+    for (size_t j = 0; j < 5; ++j) q[j] = rng.NextDouble();
+    const auto a = direct.Predict(q);
+    const auto b = via_cache.Predict(q);
+    EXPECT_NEAR(a.mean, b.mean, 1e-10);
+    EXPECT_NEAR(a.variance, b.variance, 1e-10);
+  }
+}
+
+TEST(GpKernelCacheTest, AdoptFitEquivalentToFreshFit) {
+  Matrix x;
+  Vector y;
+  MakeDataset(30, 5, &x, &y);
+  const GpHyperparams hp = MakeHyperparams(5);
+  GpKernelCache cache(x, y);
+  // A likelihood evaluation memoizes the factorization for exactly hp...
+  const double lml = cache.LogMarginalLikelihood(hp);
+  ASSERT_TRUE(std::isfinite(lml));
+  auto fact = cache.TakeMemoized(hp.Flatten());
+  ASSERT_TRUE(fact.has_value());
+  EXPECT_DOUBLE_EQ(fact->log_marginal_likelihood, lml);
+
+  GaussianProcess adopted;
+  ASSERT_TRUE(adopted.AdoptFit(cache, hp, std::move(*fact)).ok());
+  GaussianProcess fresh;
+  ASSERT_TRUE(fresh.Fit(cache, hp).ok());
+  EXPECT_DOUBLE_EQ(adopted.LogMarginalLikelihood(),
+                   fresh.LogMarginalLikelihood());
+  Rng rng(9);
+  for (int t = 0; t < 20; ++t) {
+    Vector q(5);
+    for (size_t j = 0; j < 5; ++j) q[j] = rng.NextDouble();
+    const auto a = adopted.Predict(q);
+    const auto b = fresh.Predict(q);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.variance, b.variance);
+  }
+}
+
+TEST(GpKernelCacheTest, TakeMemoizedMissesOnDifferentHyperparams) {
+  Matrix x;
+  Vector y;
+  MakeDataset(12, 3, &x, &y);
+  GpKernelCache cache(x, y);
+  const GpHyperparams hp = MakeHyperparams(3);
+  cache.LogMarginalLikelihood(hp);
+  GpHyperparams other = hp;
+  other.log_noise_variance += 1e-9;
+  EXPECT_FALSE(cache.TakeMemoized(other.Flatten()).has_value());
+  // The miss must not have consumed the memo.
+  EXPECT_TRUE(cache.TakeMemoized(hp.Flatten()).has_value());
+  // ...but a hit does: a second take misses.
+  EXPECT_FALSE(cache.TakeMemoized(hp.Flatten()).has_value());
+}
+
+TEST(GpKernelCacheTest, DegenerateKernelStillFactorsWithJitter) {
+  // Duplicate points + near-zero noise force the jitter path (satellite:
+  // the static likelihood and Fit must use the same regularization).
+  Matrix x(6, 2);
+  Vector y(6);
+  for (size_t i = 0; i < 6; ++i) {
+    x(i, 0) = 0.5;
+    x(i, 1) = 0.5;
+    y[i] = 1.0;
+  }
+  GpHyperparams hp = GpHyperparams::Default(2);
+  hp.log_noise_variance = -40.0;
+  GpKernelCache cache(x, y);
+  const double cached = cache.LogMarginalLikelihood(hp);
+  const double ref = GaussianProcess::ComputeLogMarginalLikelihood(x, y, hp);
+  EXPECT_TRUE(std::isfinite(cached));
+  EXPECT_TRUE(std::isfinite(ref));
+  EXPECT_NEAR(cached, ref, 1e-6 * std::max(1.0, std::abs(ref)));
+}
+
+// ------------------------------------------------------------- EiMcmc
+
+TEST(EiMcmcBatchTest, BatchAcquisitionMatchesPerCandidate) {
+  Matrix x;
+  Vector y;
+  MakeDataset(25, 6, &x, &y);
+  ml::EiMcmc::Options opts;
+  opts.num_hyper_samples = 4;
+  opts.burn_in = 4;
+  ml::EiMcmc model(opts);
+  Rng rng(31);
+  ASSERT_TRUE(model.Fit(x, y, &rng).ok());
+
+  Rng crng(32);
+  const size_t m = 80;
+  Matrix xs(m, 6);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < 6; ++j) xs(i, j) = crng.NextDouble();
+  }
+  const Vector eis = model.AcquisitionValueBatch(xs);
+  const auto preds = model.PredictAveragedBatch(xs);
+  ASSERT_EQ(eis.size(), m);
+  for (size_t i = 0; i < m; ++i) {
+    const Vector q = xs.Row(i);
+    EXPECT_NEAR(eis[i], model.AcquisitionValue(q),
+                1e-12 * std::max(1.0, std::abs(eis[i])));
+    const auto p = model.PredictAveraged(q);
+    EXPECT_NEAR(preds.mean[i], p.mean, 1e-10);
+    EXPECT_NEAR(preds.variance[i], p.variance, 1e-10);
+  }
+}
+
+TEST(EiMcmcBatchTest, FastPathInvariantToThreadCount) {
+  Matrix x;
+  Vector y;
+  MakeDataset(25, 6, &x, &y);
+  Matrix xs(50, 6);
+  Rng crng(33);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 6; ++j) xs(i, j) = crng.NextDouble();
+  }
+  auto run = [&](int threads) {
+    common::ThreadPool::SetGlobalThreads(threads);
+    ml::EiMcmc::Options opts;
+    opts.num_hyper_samples = 4;
+    opts.burn_in = 4;
+    ml::EiMcmc model(opts);
+    Rng rng(34);
+    EXPECT_TRUE(model.Fit(x, y, &rng).ok());
+    return model.AcquisitionValueBatch(xs);
+  };
+  const Vector one = run(1);
+  const Vector four = run(4);
+  const Vector eight = run(8);
+  common::ThreadPool::SetGlobalThreads(0);  // restore default
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_EQ(one.size(), eight.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], four[i]) << "candidate " << i;
+    EXPECT_EQ(one[i], eight[i]) << "candidate " << i;
+  }
+}
+
+TEST(EiMcmcBatchTest, LegacyPathStillWorks) {
+  Matrix x;
+  Vector y;
+  MakeDataset(20, 4, &x, &y);
+  ml::EiMcmc::Options opts;
+  opts.num_hyper_samples = 3;
+  opts.burn_in = 3;
+  opts.fast_path = false;
+  ml::EiMcmc legacy(opts);
+  Rng rng(35);
+  ASSERT_TRUE(legacy.Fit(x, y, &rng).ok());
+  EXPECT_TRUE(legacy.fitted());
+  EXPECT_GT(static_cast<int>(legacy.ensemble().size()), 0);
+  Vector q(4, 0.4);
+  EXPECT_GE(legacy.AcquisitionValue(q), 0.0);
+}
+
+// ------------------------------------------- end-to-end tuner invariance
+
+TEST(BoHotPathTest, TunerOutputBitIdenticalAcrossThreadCounts) {
+  const auto cluster = sparksim::X86Cluster();
+  const auto app = workloads::HiBenchAggregation();
+  auto run = [&](int threads) {
+    common::ThreadPool::SetGlobalThreads(threads);
+    sparksim::ClusterSimulator sim(cluster, 90);
+    core::TuningSession session(&sim, app);
+    core::LocatTuner::Options opts;
+    opts.n_qcsa = 8;
+    opts.n_iicp = 6;
+    opts.lhs_init = 2;
+    opts.min_iterations = 3;
+    opts.max_iterations = 6;
+    opts.warm_iterations = 3;
+    opts.candidates = 60;
+    opts.seed = 9;
+    core::LocatTuner tuner(opts);
+    return tuner.Tune(&session, 200.0);
+  };
+  const core::TuningResult one = run(1);
+  const core::TuningResult four = run(4);
+  const core::TuningResult eight = run(8);
+  common::ThreadPool::SetGlobalThreads(0);  // restore default
+
+  EXPECT_EQ(one.evaluations, four.evaluations);
+  EXPECT_EQ(one.evaluations, eight.evaluations);
+  EXPECT_EQ(one.best_observed_seconds, four.best_observed_seconds);
+  EXPECT_EQ(one.best_observed_seconds, eight.best_observed_seconds);
+  EXPECT_EQ(one.optimization_seconds, four.optimization_seconds);
+  EXPECT_EQ(one.optimization_seconds, eight.optimization_seconds);
+  EXPECT_TRUE(one.best_conf == four.best_conf);
+  EXPECT_TRUE(one.best_conf == eight.best_conf);
+}
+
+}  // namespace
+}  // namespace locat
