@@ -109,6 +109,44 @@ double LocatTuner::EvaluateAndRecord(TuningSession* session,
   return objective;
 }
 
+void LocatTuner::EvaluateAndRecordBatch(
+    TuningSession* session, const std::vector<sparksim::SparkConf>& confs,
+    double datasize_gb, bool full_app) {
+  if (confs.empty()) return;
+  double meter = session->optimization_seconds();
+  const std::vector<EvalRecord> recs =
+      full_app ? session->EvaluateBatch(confs, datasize_gb)
+               : session->EvaluateSubsetBatch(confs, datasize_gb, rqa_);
+  for (size_t k = 0; k < recs.size(); ++k) {
+    const EvalRecord& rec = recs[k];
+    Observation obs;
+    obs.unit = session->space().ToUnit(confs[k]);
+    obs.datasize_gb = datasize_gb;
+    double objective = 0.0;
+    if (full_app) {
+      obs.per_query = rec.per_query_seconds;
+      objective = RqaObjective(rec.per_query_seconds, rec.app_seconds);
+    } else {
+      objective = rec.app_seconds;
+    }
+    obs.objective_seconds = objective;
+    dagp_.AddObservation(EncodeUnit(obs.unit), datasize_gb, objective);
+    observations_.push_back(std::move(obs));
+
+    if (best_objective_ <= 0.0 || objective < best_objective_) {
+      best_objective_ = objective;
+      best_conf_ = confs[k];
+    }
+    trajectory_.push_back(best_objective_);
+    // Reproduce the sequential loop's meter-delta arithmetic exactly: the
+    // session charged the runs one by one in this order, so replaying the
+    // additions yields the same intermediate sums bit-for-bit.
+    const double meter_after = meter + rec.app_seconds;
+    EmitIteration(datasize_gb, meter_after - meter, objective, full_app);
+    meter = meter_after;
+  }
+}
+
 LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
                                              double datasize_gb) {
   const sparksim::ConfigSpace& space = session->space();
@@ -399,29 +437,58 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
       pending_acq_seconds_ = 0.0;
       const math::Matrix lhs =
           ml::LatinHypercube(options_.lhs_init, sparksim::kNumParams, &rng_);
+      std::vector<sparksim::SparkConf> lhs_confs;
+      lhs_confs.reserve(static_cast<size_t>(options_.lhs_init));
       for (int i = 0; i < options_.lhs_init; ++i) {
-        const sparksim::SparkConf conf =
-            space.Repair(space.FromUnit(lhs.Row(static_cast<size_t>(i))));
-        EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/true);
+        lhs_confs.push_back(
+            space.Repair(space.FromUnit(lhs.Row(static_cast<size_t>(i)))));
       }
+      // All start points are known upfront: evaluate them as one batch.
+      EvaluateAndRecordBatch(session, lhs_confs, datasize_gb,
+                             /*full_app=*/true);
     }
     {
       obs::ScopedSpan span(tracer(), "tune/qcsa-sampling", "tuner");
       phase_label_ = "qcsa";
-      while (static_cast<int>(observations_.size()) < options_.n_qcsa) {
-        // QCSA/IICP need a *diverse* sample set ("random configurations",
-        // Section 3.2), so two of three phase-A runs draw uniformly and
-        // only the third follows the acquisition function.
+      // QCSA/IICP need a *diverse* sample set ("random configurations",
+      // Section 3.2), so two of three phase-A runs draw uniformly and
+      // only the third follows the acquisition function. The random
+      // draws between two acquisition steps don't depend on each other's
+      // results, so they accumulate in `pending` and run as one batch;
+      // the rng_ stream, the noise stream and the observation order are
+      // exactly those of the sequential loop.
+      std::vector<sparksim::SparkConf> pending;
+      while (static_cast<int>(observations_.size() + pending.size()) <
+             options_.n_qcsa) {
         pending_relative_ei_ = 0.0;
         pending_candidate_pool_ = 0;
         pending_acq_seconds_ = 0.0;
+        const size_t i = observations_.size() + pending.size();
         sparksim::SparkConf conf = space.RandomValid(&rng_);
-        if (observations_.size() % 3 == 2 && dagp_.Refit(&rng_).ok()) {
-          const Proposal prop = ProposeNext(session, datasize_gb);
-          conf = space.Repair(space.FromUnit(prop.unit));
+        if (i % 3 == 2) {
+          // Flush the queued random runs first so the refit (and the
+          // proposal) see exactly the observations the sequential loop
+          // would have recorded by now.
+          EvaluateAndRecordBatch(session, pending, datasize_gb,
+                                 /*full_app=*/true);
+          pending.clear();
+          pending_relative_ei_ = 0.0;
+          pending_candidate_pool_ = 0;
+          pending_acq_seconds_ = 0.0;
+          if (dagp_.Refit(&rng_).ok()) {
+            const Proposal prop = ProposeNext(session, datasize_gb);
+            conf = space.Repair(space.FromUnit(prop.unit));
+          }
+          EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/true);
+        } else {
+          pending.push_back(std::move(conf));
         }
-        EvaluateAndRecord(session, conf, datasize_gb, /*full_app=*/true);
       }
+      pending_relative_ei_ = 0.0;
+      pending_candidate_pool_ = 0;
+      pending_acq_seconds_ = 0.0;
+      EvaluateAndRecordBatch(session, pending, datasize_gb,
+                             /*full_app=*/true);
     }
 
     // Phase A': QCSA + IICP on the collected samples.
@@ -516,22 +583,33 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
     }
   }
   std::sort(ranked.begin(), ranked.end());
+  // Re-measure the top candidates as one batch; the champion/telemetry
+  // loop below replays the sequential bookkeeping (including the meter
+  // deltas) in ranked order.
+  const size_t n_rerun = std::min<size_t>(ranked.size(), 3);
+  std::vector<sparksim::SparkConf> rerun_confs;
+  rerun_confs.reserve(n_rerun);
+  for (size_t r = 0; r < n_rerun; ++r) {
+    rerun_confs.push_back(space.Repair(
+        space.FromUnit(observations_[ranked[r].second].unit)));
+  }
+  double rerun_meter = session->optimization_seconds();
+  const std::vector<EvalRecord> rerun_recs =
+      session->EvaluateSubsetBatch(rerun_confs, datasize_gb, rqa_);
   double champion = 0.0;
-  for (size_t r = 0; r < ranked.size() && r < 3; ++r) {
+  for (size_t r = 0; r < n_rerun; ++r) {
     const auto& obs = observations_[ranked[r].second];
-    const sparksim::SparkConf conf = space.Repair(space.FromUnit(obs.unit));
-    const double meter_before = session->optimization_seconds();
-    const EvalRecord& rec =
-        session->EvaluateSubset(conf, datasize_gb, rqa_);
+    const EvalRecord& rec = rerun_recs[r];
     const double avg = 0.5 * (rec.app_seconds + obs.objective_seconds);
     if (champion <= 0.0 || avg < champion) {
       champion = avg;
-      best_conf_ = conf;
+      best_conf_ = rerun_confs[r];
       best_objective_ = avg;
     }
-    EmitIteration(datasize_gb,
-                  session->optimization_seconds() - meter_before,
+    const double rerun_meter_after = rerun_meter + rec.app_seconds;
+    EmitIteration(datasize_gb, rerun_meter_after - rerun_meter,
                   rec.app_seconds, /*full_app=*/false);
+    rerun_meter = rerun_meter_after;
   }
 
   TuningResult result;

@@ -102,6 +102,14 @@ class LocatTuner : public Tuner {
                            const sparksim::SparkConf& conf,
                            double datasize_gb, bool full_app);
 
+  /// Batched EvaluateAndRecord: one RunAppBatch fan-out for all
+  /// configurations, then the identical per-run bookkeeping in order —
+  /// observations, DAGP, incumbent, trajectory and telemetry all match
+  /// the sequential loop bit-for-bit.
+  void EvaluateAndRecordBatch(TuningSession* session,
+                              const std::vector<sparksim::SparkConf>& confs,
+                              double datasize_gb, bool full_app);
+
   /// Proposes the next configuration by maximizing EI over a candidate
   /// pool; returns the winning unit vector and its relative EI.
   struct Proposal {

@@ -1,5 +1,9 @@
 #include "harness/experiments.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -105,6 +109,9 @@ ExperimentRunner::ExperimentRunner(std::string cache_path)
     cache_path_ = std::string(dir != nullptr ? dir : ".locat_cache") +
                   "/results.csv";
   }
+  const char* sim_cache = std::getenv("LOCAT_SIM_CACHE");
+  sim_cache_enabled_ =
+      (sim_cache == nullptr || std::string(sim_cache) != "off");
   Load();
 }
 
@@ -132,12 +139,56 @@ void ExperimentRunner::Save() {
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
   }
-  std::ofstream out(cache_path_, std::ios::trunc);
-  if (!out) return;
-  for (const auto& [key, result] : cache_) {
-    out << key << "\t" << result.Serialize() << "\n";
+
+  // Concurrent runners (separate processes sharing $LOCAT_CACHE_DIR) must
+  // not lose each other's rows or expose torn files: serialize savers on
+  // an advisory lock, merge rows written since our Load, write to a
+  // process/thread-unique temp file and publish it with an atomic rename.
+  const std::string lock_path = cache_path_ + ".lock";
+  const int lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (lock_fd >= 0) ::flock(lock_fd, LOCK_EX);
+
+  {
+    std::ifstream in(cache_path_);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const auto sep = line.find('\t');
+      if (sep == std::string::npos) continue;
+      const std::string key = line.substr(0, sep);
+      CellResult result;
+      if (cache_.find(key) == cache_.end() &&
+          CellResult::Deserialize(line.substr(sep + 1), &result)) {
+        cache_[key] = result;
+      }
+    }
   }
-  dirty_ = false;
+
+  std::ostringstream tmp_name;
+  tmp_name << cache_path_ << ".tmp." << ::getpid() << "."
+           << std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const std::string tmp_path = tmp_name.str();
+  bool wrote = false;
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (out) {
+      for (const auto& [key, result] : cache_) {
+        out << key << "\t" << result.Serialize() << "\n";
+      }
+      out.flush();
+      wrote = out.good();
+    }
+  }
+  std::error_code ec;
+  if (wrote) {
+    std::filesystem::rename(tmp_path, cache_path_, ec);
+    if (!ec) dirty_ = false;
+  }
+  if (!wrote || ec) std::filesystem::remove(tmp_path, ec);
+
+  if (lock_fd >= 0) {
+    ::flock(lock_fd, LOCK_UN);
+    ::close(lock_fd);
+  }
 }
 
 std::vector<int> ExperimentRunner::CanonicalCsq(const std::string& app_name,
@@ -153,6 +204,7 @@ std::vector<int> ExperimentRunner::CanonicalCsq(const std::string& app_name,
   const sparksim::SparkSqlApp app = MakeApp(app_name);
   sparksim::ClusterSimulator sim(MakeCluster(cluster),
                                  StableHash("csq|" + key));
+  if (sim_cache_enabled_) sim.set_eval_cache(&sim_cache_);
   sparksim::ConfigSpace space(sim.cluster());
   Rng rng(StableHash("csq-rng|" + key));
   std::vector<std::vector<double>> times(
@@ -180,6 +232,10 @@ CellResult ExperimentRunner::Compute(const CellSpec& spec) {
   const sparksim::SparkSqlApp app = MakeApp(spec.app);
   sparksim::ClusterSimulator sim(MakeCluster(spec.cluster),
                                  StableHash(spec.Key()));
+  // Share one eval cache across the whole grid: the noise-free memoized
+  // layer means cells with different seeds still hit on repeated
+  // (conf, query, datasize) points. Results stay bit-identical.
+  if (sim_cache_enabled_) sim.set_eval_cache(&sim_cache_);
   core::TuningSession session(&sim, app);
   std::unique_ptr<core::Tuner> tuner = MakeTuner(spec.tuner, spec.seed);
 
@@ -223,19 +279,26 @@ CellResult ExperimentRunner::Compute(const CellSpec& spec) {
   return cell;
 }
 
+bool ExperimentRunner::Find(const CellSpec& spec, CellResult* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(spec.Key());
+  if (it == cache_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+void ExperimentRunner::InsertResult(const CellSpec& spec,
+                                    const CellResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_[spec.Key()] = result;
+  dirty_ = true;
+}
+
 CellResult ExperimentRunner::Run(const CellSpec& spec) {
-  const std::string key = spec.Key();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-  }
-  CellResult result = Compute(spec);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    cache_[key] = result;
-    dirty_ = true;
-  }
+  CellResult result;
+  if (Find(spec, &result)) return result;
+  result = Compute(spec);
+  InsertResult(spec, result);
   return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include "core/tuning.h"
 #include "sparksim/cluster.h"
+#include "sparksim/eval_cache.h"
 #include "sparksim/simulator.h"
 
 namespace locat::harness {
@@ -73,6 +74,20 @@ class ExperimentRunner {
   std::vector<CellResult> RunAll(const std::vector<CellSpec>& specs,
                                  int threads = 0);
 
+  /// Looks up a cached cell without computing it. Returns true and fills
+  /// `out` (may be null) when present.
+  bool Find(const CellSpec& spec, CellResult* out) const;
+
+  /// Inserts (or overwrites) a cell result, marking the cache dirty.
+  void InsertResult(const CellSpec& spec, const CellResult& result);
+
+  /// Counters of the process-wide simulator eval cache shared by every
+  /// cell this runner computes (set LOCAT_SIM_CACHE=off to disable it).
+  sparksim::EvalCacheStats sim_cache_stats() const {
+    return sim_cache_.stats();
+  }
+  bool sim_cache_enabled() const { return sim_cache_enabled_; }
+
   /// The canonical CSQ index set for an (app, cluster) pair, computed by
   /// a fixed-seed 30-sample QCSA (cached in memory for the process).
   std::vector<int> CanonicalCsq(const std::string& app,
@@ -86,10 +101,16 @@ class ExperimentRunner {
   void Load();
 
   std::string cache_path_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<std::string, CellResult> cache_;
   std::map<std::string, std::vector<int>> csq_cache_;
   bool dirty_ = false;
+  /// One eval cache shared by all cells: identical (conf, query, env)
+  /// evaluations recur across tuner columns, seeds and the CSQ probe, so
+  /// the grid re-simulates each distinct point once. Thread-safe; results
+  /// are bit-identical with the cache on or off.
+  sparksim::EvalCache sim_cache_;
+  bool sim_cache_enabled_ = true;
 };
 
 /// Result of tuning one application across a sequence of data sizes with

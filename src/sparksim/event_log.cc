@@ -2,29 +2,48 @@
 
 #include <cmath>
 #include <sstream>
+#include <string_view>
 
 namespace locat::sparksim {
 namespace {
 
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
+// Appends `s` with '"' and '\\' escaped into `out` (not cleared), so the
+// writer can reuse one buffer across fields instead of allocating a fresh
+// string per Escape call.
+void AppendEscaped(const std::string& s, std::string* out) {
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
   }
-  return out;
 }
 
 // Minimal field scanner for the flat JSON lines WriteEventLog emits; not
-// a general JSON parser.
-bool FindString(const std::string& line, const std::string& key,
+// a general JSON parser. Returns the position right after `"key":`
+// without materializing a needle string per lookup, or npos.
+size_t ValuePos(std::string_view line, std::string_view key) {
+  size_t from = 0;
+  while (true) {
+    const size_t pos = line.find(key, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    const size_t end = pos + key.size();
+    if (pos > 0 && line[pos - 1] == '"' && end + 1 < line.size() &&
+        line[end] == '"' && line[end + 1] == ':') {
+      return end + 2;
+    }
+    from = pos + 1;
+  }
+}
+
+bool FindString(const std::string& line, std::string_view key,
                 std::string* out) {
-  const std::string needle = "\"" + key + "\":\"";
-  const size_t pos = line.find(needle);
-  if (pos == std::string::npos) return false;
+  size_t pos = ValuePos(line, key);
+  if (pos == std::string_view::npos || pos >= line.size() ||
+      line[pos] != '"') {
+    return false;
+  }
+  ++pos;  // consume the opening quote
   std::string value;
-  for (size_t i = pos + needle.size(); i < line.size(); ++i) {
+  for (size_t i = pos; i < line.size(); ++i) {
     if (line[i] == '\\' && i + 1 < line.size()) {
       value.push_back(line[++i]);
     } else if (line[i] == '"') {
@@ -37,12 +56,10 @@ bool FindString(const std::string& line, const std::string& key,
   return false;
 }
 
-bool FindNumber(const std::string& line, const std::string& key,
-                double* out) {
-  const std::string needle = "\"" + key + "\":";
-  const size_t pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  const char* start = line.c_str() + pos + needle.size();
+bool FindNumber(const std::string& line, std::string_view key, double* out) {
+  const size_t pos = ValuePos(line, key);
+  if (pos == std::string_view::npos) return false;
+  const char* start = line.c_str() + pos;
   char* end = nullptr;
   const double v = std::strtod(start, &end);
   if (end == start) return false;
@@ -50,11 +67,10 @@ bool FindNumber(const std::string& line, const std::string& key,
   return true;
 }
 
-bool FindBool(const std::string& line, const std::string& key, bool* out) {
-  const std::string needle = "\"" + key + "\":";
-  const size_t pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  *out = line.compare(pos + needle.size(), 4, "true") == 0;
+bool FindBool(const std::string& line, std::string_view key, bool* out) {
+  const size_t pos = ValuePos(line, key);
+  if (pos == std::string_view::npos) return false;
+  *out = line.compare(pos, 4, "true") == 0;
   return true;
 }
 
@@ -63,10 +79,14 @@ bool FindBool(const std::string& line, const std::string& key, bool* out) {
 void WriteEventLog(const std::string& app_name, double datasize_gb,
                    const AppRunResult& run, std::ostream& os) {
   os.precision(10);
-  os << "{\"Event\":\"ApplicationStart\",\"App Name\":\""
-     << Escape(app_name) << "\",\"Datasize GB\":" << datasize_gb << "}\n";
+  std::string escaped;
+  AppendEscaped(app_name, &escaped);
+  os << "{\"Event\":\"ApplicationStart\",\"App Name\":\"" << escaped
+     << "\",\"Datasize GB\":" << datasize_gb << "}\n";
   for (const auto& q : run.per_query) {
-    os << "{\"Event\":\"JobEnd\",\"Query\":\"" << Escape(q.name)
+    escaped.clear();
+    AppendEscaped(q.name, &escaped);
+    os << "{\"Event\":\"JobEnd\",\"Query\":\"" << escaped
        << "\",\"Duration\":" << q.exec_seconds
        << ",\"GC Time\":" << q.gc_seconds
        << ",\"Shuffle GB\":" << q.shuffle_gb

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "sparksim/eval_cache.h"
 
 namespace locat::sparksim {
 namespace {
@@ -47,7 +48,11 @@ std::string NumArg(const char* key, double value) {
 
 ClusterSimulator::ClusterSimulator(const ClusterSpec& cluster, uint64_t seed,
                                    SimParams params)
-    : cluster_(cluster), params_(params), noise_rng_(seed) {}
+    : cluster_(cluster),
+      params_(params),
+      noise_rng_(seed),
+      env_fp_(CombineEnvFingerprint(FingerprintCluster(cluster_),
+                                    FingerprintSimParams(params_))) {}
 
 ClusterSimulator::Resources ClusterSimulator::DeriveResources(
     const SparkConf& conf, const QueryProfile& query) const {
@@ -87,8 +92,7 @@ ClusterSimulator::Resources ClusterSimulator::DeriveResources(
 
 QueryMetrics ClusterSimulator::SimulateQuery(const QueryProfile& query,
                                              const SparkConf& conf,
-                                             double datasize_gb,
-                                             double noise) const {
+                                             double datasize_gb) const {
   QueryMetrics m;
   m.name = query.name;
 
@@ -373,14 +377,58 @@ QueryMetrics ClusterSimulator::SimulateQuery(const QueryProfile& query,
   latency += 0.02 * (10.0 - conf.Get(kStorageMemoryMapThreshold)) / 10.0;
 
   m.exec_seconds =
-      (m.scan_seconds + m.shuffle_seconds + m.gc_seconds + latency) * noise;
-  // Keep components consistent with the noisy total.
-  m.scan_seconds *= noise;
-  m.shuffle_seconds *= noise;
-  m.gc_seconds *= noise;
+      m.scan_seconds + m.shuffle_seconds + m.gc_seconds + latency;
   m.scan_tasks = scan_tasks;
   m.task_waves = total_waves;
   return m;
+}
+
+void ClusterSimulator::ApplyNoise(QueryMetrics* m, double noise) {
+  // The total scales as one product of the component sum (exactly the
+  // expression the noise-inline model computed), then each component is
+  // scaled to stay consistent with the noisy total.
+  m->exec_seconds *= noise;
+  m->scan_seconds *= noise;
+  m->shuffle_seconds *= noise;
+  m->gc_seconds *= noise;
+}
+
+QueryMetrics ClusterSimulator::EvaluateQuery(const QueryProfile& query,
+                                             const SparkConf& conf,
+                                             double datasize_gb,
+                                             uint64_t conf_fp) const {
+  if (eval_cache_ == nullptr) {
+    return SimulateQuery(query, conf, datasize_gb);
+  }
+  const uint64_t query_fp = FingerprintQuery(query);
+  const uint64_t fp =
+      CombineEvalFingerprint(conf_fp, env_fp_, query_fp, datasize_gb);
+  QueryMetrics m;
+  if (eval_cache_->Lookup(fp, conf, datasize_gb, query_fp, env_fp_, &m)) {
+    return m;
+  }
+  m = SimulateQuery(query, conf, datasize_gb);
+  eval_cache_->Insert(fp, conf, datasize_gb, query_fp, env_fp_, m);
+  return m;
+}
+
+uint64_t ClusterSimulator::AppFingerprint(const SparkSqlApp& app) {
+  const void* data = static_cast<const void*>(app.queries.data());
+  const size_t size = app.queries.size();
+  uint64_t guard = 0;
+  if (size > 0) {
+    guard = FingerprintQuery(app.queries.front()) * 31 +
+            FingerprintQuery(app.queries.back());
+  }
+  if (data == app_fp_queries_data_ && size == app_fp_queries_size_ &&
+      guard == app_fp_guard_) {
+    return app_fp_;
+  }
+  app_fp_ = FingerprintApp(app);
+  app_fp_queries_data_ = data;
+  app_fp_queries_size_ = size;
+  app_fp_guard_ = guard;
+  return app_fp_;
 }
 
 QueryMetrics ClusterSimulator::RunQuery(const QueryProfile& query,
@@ -390,23 +438,92 @@ QueryMetrics ClusterSimulator::RunQuery(const QueryProfile& query,
   const double noise = params_.noise_sigma > 0.0
                            ? noise_rng_.LognormalNoise(params_.noise_sigma)
                            : 1.0;
-  return SimulateQuery(query, conf, datasize_gb, noise);
+  const uint64_t conf_fp =
+      eval_cache_ != nullptr ? FingerprintConf(conf) : 0;
+  QueryMetrics m = EvaluateQuery(query, conf, datasize_gb, conf_fp);
+  ApplyNoise(&m, noise);
+  return m;
 }
 
 AppRunResult ClusterSimulator::RunApp(const SparkSqlApp& app,
                                       const SparkConf& conf,
                                       double datasize_gb) {
-  std::vector<int> all(app.queries.size());
-  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
-  return RunAppSubset(app, all, conf, datasize_gb);
+  scratch_all_.resize(app.queries.size());
+  for (size_t i = 0; i < scratch_all_.size(); ++i) {
+    scratch_all_[i] = static_cast<int>(i);
+  }
+  return RunAppSubset(app, scratch_all_, conf, datasize_gb);
 }
 
 AppRunResult ClusterSimulator::RunAppSubset(
     const SparkSqlApp& app, const std::vector<int>& query_indices,
     const SparkConf& conf, double datasize_gb) {
   obs::ScopedSpan app_span(tracer_, "sim/app", "sim");
-  AppRunResult result;
-  result.per_query.reserve(query_indices.size());
+
+  scratch_valid_.clear();
+  scratch_valid_.reserve(query_indices.size());
+  for (int idx : query_indices) {
+    if (idx < 0 || idx >= app.num_queries()) continue;
+    scratch_valid_.push_back(idx);
+  }
+  const size_t n = scratch_valid_.size();
+
+  // Draw every noise factor up front, in exactly the order the sequential
+  // per-query loop drew them: the RNG stream (and runs_performed_) must
+  // not depend on how the evaluations below are scheduled.
+  scratch_noises_.assign(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    ++runs_performed_;
+    if (params_.noise_sigma > 0.0) {
+      scratch_noises_[i] = noise_rng_.LognormalNoise(params_.noise_sigma);
+    }
+  }
+
+  // Evaluate the noise-free cost model for all queries — ideally from one
+  // app-level cache entry (one lock + one bulk copy for the whole run),
+  // otherwise concurrently through the per-query level. EvaluateQuery is
+  // deterministic per key and each slot is written by exactly one index,
+  // so the result is bit-identical for any thread count; noise is applied
+  // afterwards from the pre-drawn factors either way.
+  const uint64_t conf_fp =
+      eval_cache_ != nullptr ? FingerprintConf(conf) : 0;
+  scratch_metrics_.resize(n);
+  uint64_t subset_fp = 0;
+  uint64_t app_key = 0;
+  bool served = false;
+  if (eval_cache_ != nullptr && n > 0) {
+    subset_fp =
+        CombineSubsetFingerprint(AppFingerprint(app), scratch_valid_.data(), n);
+    app_key = CombineEvalFingerprint(conf_fp, env_fp_, subset_fp, datasize_gb);
+    served = eval_cache_->LookupApp(app_key, conf, datasize_gb, subset_fp,
+                                    env_fp_, n, scratch_metrics_.data());
+  }
+  if (!served) {
+    common::ThreadPool::Global()->ParallelForEach(n, [&](size_t i) {
+      scratch_metrics_[i] =
+          EvaluateQuery(app.queries[static_cast<size_t>(scratch_valid_[i])],
+                        conf, datasize_gb, conf_fp);
+    });
+    if (eval_cache_ != nullptr && n > 0) {
+      eval_cache_->InsertApp(app_key, conf, datasize_gb, subset_fp, env_fp_,
+                             scratch_metrics_.data(), n);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ApplyNoise(&scratch_metrics_[i], scratch_noises_[i]);
+  }
+
+  return FinishAppRun(app, conf, datasize_gb, scratch_metrics_.data(), n,
+                      &app_span);
+}
+
+std::vector<AppRunResult> ClusterSimulator::RunAppBatch(
+    const SparkSqlApp& app, const std::vector<int>& query_indices,
+    const std::vector<SparkConf>& confs, double datasize_gb) {
+  std::vector<AppRunResult> results;
+  results.reserve(confs.size());
+  if (confs.empty()) return results;
+  obs::ScopedSpan batch_span(tracer_, "sim/app_batch", "sim");
 
   std::vector<int> valid;
   valid.reserve(query_indices.size());
@@ -414,26 +531,87 @@ AppRunResult ClusterSimulator::RunAppSubset(
     if (idx < 0 || idx >= app.num_queries()) continue;
     valid.push_back(idx);
   }
+  const size_t nq = valid.size();
+  const size_t nruns = confs.size();
 
-  // Draw every noise factor up front, in exactly the order the sequential
-  // per-query loop drew them: the RNG stream (and runs_performed_) must
-  // not depend on how the evaluations below are scheduled.
-  std::vector<double> noises(valid.size(), 1.0);
-  for (size_t i = 0; i < valid.size(); ++i) {
-    ++runs_performed_;
-    if (params_.noise_sigma > 0.0) {
-      noises[i] = noise_rng_.LognormalNoise(params_.noise_sigma);
+  // Noise factors for the whole grid, conf-major — the exact order the
+  // equivalent sequence of RunAppSubset calls would consume the RNG.
+  std::vector<double> noises(nruns * nq, 1.0);
+  for (size_t k = 0; k < nruns; ++k) {
+    for (size_t i = 0; i < nq; ++i) {
+      ++runs_performed_;
+      if (params_.noise_sigma > 0.0) {
+        noises[k * nq + i] = noise_rng_.LognormalNoise(params_.noise_sigma);
+      }
     }
   }
 
-  // Evaluate the cost model for all queries concurrently. SimulateQuery
-  // is const and each slot is written by exactly one index, so the result
-  // is bit-identical for any thread count.
-  std::vector<QueryMetrics> metrics(valid.size());
-  common::ThreadPool::Global()->ParallelForEach(valid.size(), [&](size_t i) {
-    metrics[i] = SimulateQuery(app.queries[static_cast<size_t>(valid[i])],
-                               conf, datasize_gb, noises[i]);
-  });
+  std::vector<uint64_t> conf_fps(nruns, 0);
+  if (eval_cache_ != nullptr) {
+    for (size_t k = 0; k < nruns; ++k) conf_fps[k] = FingerprintConf(confs[k]);
+  }
+
+  // Whole runs served by the app-level cache skip the fan-out entirely;
+  // the subset fingerprint is computed once for the whole grid.
+  std::vector<QueryMetrics> metrics(nruns * nq);
+  std::vector<char> served(nruns, 0);
+  std::vector<uint64_t> app_keys(nruns, 0);
+  if (eval_cache_ != nullptr && nq > 0) {
+    const uint64_t subset_fp =
+        CombineSubsetFingerprint(AppFingerprint(app), valid.data(), nq);
+    for (size_t k = 0; k < nruns; ++k) {
+      app_keys[k] =
+          CombineEvalFingerprint(conf_fps[k], env_fp_, subset_fp, datasize_gb);
+      served[k] = eval_cache_->LookupApp(app_keys[k], confs[k], datasize_gb,
+                                         subset_fp, env_fp_, nq,
+                                         metrics.data() + k * nq)
+                      ? 1
+                      : 0;
+    }
+    // One flat fan-out over the remaining (conf, query) grid: wider than
+    // the per-run ParallelForEach when confs outnumber pool threads, and
+    // each slot is written by exactly one index.
+    common::ThreadPool::Global()->ParallelForEach(nruns * nq, [&](size_t j) {
+      const size_t k = j / nq;
+      if (served[k]) return;
+      const size_t i = j % nq;
+      metrics[j] =
+          EvaluateQuery(app.queries[static_cast<size_t>(valid[i])], confs[k],
+                        datasize_gb, conf_fps[k]);
+    });
+    for (size_t k = 0; k < nruns; ++k) {
+      if (served[k]) continue;
+      eval_cache_->InsertApp(app_keys[k], confs[k], datasize_gb, subset_fp,
+                             env_fp_, metrics.data() + k * nq, nq);
+    }
+  } else {
+    common::ThreadPool::Global()->ParallelForEach(nruns * nq, [&](size_t j) {
+      const size_t k = j / nq;
+      const size_t i = j % nq;
+      metrics[j] =
+          EvaluateQuery(app.queries[static_cast<size_t>(valid[i])], confs[k],
+                        datasize_gb, conf_fps[k]);
+    });
+  }
+  for (size_t j = 0; j < nruns * nq; ++j) ApplyNoise(&metrics[j], noises[j]);
+
+  for (size_t k = 0; k < nruns; ++k) {
+    results.push_back(FinishAppRun(app, confs[k], datasize_gb,
+                                   metrics.data() + k * nq, nq, nullptr));
+  }
+  batch_span.Arg("runs", static_cast<double>(nruns));
+  batch_span.Arg("queries", static_cast<double>(nq));
+  return results;
+}
+
+AppRunResult ClusterSimulator::FinishAppRun(const SparkSqlApp& app,
+                                            const SparkConf& conf,
+                                            double datasize_gb,
+                                            QueryMetrics* metrics,
+                                            size_t count,
+                                            obs::ScopedSpan* app_span) {
+  AppRunResult result;
+  result.per_query.reserve(count);
 
   // Driver pressure: many tasks + a small driver heap slow down
   // scheduling for the whole application.
@@ -451,7 +629,7 @@ AppRunResult ClusterSimulator::RunAppSubset(
   cursor += SimLaneNs(submit);
 
   result.total_seconds = submit;
-  for (size_t i = 0; i < valid.size(); ++i) {
+  for (size_t i = 0; i < count; ++i) {
     QueryMetrics qm = std::move(metrics[i]);
     result.total_seconds += qm.exec_seconds;
     result.gc_seconds += qm.gc_seconds;
@@ -502,8 +680,10 @@ AppRunResult ClusterSimulator::RunAppSubset(
     tracer_->RecordComplete(app.name.empty() ? "app" : app.name, "sim",
                             lane_start, cursor - lane_start, obs::kSimulatedPid, 0,
                             std::move(args));
-    app_span.Arg("queries", static_cast<double>(result.per_query.size()));
-    app_span.Arg("simulated_seconds", result.total_seconds);
+    if (app_span != nullptr) {
+      app_span->Arg("queries", static_cast<double>(result.per_query.size()));
+      app_span->Arg("simulated_seconds", result.total_seconds);
+    }
   }
   sim_lane_cursor_ns_ = cursor;
   return result;

@@ -12,6 +12,8 @@
 
 namespace locat::sparksim {
 
+class EvalCache;
+
 /// Tunable constants of the analytical cost model. Exposed so tests can
 /// probe individual effects and ablation benches can switch them off.
 struct SimParams {
@@ -129,6 +131,19 @@ class ClusterSimulator {
                             const std::vector<int>& query_indices,
                             const SparkConf& conf, double datasize_gb);
 
+  /// Evaluates many configurations over the same query subset in one
+  /// fan-out: the whole (conf x query) grid goes through the thread pool
+  /// at query granularity, with every noise factor pre-drawn in exactly
+  /// the order the equivalent sequential RunAppSubset calls would draw
+  /// them. Results (and runs_performed_) are bit-identical to calling
+  /// RunAppSubset once per configuration, in order, for any thread
+  /// count. The wall-lane trace differs (one "sim/app_batch" span instead
+  /// of per-run "sim/app" spans); the simulated-time lane is identical.
+  std::vector<AppRunResult> RunAppBatch(const SparkSqlApp& app,
+                                        const std::vector<int>& query_indices,
+                                        const std::vector<SparkConf>& confs,
+                                        double datasize_gb);
+
   const ClusterSpec& cluster() const { return cluster_; }
   const SimParams& params() const { return params_; }
 
@@ -142,6 +157,17 @@ class ClusterSimulator {
   /// trace time), laid out back-to-back across runs. Purely
   /// observational: results and the noise RNG stream are unaffected.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Wires a memoizing evaluation cache (null disables, the default).
+  /// The cache stores *noise-free* cost-model outputs keyed by
+  /// (conf, datasize, query, cluster+params) fingerprints; the per-run
+  /// noise factor is drawn and applied regardless of hit or miss, so
+  /// every result — and the RNG stream — is bit-identical with the cache
+  /// on or off. The same cache may be shared by many simulators (even
+  /// with different seeds or noise sigmas) and is safe under concurrent
+  /// app runs.
+  void set_eval_cache(EvalCache* cache) { eval_cache_ = cache; }
+  EvalCache* eval_cache() const { return eval_cache_; }
 
  private:
   /// Resource picture derived from a configuration.
@@ -159,16 +185,64 @@ class ClusterSimulator {
   Resources DeriveResources(const SparkConf& conf,
                             const QueryProfile& query) const;
 
-  /// Pure cost-model evaluation: const, draws no randomness (the noise
-  /// factor is passed in), so app runs can evaluate queries concurrently.
+  /// Pure noise-free cost-model evaluation: const, draws no randomness,
+  /// so app runs can evaluate queries concurrently and the output can be
+  /// memoized across noise draws.
   QueryMetrics SimulateQuery(const QueryProfile& query, const SparkConf& conf,
-                             double datasize_gb, double noise) const;
+                             double datasize_gb) const;
+
+  /// Scales the noise-free metrics by one drawn lognormal factor,
+  /// reproducing exactly the arithmetic the pre-memoization model applied
+  /// inline (total scaled as a sum, then each component).
+  static void ApplyNoise(QueryMetrics* m, double noise);
+
+  /// SimulateQuery through the eval cache (straight call when no cache is
+  /// wired). `conf_fp` is FingerprintConf(conf), hoisted by the caller so
+  /// app runs hash the configuration once, not per query.
+  QueryMetrics EvaluateQuery(const QueryProfile& query, const SparkConf& conf,
+                             double datasize_gb, uint64_t conf_fp) const;
+
+  /// FingerprintApp(app), memoized for the app this simulator last
+  /// simulated. Folding every query profile costs ~30 ns per query, which
+  /// would dominate the app-level warm path, so the full fold runs only
+  /// when the memo misses. The memo is keyed by the queries buffer
+  /// (pointer + size) and guarded by the content fingerprints of the
+  /// first and last query, so rebuilding an app in place — the only
+  /// mutation pattern the codebase uses — re-fingerprints correctly;
+  /// profiles of an app object must not be mutated mid-simulation.
+  uint64_t AppFingerprint(const SparkSqlApp& app);
+
+  /// Shared tail of RunAppSubset/RunAppBatch: aggregates `count` per-query
+  /// metrics (noise already applied) into one AppRunResult and emits the
+  /// simulated-time lane. `app_span` (may be null) receives the wall-span
+  /// summary args.
+  AppRunResult FinishAppRun(const SparkSqlApp& app, const SparkConf& conf,
+                            double datasize_gb, QueryMetrics* metrics,
+                            size_t count, obs::ScopedSpan* app_span);
 
   ClusterSpec cluster_;
   SimParams params_;
   Rng noise_rng_;
   int64_t runs_performed_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  EvalCache* eval_cache_ = nullptr;
+  /// CombineEnvFingerprint(cluster, params), computed once at
+  /// construction.
+  uint64_t env_fp_ = 0;
+  /// AppFingerprint memo (see the method comment).
+  const void* app_fp_queries_data_ = nullptr;
+  size_t app_fp_queries_size_ = 0;
+  uint64_t app_fp_guard_ = 0;
+  uint64_t app_fp_ = 0;
+  /// Per-run scratch reused across RunAppSubset calls so the tuning hot
+  /// loop stops allocating three vectors per evaluation. Safe because a
+  /// simulator instance is driven from one thread at a time (the noise
+  /// RNG already requires that); the inner ThreadPool workers only write
+  /// disjoint slots.
+  std::vector<int> scratch_valid_;
+  std::vector<double> scratch_noises_;
+  std::vector<QueryMetrics> scratch_metrics_;
+  std::vector<int> scratch_all_;
   /// Virtual-time cursor of the simulated lane (ns of trace time); app
   /// runs are appended back-to-back so the exported timeline reads as one
   /// continuous cluster schedule.

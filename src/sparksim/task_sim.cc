@@ -55,6 +55,20 @@ StatusOr<TaskLevelSimulator::Result> TaskLevelSimulator::Execute(
   // Event-driven slot pool: free time per slot.
   std::vector<double> slot_free(static_cast<size_t>(slots_), 0.0);
 
+  // Scratch reused across stages (this is the innermost simulator loop;
+  // per-stage allocation dominated the profile): task durations and the
+  // slot min-heap, maintained with make/push/pop_heap. The heap always
+  // pops the unique minimum — (time, slot) pairs are distinct — so the
+  // schedule matches the former per-stage priority_queue exactly.
+  std::vector<double> durations;
+  std::vector<std::pair<double, int>> pool;
+  pool.reserve(static_cast<size_t>(slots_) + 1);
+  size_t total_tasks = 0;
+  for (const StageSpec& stage : stages) {
+    total_tasks += static_cast<size_t>(stage.num_tasks);
+  }
+  result.tasks.reserve(total_tasks);
+
   for (int s : order) {
     const StageSpec& stage = stages[static_cast<size_t>(s)];
     double earliest = 0.0;
@@ -70,7 +84,7 @@ StatusOr<TaskLevelSimulator::Result> TaskLevelSimulator::Execute(
     const double mean_work =
         stage.core_seconds / static_cast<double>(t_count) / speed_;
     const double skew = std::max(1.0, stage.skew);
-    std::vector<double> durations(static_cast<size_t>(t_count));
+    durations.assign(static_cast<size_t>(t_count), 0.0);
     for (int t = 0; t < t_count; ++t) {
       const double u =
           t_count == 1 ? 1.0
@@ -88,17 +102,17 @@ StatusOr<TaskLevelSimulator::Result> TaskLevelSimulator::Execute(
     std::sort(durations.rbegin(), durations.rend());
 
     // Min-heap over slot free times.
-    std::priority_queue<std::pair<double, int>,
-                        std::vector<std::pair<double, int>>,
-                        std::greater<>>
-        pool;
+    pool.clear();
     for (int k = 0; k < slots_; ++k) {
-      pool.push({std::max(slot_free[static_cast<size_t>(k)], earliest), k});
+      pool.push_back(
+          {std::max(slot_free[static_cast<size_t>(k)], earliest), k});
     }
+    std::make_heap(pool.begin(), pool.end(), std::greater<>{});
     double stage_end = earliest;
     for (int t = 0; t < t_count; ++t) {
-      auto [free_at, slot] = pool.top();
-      pool.pop();
+      std::pop_heap(pool.begin(), pool.end(), std::greater<>{});
+      const auto [free_at, slot] = pool.back();
+      pool.pop_back();
       TaskTrace trace;
       trace.stage = s;
       trace.task = t;
@@ -107,7 +121,8 @@ StatusOr<TaskLevelSimulator::Result> TaskLevelSimulator::Execute(
       trace.end_s = free_at + durations[static_cast<size_t>(t)];
       stage_end = std::max(stage_end, trace.end_s);
       slot_free[static_cast<size_t>(slot)] = trace.end_s;
-      pool.push({trace.end_s, slot});
+      pool.push_back({trace.end_s, slot});
+      std::push_heap(pool.begin(), pool.end(), std::greater<>{});
       result.tasks.push_back(trace);
     }
     result.stage_end_s[static_cast<size_t>(s)] = stage_end;

@@ -37,6 +37,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "sparksim/eval_cache.h"
 #include "sparksim/simulator.h"
 #include "workloads/workloads.h"
 
@@ -68,6 +69,11 @@ int Usage() {
       "  --metrics FILE      write a Prometheus text metrics snapshot\n"
       "  --telemetry FILE    write per-iteration BO telemetry as JSONL\n"
       "                      (input of `locat report`)\n"
+      "  --sim-cache on|off  memoize noise-free simulations, per query and\n"
+      "                      per whole app run (default on; results are\n"
+      "                      bit-identical either way)\n"
+      "  --sim-cache-cap N   cache capacity in entries (default: env\n"
+      "                      LOCAT_SIM_CACHE_CAP, else 1048576)\n"
       "clusters: arm | x86; apps: TPC-DS | TPC-H | Join | Scan | "
       "Aggregation\n");
   return 2;
@@ -210,6 +216,8 @@ struct ObsFlags {
   std::string trace_path;
   std::string metrics_path;
   std::string telemetry_path;
+  bool sim_cache = true;
+  size_t sim_cache_cap = 0;  // 0: LOCAT_SIM_CACHE_CAP env / built-in default
 };
 
 int CmdTune(const std::string& app_name, const std::string& cluster,
@@ -217,6 +225,15 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
   const auto app = harness::MakeApp(app_name);
   sparksim::ClusterSimulator sim(harness::MakeCluster(cluster),
                                  21 + flags.seed);
+  // The eval cache memoizes the noise-free per-query simulation; it only
+  // changes wall-clock, never results (--sim-cache off to compare).
+  std::unique_ptr<sparksim::EvalCache> sim_cache;
+  if (flags.sim_cache) {
+    sim_cache = std::make_unique<sparksim::EvalCache>(
+        flags.sim_cache_cap > 0 ? flags.sim_cache_cap
+                                : sparksim::EvalCache::CapacityFromEnv());
+    sim.set_eval_cache(sim_cache.get());
+  }
   core::TuningSession session(&sim, app);
   auto tuner = harness::MakeTuner(tuner_name, flags.seed);
 
@@ -261,6 +278,34 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
               result.evaluations, result.optimization_seconds / 3600.0);
   std::printf("tuned run: %.0f s | defaults: %.0f s | improvement %.1fx\n",
               tuned, dflt, dflt / tuned);
+  if (sim_cache != nullptr) {
+    const sparksim::EvalCacheStats cs = sim_cache->stats();
+    std::printf(
+        "sim cache: %llu hits / %llu misses (%.1f%% hit rate, "
+        "%llu whole-run hits), %zu entries, %llu evictions\n",
+        static_cast<unsigned long long>(cs.hits),
+        static_cast<unsigned long long>(cs.misses), 100.0 * cs.hit_rate(),
+        static_cast<unsigned long long>(cs.app_hits), sim_cache->size(),
+        static_cast<unsigned long long>(cs.evictions));
+    if (ctx.observer != nullptr) {
+      obs::PhaseEvent ev;
+      ev.tuner = tuner->name();
+      ev.phase = "sim_cache";
+      ev.fields = {
+          {"hits", static_cast<double>(cs.hits)},
+          {"misses", static_cast<double>(cs.misses)},
+          {"evictions", static_cast<double>(cs.evictions)},
+          {"collisions", static_cast<double>(cs.collisions)},
+          {"insertions", static_cast<double>(cs.insertions)},
+          {"entries", static_cast<double>(cs.entries)},
+          {"app_hits", static_cast<double>(cs.app_hits)},
+          {"app_misses", static_cast<double>(cs.app_misses)},
+          {"hit_rate", cs.hit_rate()},
+      };
+      ctx.observer->OnPhase(ev);
+    }
+    if (ctx.metrics != nullptr) sim_cache->ExportMetrics(ctx.metrics);
+  }
   std::printf("\n%s\n", result.best_conf.ToString().c_str());
 
   if (!flags.trace_path.empty()) {
@@ -321,6 +366,13 @@ int CmdReport(const std::string& path) {
   double summary_best = 0.0;
   double summary_evals = 0.0;
   bool have_summary = false;
+  bool have_sim_cache = false;
+  double cache_hits = 0.0;
+  double cache_misses = 0.0;
+  double cache_evictions = 0.0;
+  double cache_collisions = 0.0;
+  double cache_entries = 0.0;
+  double cache_hit_rate = 0.0;
   for (const auto& rec : parsed.value()) {
     if (rec.type == "iteration") {
       if (tuner.empty()) tuner = rec.Str("tuner");
@@ -353,6 +405,14 @@ int CmdReport(const std::string& path) {
       summary_opt = rec.Num("optimization_seconds");
       summary_best = rec.Num("best_seconds");
       summary_evals = rec.Num("evaluations");
+    } else if (rec.type == "phase" && rec.Str("phase") == "sim_cache") {
+      have_sim_cache = true;
+      cache_hits = rec.Num("hits");
+      cache_misses = rec.Num("misses");
+      cache_evictions = rec.Num("evictions");
+      cache_collisions = rec.Num("collisions");
+      cache_entries = rec.Num("entries");
+      cache_hit_rate = rec.Num("hit_rate");
     }
   }
   if (total_events == 0) {
@@ -398,6 +458,13 @@ int CmdReport(const std::string& path) {
         "phase sum vs meter: %+.2f%%\n",
         summary_opt, summary_evals, summary_best, drift);
   }
+  if (have_sim_cache) {
+    std::printf(
+        "sim_cache: %.0f hits / %.0f misses (%.1f%% hit rate) | "
+        "%.0f entries | %.0f evictions | %.0f collisions\n",
+        cache_hits, cache_misses, 100.0 * cache_hit_rate, cache_entries,
+        cache_evictions, cache_collisions);
+  }
   return 0;
 }
 
@@ -432,6 +499,18 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Usage();
       flags.telemetry_path = v;
+    } else if (arg == "--sim-cache") {
+      const char* v = value();
+      if (v == nullptr || (std::strcmp(v, "on") != 0 &&
+                           std::strcmp(v, "off") != 0)) {
+        return Usage();
+      }
+      flags.sim_cache = (std::strcmp(v, "on") == 0);
+    } else if (arg == "--sim-cache-cap") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.sim_cache_cap =
+          static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();

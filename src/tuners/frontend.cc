@@ -42,11 +42,20 @@ core::TuningResult QcsaIicpFrontend::Tune(core::TuningSession* session,
   session->ClearQueryRestriction();
   {
     obs::ScopedSpan span(tracer(), "frontend/sampling", "tuner");
+    // Evaluation never touches rng_, so all sample configurations can be
+    // drawn upfront and evaluated as one batch; confs, noise order and
+    // the resulting records match the sequential loop bit-for-bit.
+    std::vector<sparksim::SparkConf> sample_confs;
+    sample_confs.reserve(static_cast<size_t>(n_samples));
+    for (int i = 0; i < n_samples; ++i) {
+      sample_confs.push_back(space.RandomValid(&rng_));
+    }
+    double meter = session->optimization_seconds();
+    const std::vector<core::EvalRecord> recs =
+        session->EvaluateBatch(sample_confs, datasize_gb);
     double sample_best = 0.0;
     for (int i = 0; i < n_samples; ++i) {
-      const sparksim::SparkConf conf = space.RandomValid(&rng_);
-      const double meter_before = session->optimization_seconds();
-      const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+      const core::EvalRecord& rec = recs[static_cast<size_t>(i)];
       units.push_back(rec.unit);
       seconds.push_back(rec.app_seconds);
       for (size_t q = 0; q < rec.per_query_seconds.size(); ++q) {
@@ -55,12 +64,15 @@ core::TuningResult QcsaIicpFrontend::Tune(core::TuningSession* session,
       if (sample_best <= 0.0 || rec.app_seconds < sample_best) {
         sample_best = rec.app_seconds;
       }
+      // Replays the sequential meter additions so the emitted eval_seconds
+      // deltas stay bit-identical.
+      const double meter_after = meter + rec.app_seconds;
       if (observer() != nullptr) {
-        core::EmitSimpleIteration(
-            observer(), name(), "sampling", i, datasize_gb,
-            session->optimization_seconds() - meter_before, rec.app_seconds,
-            sample_best, rec.full_app);
+        core::EmitSimpleIteration(observer(), name(), "sampling", i,
+                                  datasize_gb, meter_after - meter,
+                                  rec.app_seconds, sample_best, rec.full_app);
       }
+      meter = meter_after;
     }
   }
 

@@ -1,5 +1,6 @@
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -132,6 +133,70 @@ TEST(ExperimentRunnerTest, CellResultFieldsAreConsistent) {
   EXPECT_LE(r.csq_seconds + r.ciq_seconds, r.best_app_seconds * 1.3);
   EXPECT_GT(r.csq_seconds, 0.0);
   std::remove(path.c_str());
+}
+
+TEST(ExperimentRunnerTest, FindAndInsertResult) {
+  const std::string path = TempCachePath("findinsert");
+  std::remove(path.c_str());
+  ExperimentRunner runner(path);
+  CellSpec spec{"Random", "Scan", "x86", 100.0, 7};
+  EXPECT_FALSE(runner.Find(spec, nullptr));
+  CellResult result;
+  result.best_app_seconds = 123.0;
+  runner.InsertResult(spec, result);
+  CellResult out;
+  ASSERT_TRUE(runner.Find(spec, &out));
+  EXPECT_DOUBLE_EQ(out.best_app_seconds, 123.0);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(ExperimentRunnerTest, ConcurrentSavesMergeWithoutLosingRows) {
+  // Two runners share one results.csv: each computes a different cell and
+  // saves concurrently. The advisory lock + merge + atomic rename must
+  // preserve both rows regardless of who wins the race.
+  const std::string path = TempCachePath("race");
+  std::remove(path.c_str());
+  const CellSpec spec_a{"Random", "Scan", "x86", 100.0, 0};
+  const CellSpec spec_b{"Random", "Scan", "x86", 100.0, 1};
+  CellResult ra;
+  CellResult rb;
+  {
+    ExperimentRunner a(path);
+    ExperimentRunner b(path);  // loaded before either wrote anything
+    std::thread ta([&] {
+      ra = a.Run(spec_a);
+      a.Save();
+    });
+    std::thread tb([&] {
+      rb = b.Run(spec_b);
+      b.Save();
+    });
+    ta.join();
+    tb.join();
+  }
+  ExperimentRunner reloaded(path);
+  CellResult out;
+  ASSERT_TRUE(reloaded.Find(spec_a, &out));
+  EXPECT_DOUBLE_EQ(out.best_app_seconds, ra.best_app_seconds);
+  ASSERT_TRUE(reloaded.Find(spec_b, &out));
+  EXPECT_DOUBLE_EQ(out.best_app_seconds, rb.best_app_seconds);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST(ExperimentRunnerTest, SimCacheServesRepeatedEvaluations) {
+  const std::string path = TempCachePath("simcache");
+  std::remove(path.c_str());
+  ExperimentRunner runner(path);
+  ASSERT_TRUE(runner.sim_cache_enabled());
+  // Even one cell re-measures its tuned/default configurations three
+  // times each; the repeats hit the shared noise-free eval cache.
+  (void)runner.Run({"Random", "Scan", "x86", 100.0, 0});
+  const sparksim::EvalCacheStats stats = runner.sim_cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
 }
 
 TEST(WarmSequenceTest, AdaptsAcrossDataSizes) {
