@@ -82,7 +82,7 @@ CaseResult CaseRunAppSubset() {
       sparksim::ClusterSimulator sim(cluster, 5);
       const auto t0 = Clock::now();
       for (const auto& conf : confs) {
-        sink += sim.RunAppSubset(app, all, conf, 100.0).total_seconds;
+        sink += sim.RunAppSubset(app, all, conf, 100.0)->total_seconds;
       }
       out.nocache_s = std::min(out.nocache_s, Seconds(t0, Clock::now()));
     }
@@ -91,14 +91,14 @@ CaseResult CaseRunAppSubset() {
       sparksim::ClusterSimulator warmup(cluster, 5);
       warmup.set_eval_cache(&cache);
       for (const auto& conf : confs) {
-        sink += warmup.RunAppSubset(app, all, conf, 100.0).total_seconds;
+        sink += warmup.RunAppSubset(app, all, conf, 100.0)->total_seconds;
       }
       sparksim::ClusterSimulator sim(cluster, 5);
       sim.set_eval_cache(&cache);
       const sparksim::EvalCacheStats before = cache.stats();
       const auto t0 = Clock::now();
       for (const auto& conf : confs) {
-        sink += sim.RunAppSubset(app, all, conf, 100.0).total_seconds;
+        sink += sim.RunAppSubset(app, all, conf, 100.0)->total_seconds;
       }
       out.cached_s = std::min(out.cached_s, Seconds(t0, Clock::now()));
       const sparksim::EvalCacheStats after = cache.stats();

@@ -1,0 +1,16 @@
+#include "common/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace locat::common {
+
+double RetryPolicy::BackoffSeconds(int attempt) const {
+  if (initial_backoff_seconds <= 0.0 || attempt < 0) return 0.0;
+  const double raw =
+      initial_backoff_seconds * std::pow(std::max(1.0, backoff_multiplier),
+                                         static_cast<double>(attempt));
+  return std::min(raw, max_backoff_seconds);
+}
+
+}  // namespace locat::common

@@ -1,0 +1,23 @@
+#ifndef LOCAT_COMMON_RETRY_POLICY_H_
+#define LOCAT_COMMON_RETRY_POLICY_H_
+
+namespace locat::common {
+
+/// Exponential-backoff retry budget for failed application runs. The
+/// backoff is charged to the tuner's simulated optimization-time meter —
+/// a failed Spark run is not free, and the budget caps how much wall
+/// clock the tuner may burn re-trying a config that keeps dying.
+struct RetryPolicy {
+  int max_retries = 2;
+  double initial_backoff_seconds = 30.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 600.0;
+
+  /// Backoff charged before retry `attempt` (0-based): clamped
+  /// initial * multiplier^attempt. Returns 0 for a non-positive budget.
+  double BackoffSeconds(int attempt) const;
+};
+
+}  // namespace locat::common
+
+#endif  // LOCAT_COMMON_RETRY_POLICY_H_

@@ -47,6 +47,7 @@ void LocatTuner::EmitIteration(double datasize_gb, double eval_seconds,
   ev.mcmc_acceptance = fit.sampler.acceptance_rate();
   ev.rqa_share = rqa_share_;
   ev.rqa_queries = static_cast<int>(rqa_.size());
+  ev.failed_evals = failed_evals_;
   observer()->OnIteration(ev);
 }
 
@@ -82,30 +83,73 @@ double LocatTuner::EvaluateAndRecord(TuningSession* session,
                                      const sparksim::SparkConf& conf,
                                      double datasize_gb, bool full_app) {
   const double meter_before = session->optimization_seconds();
-  double objective = 0.0;
+  StatusOr<EvalRecord> rec_or =
+      full_app ? session->Evaluate(conf, datasize_gb)
+               : session->EvaluateSubset(conf, datasize_gb, rqa_);
+  double eval_seconds = session->optimization_seconds() - meter_before;
+  return FinishEvaluation(session, conf, datasize_gb, full_app,
+                          std::move(rec_or), &eval_seconds);
+}
+
+double LocatTuner::FinishEvaluation(TuningSession* session,
+                                    const sparksim::SparkConf& conf,
+                                    double datasize_gb, bool full_app,
+                                    StatusOr<EvalRecord> rec_or,
+                                    double* eval_seconds) {
+  // Retry budget: a failed run may be bad luck (straggler/kill draw), so
+  // re-run within the budget, charging exponential backoff to the meter —
+  // wasted wall clock is part of the optimization cost.
+  int attempt = 0;
+  while (rec_or.ok() && rec_or->failed &&
+         attempt < options_.retry.max_retries) {
+    const double backoff = options_.retry.BackoffSeconds(attempt);
+    session->ChargePenaltySeconds(backoff);
+    *eval_seconds += backoff;
+    ++attempt;
+    const double before = session->optimization_seconds();
+    rec_or = full_app ? session->Evaluate(conf, datasize_gb)
+                      : session->EvaluateSubset(conf, datasize_gb, rqa_);
+    *eval_seconds += session->optimization_seconds() - before;
+  }
+
   Observation obs;
   obs.unit = session->space().ToUnit(conf);
   obs.datasize_gb = datasize_gb;
-  if (full_app) {
-    const EvalRecord& rec = session->Evaluate(conf, datasize_gb);
-    obs.per_query = rec.per_query_seconds;
-    objective = RqaObjective(rec.per_query_seconds, rec.app_seconds);
+  double objective = 0.0;
+  if (!rec_or.ok()) {
+    // Hard evaluation error (bad inputs): impute with no partial time.
+    obs.failed = true;
+    objective = CensoredObjective(worst_objective_, 0.0,
+                                  options_.censor_margin);
+  } else if (rec_or->failed) {
+    // Censored: the run died after the retry budget. Its true cost is
+    // unknown but at least the partial time and at least as bad as the
+    // worst completed run; the margin steers DAGP/EI away.
+    obs.failed = true;
+    objective = CensoredObjective(worst_objective_, rec_or->app_seconds,
+                                  options_.censor_margin);
+  } else if (full_app) {
+    obs.per_query = rec_or->per_query_seconds;
+    objective = RqaObjective(rec_or->per_query_seconds, rec_or->app_seconds);
   } else {
-    const EvalRecord& rec =
-        session->EvaluateSubset(conf, datasize_gb, rqa_);
-    objective = rec.app_seconds;
+    objective = rec_or->app_seconds;
   }
   obs.objective_seconds = objective;
+  const bool failed = obs.failed;
   dagp_.AddObservation(EncodeUnit(obs.unit), datasize_gb, objective);
   observations_.push_back(std::move(obs));
 
-  if (best_objective_ <= 0.0 || objective < best_objective_) {
-    best_objective_ = objective;
-    best_conf_ = conf;
+  if (!failed) {
+    worst_objective_ = std::max(worst_objective_, objective);
+    if (best_objective_ <= 0.0 || objective < best_objective_) {
+      best_objective_ = objective;
+      best_conf_ = conf;
+    }
+  } else {
+    ++failed_evals_;
   }
   trajectory_.push_back(best_objective_);
-  EmitIteration(datasize_gb, session->optimization_seconds() - meter_before,
-                objective, full_app);
+  EmitIteration(datasize_gb, *eval_seconds, objective, full_app);
   return objective;
 }
 
@@ -114,36 +158,29 @@ void LocatTuner::EvaluateAndRecordBatch(
     double datasize_gb, bool full_app) {
   if (confs.empty()) return;
   double meter = session->optimization_seconds();
-  const std::vector<EvalRecord> recs =
+  StatusOr<std::vector<EvalRecord>> recs_or =
       full_app ? session->EvaluateBatch(confs, datasize_gb)
                : session->EvaluateSubsetBatch(confs, datasize_gb, rqa_);
+  if (!recs_or.ok()) {
+    // Defensive: inputs are validated upstream; degrade to the scalar
+    // path rather than silently dropping the runs.
+    for (const auto& conf : confs) {
+      EvaluateAndRecord(session, conf, datasize_gb, full_app);
+    }
+    return;
+  }
+  const std::vector<EvalRecord>& recs = *recs_or;
   for (size_t k = 0; k < recs.size(); ++k) {
-    const EvalRecord& rec = recs[k];
-    Observation obs;
-    obs.unit = session->space().ToUnit(confs[k]);
-    obs.datasize_gb = datasize_gb;
-    double objective = 0.0;
-    if (full_app) {
-      obs.per_query = rec.per_query_seconds;
-      objective = RqaObjective(rec.per_query_seconds, rec.app_seconds);
-    } else {
-      objective = rec.app_seconds;
-    }
-    obs.objective_seconds = objective;
-    dagp_.AddObservation(EncodeUnit(obs.unit), datasize_gb, objective);
-    observations_.push_back(std::move(obs));
-
-    if (best_objective_ <= 0.0 || objective < best_objective_) {
-      best_objective_ = objective;
-      best_conf_ = confs[k];
-    }
-    trajectory_.push_back(best_objective_);
     // Reproduce the sequential loop's meter-delta arithmetic exactly: the
     // session charged the runs one by one in this order, so replaying the
-    // additions yields the same intermediate sums bit-for-bit.
-    const double meter_after = meter + rec.app_seconds;
-    EmitIteration(datasize_gb, meter_after - meter, objective, full_app);
+    // additions yields the same intermediate sums bit-for-bit. Retries of
+    // failed records (fault injection only) charge on top inside
+    // FinishEvaluation.
+    const double meter_after = meter + recs[k].app_seconds;
+    double eval_seconds = meter_after - meter;
     meter = meter_after;
+    FinishEvaluation(session, confs[k], datasize_gb, full_app,
+                     StatusOr<EvalRecord>(recs[k]), &eval_seconds);
   }
 }
 
@@ -288,10 +325,13 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
   const int num_queries = session->app().num_queries();
 
   // --- QCSA on the first N_QCSA full-app runs (matrix S, equation (2)).
+  // Failed runs never contribute: their per_query is empty (or truncated
+  // at the kill), so the CV computation sees only completed samples.
   if (options_.enable_qcsa) {
     std::vector<std::vector<double>> times(
         static_cast<size_t>(num_queries));
     for (const auto& obs : observations_) {
+      if (obs.failed) continue;
       if (static_cast<int>(obs.per_query.size()) != num_queries) continue;
       for (int q = 0; q < num_queries; ++q) {
         times[static_cast<size_t>(q)].push_back(
@@ -309,17 +349,24 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
     for (int q = 0; q < num_queries; ++q) rqa_[static_cast<size_t>(q)] = q;
   }
 
-  // --- IICP on the first N_IICP samples (matrix S', equation (5)).
+  // --- IICP on the first N_IICP *successful* samples (matrix S',
+  // equation (5)): censored penalty values are imputed, not measured, and
+  // would distort the Spearman/KPCA statistics.
   if (options_.enable_iicp) {
-    const int n = std::min<int>(options_.n_iicp,
-                                static_cast<int>(observations_.size()));
+    std::vector<size_t> ok_idx;
+    for (size_t i = 0; i < observations_.size() &&
+                       static_cast<int>(ok_idx.size()) < options_.n_iicp;
+         ++i) {
+      if (!observations_[i].failed) ok_idx.push_back(i);
+    }
+    const int n = static_cast<int>(ok_idx.size());
     math::Matrix confs(static_cast<size_t>(n), sparksim::kNumParams);
     std::vector<double> ts(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
       confs.SetRow(static_cast<size_t>(i),
-                   observations_[static_cast<size_t>(i)].unit);
+                   observations_[ok_idx[static_cast<size_t>(i)]].unit);
       ts[static_cast<size_t>(i)] =
-          observations_[static_cast<size_t>(i)].objective_seconds;
+          observations_[ok_idx[static_cast<size_t>(i)]].objective_seconds;
     }
     auto iicp = Iicp::Run(confs, ts, options_.iicp, tracer());
     if (iicp.ok()) iicp_ = std::move(iicp).value();
@@ -366,13 +413,17 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
                          obs.objective_seconds);
   }
   if (rqa_ratio_count > 0) rqa_share_ = rqa_ratio_sum / rqa_ratio_count;
-  // Recompute the incumbent under the RQA objective.
+  // Recompute the incumbent (and the censored-cost anchor) under the RQA
+  // objective; failed runs never hold either.
   best_objective_ = 0.0;
+  worst_objective_ = 0.0;
   for (const auto& obs : observations_) {
+    if (obs.failed) continue;
     if (best_objective_ <= 0.0 ||
         obs.objective_seconds < best_objective_) {
       best_objective_ = obs.objective_seconds;
     }
+    worst_objective_ = std::max(worst_objective_, obs.objective_seconds);
   }
 
   if (observer() != nullptr) {
@@ -413,12 +464,33 @@ void LocatTuner::ObserveExternalRun(const sparksim::ConfigSpace& space,
   obs.objective_seconds = full_app_seconds * rqa_share_;
   dagp_.AddObservation(EncodeUnit(obs.unit), datasize_gb,
                        obs.objective_seconds);
+  worst_objective_ = std::max(worst_objective_, obs.objective_seconds);
   observations_.push_back(std::move(obs));
+}
+
+void LocatTuner::ObserveFailedExternalRun(const sparksim::ConfigSpace& space,
+                                          const sparksim::SparkConf& conf,
+                                          double datasize_gb,
+                                          double partial_seconds) {
+  if (!cold_started_) return;
+  Observation obs;
+  obs.unit = space.ToUnit(conf);
+  obs.datasize_gb = datasize_gb;
+  obs.failed = true;
+  obs.objective_seconds =
+      CensoredObjective(worst_objective_,
+                        std::max(0.0, partial_seconds) * rqa_share_,
+                        options_.censor_margin);
+  dagp_.AddObservation(EncodeUnit(obs.unit), datasize_gb,
+                       obs.objective_seconds);
+  observations_.push_back(std::move(obs));
+  ++failed_evals_;
 }
 
 TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
   const double meter_start = session->optimization_seconds();
   const int evals_start = session->evaluations();
+  const int failed_start = failed_evals_;
   trajectory_.clear();
   iter_in_pass_ = 0;
   obs::ScopedSpan tune_span(tracer(), "tune", "tuner");
@@ -533,6 +605,7 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
     // restricted to this ds (with the GP's help when it is empty).
     double best = 0.0;
     for (const auto& obs : observations_) {
+      if (obs.failed) continue;
       if (obs.datasize_gb == datasize_gb &&
           (best <= 0.0 || obs.objective_seconds < best)) {
         best = obs.objective_seconds;
@@ -559,7 +632,7 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
     std::vector<size_t> indices;
     for (size_t i = 0; i < observations_.size(); ++i) {
       const auto& obs = observations_[i];
-      if (obs.datasize_gb != datasize_gb) continue;
+      if (obs.datasize_gb != datasize_gb || obs.failed) continue;
       encoded.push_back(EncodeUnit(obs.unit));
       indices.push_back(i);
     }
@@ -578,7 +651,7 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
   } else {
     for (size_t i = 0; i < observations_.size(); ++i) {
       const auto& obs = observations_[i];
-      if (obs.datasize_gb != datasize_gb) continue;
+      if (obs.datasize_gb != datasize_gb || obs.failed) continue;
       ranked.push_back({obs.objective_seconds, i});
     }
   }
@@ -594,22 +667,31 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
         space.FromUnit(observations_[ranked[r].second].unit)));
   }
   double rerun_meter = session->optimization_seconds();
-  const std::vector<EvalRecord> rerun_recs =
+  StatusOr<std::vector<EvalRecord>> rerun_or =
       session->EvaluateSubsetBatch(rerun_confs, datasize_gb, rqa_);
   double champion = 0.0;
-  for (size_t r = 0; r < n_rerun; ++r) {
-    const auto& obs = observations_[ranked[r].second];
-    const EvalRecord& rec = rerun_recs[r];
-    const double avg = 0.5 * (rec.app_seconds + obs.objective_seconds);
-    if (champion <= 0.0 || avg < champion) {
-      champion = avg;
-      best_conf_ = rerun_confs[r];
-      best_objective_ = avg;
+  if (rerun_or.ok()) {
+    const std::vector<EvalRecord>& rerun_recs = *rerun_or;
+    for (size_t r = 0; r < n_rerun; ++r) {
+      const auto& obs = observations_[ranked[r].second];
+      const EvalRecord& rec = rerun_recs[r];
+      const double rerun_meter_after = rerun_meter + rec.app_seconds;
+      if (rec.failed) {
+        // A kill during the confirmation re-run disqualifies the
+        // candidate — the previously ranked observations stand.
+        ++failed_evals_;
+      } else {
+        const double avg = 0.5 * (rec.app_seconds + obs.objective_seconds);
+        if (champion <= 0.0 || avg < champion) {
+          champion = avg;
+          best_conf_ = rerun_confs[r];
+          best_objective_ = avg;
+        }
+      }
+      EmitIteration(datasize_gb, rerun_meter_after - rerun_meter,
+                    rec.app_seconds, /*full_app=*/false);
+      rerun_meter = rerun_meter_after;
     }
-    const double rerun_meter_after = rerun_meter + rec.app_seconds;
-    EmitIteration(datasize_gb, rerun_meter_after - rerun_meter,
-                  rec.app_seconds, /*full_app=*/false);
-    rerun_meter = rerun_meter_after;
   }
 
   TuningResult result;
@@ -619,11 +701,16 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
   result.optimization_seconds =
       session->optimization_seconds() - meter_start;
   result.evaluations = session->evaluations() - evals_start;
+  result.failed_evaluations = failed_evals_ - failed_start;
   result.trajectory = trajectory_;
 
   tune_span.Arg("evaluations", static_cast<double>(result.evaluations));
   tune_span.Arg("optimization_seconds", result.optimization_seconds);
   tune_span.Arg("best_seconds", result.best_observed_seconds);
+  if (result.failed_evaluations > 0) {
+    tune_span.Arg("failed_evals",
+                  static_cast<double>(result.failed_evaluations));
+  }
   if (observer() != nullptr) {
     obs::PhaseEvent ev;
     ev.tuner = name();
@@ -633,6 +720,7 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
         {"optimization_seconds", result.optimization_seconds},
         {"best_seconds", result.best_observed_seconds},
         {"datasize_gb", datasize_gb},
+        {"failed_evals", static_cast<double>(result.failed_evaluations)},
     };
     observer()->OnPhase(ev);
   }

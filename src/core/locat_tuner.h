@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry_policy.h"
 #include "common/rng.h"
 #include "core/dagp.h"
 #include "core/iicp.h"
@@ -53,6 +54,11 @@ class LocatTuner : public Tuner {
     bool enable_iicp = true;
     IicpOptions iicp;
     Dagp::Options dagp;
+    /// Failure handling: per-evaluation retry budget (backoff is charged
+    /// to the optimization-time meter) and the censored-cost margin
+    /// applied to worst-seen when a config keeps dying.
+    common::RetryPolicy retry;
+    double censor_margin = 2.0;
 
     Options() {}
   };
@@ -72,6 +78,19 @@ class LocatTuner : public Tuner {
                           const sparksim::SparkConf& conf,
                           double datasize_gb, double full_app_seconds);
 
+  /// Feeds a *failed* production run into the DAGP: the config gets the
+  /// censored penalty cost (worst-seen x margin, at least the partial
+  /// time observed) so the model steers away from the region. No-op
+  /// before the cold start.
+  void ObserveFailedExternalRun(const sparksim::ConfigSpace& space,
+                                const sparksim::SparkConf& conf,
+                                double datasize_gb,
+                                double partial_seconds = 0.0);
+
+  /// Cumulative evaluations that ended failed (after retries), across all
+  /// Tune passes and external reports.
+  int failed_evaluations() const { return failed_evals_; }
+
   /// Introspection for benches/tests; null before the cold start finishes
   /// the respective phase.
   const QcsaResult* qcsa_result() const {
@@ -88,8 +107,10 @@ class LocatTuner : public Tuner {
   struct Observation {
     math::Vector unit;                // full 38-dim unit configuration
     double datasize_gb = 0.0;
-    double objective_seconds = 0.0;   // RQA-equivalent objective
-    std::vector<double> per_query;    // full-app runs only (else empty)
+    double objective_seconds = 0.0;   // RQA-equivalent objective, or the
+                                      // censored penalty when failed
+    std::vector<double> per_query;    // successful full-app runs only
+    bool failed = false;              // run died even after retries
   };
 
   /// Encoded representation for the DAGP (latent after IICP, identity
@@ -101,6 +122,19 @@ class LocatTuner : public Tuner {
   double EvaluateAndRecord(TuningSession* session,
                            const sparksim::SparkConf& conf,
                            double datasize_gb, bool full_app);
+
+  /// Shared failure-aware tail of the scalar and batched paths: retries a
+  /// failed first attempt within the retry budget (backoff charged to the
+  /// meter), imputes the censored cost when it keeps failing, then does
+  /// the usual bookkeeping (observation log, DAGP, incumbent — never
+  /// updated from a failed run — trajectory, telemetry). `eval_seconds`
+  /// carries the first attempt's charged seconds in and accumulates
+  /// retry/backoff seconds for the emitted event.
+  double FinishEvaluation(TuningSession* session,
+                          const sparksim::SparkConf& conf,
+                          double datasize_gb, bool full_app,
+                          StatusOr<EvalRecord> rec_or,
+                          double* eval_seconds);
 
   /// Batched EvaluateAndRecord: one RunAppBatch fan-out for all
   /// configurations, then the identical per-run bookkeeping in order —
@@ -140,6 +174,9 @@ class LocatTuner : public Tuner {
   std::vector<Observation> observations_;
   sparksim::SparkConf best_conf_;
   double best_objective_ = 0.0;
+  /// Worst *successful* objective seen (censored-cost anchor).
+  double worst_objective_ = 0.0;
+  int failed_evals_ = 0;
   bool exploit_only_ = false;
   double rqa_share_ = 1.0;  // mean RQA/full-app time ratio (cold start)
   std::vector<double> trajectory_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace locat::core {
 
@@ -22,11 +23,32 @@ void OnlineTuningService::SetObservability(const obs::ObsContext& obs) {
     tuning_passes_counter_ = obs_.metrics->GetCounter(
         "locat_service_tuning_passes_total",
         "Cold or warm tuning passes triggered by recommendations");
+    failed_reports_counter_ = obs_.metrics->GetCounter(
+        "locat_service_failed_reports_total",
+        "Failed production runs reported back to the service");
   } else {
     recommendations_counter_ = nullptr;
     reuse_counter_ = nullptr;
     tuning_passes_counter_ = nullptr;
+    failed_reports_counter_ = nullptr;
   }
+}
+
+double OnlineTuningService::NearestTunedKey(double datasize_gb) const {
+  double best_gap = 1e300;
+  double best_key = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& [ds, conf] : tuned_) {
+    const double gap =
+        std::fabs(ds - datasize_gb) / std::max(ds, datasize_gb);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_key = ds;
+    }
+  }
+  if (best_gap > options_.retune_threshold) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return best_key;
 }
 
 StatusOr<sparksim::SparkConf> OnlineTuningService::RecommendedConf(
@@ -66,11 +88,62 @@ StatusOr<sparksim::SparkConf> OnlineTuningService::RecommendedConf(
   return result.best_conf;
 }
 
-void OnlineTuningService::ReportRun(double datasize_gb,
-                                    const sparksim::SparkConf& conf,
-                                    double observed_seconds) {
+Status OnlineTuningService::ReportRun(double datasize_gb,
+                                      const sparksim::SparkConf& conf,
+                                      double observed_seconds) {
+  if (!std::isfinite(datasize_gb) || datasize_gb <= 0.0) {
+    return Status::InvalidArgument(
+        "ReportRun needs a finite, strictly positive datasize_gb");
+  }
+  if (!std::isfinite(observed_seconds) || observed_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "ReportRun needs a finite, strictly positive observed_seconds");
+  }
   tuner_.ObserveExternalRun(session_->space(), conf, datasize_gb,
                             observed_seconds);
+  const double key = NearestTunedKey(datasize_gb);
+  if (!std::isnan(key)) last_good_[key] = conf;
+  return Status::OK();
+}
+
+Status OnlineTuningService::ReportFailedRun(double datasize_gb,
+                                            const sparksim::SparkConf& conf,
+                                            double partial_seconds) {
+  if (!std::isfinite(datasize_gb) || datasize_gb <= 0.0) {
+    return Status::InvalidArgument(
+        "ReportFailedRun needs a finite, strictly positive datasize_gb");
+  }
+  if (!std::isfinite(partial_seconds) || partial_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "ReportFailedRun needs a finite, non-negative partial_seconds");
+  }
+  obs::ScopedSpan span(obs_.tracer, "service/report_failed", "service");
+  span.Arg("datasize_gb", datasize_gb);
+  ++failed_reports_;
+  if (failed_reports_counter_ != nullptr) failed_reports_counter_->Increment();
+  tuner_.ObserveFailedExternalRun(session_->space(), conf, datasize_gb,
+                                  partial_seconds);
+  const double key = NearestTunedKey(datasize_gb);
+  if (!std::isnan(key)) {
+    ++penalized_[key];
+    const auto good = last_good_.find(key);
+    if (good != last_good_.end()) {
+      // Graceful degradation: serve the last conf known to finish.
+      tuned_[key] = good->second;
+    } else {
+      // Nothing ever finished here — forget the size so the next
+      // recommendation triggers a fresh (warm) tuning pass.
+      tuned_.erase(key);
+    }
+  }
+  return Status::OK();
+}
+
+int OnlineTuningService::penalized_count(double datasize_gb) const {
+  const double key = NearestTunedKey(datasize_gb);
+  if (std::isnan(key)) return 0;
+  const auto it = penalized_.find(key);
+  return it == penalized_.end() ? 0 : it->second;
 }
 
 std::vector<double> OnlineTuningService::tuned_sizes() const {

@@ -49,9 +49,30 @@ class OnlineTuningService {
 
   /// Feeds an observed production run back into the model (not charged to
   /// the optimization meter — the run happened anyway). Improves later
-  /// warm adaptations.
-  void ReportRun(double datasize_gb, const sparksim::SparkConf& conf,
-                 double observed_seconds);
+  /// warm adaptations and remembers the conf as last-known-good for the
+  /// nearest tuned size. InvalidArgument when `datasize_gb` or
+  /// `observed_seconds` is NaN, infinite or not strictly positive — a
+  /// corrupt measurement must never poison the DAGP.
+  Status ReportRun(double datasize_gb, const sparksim::SparkConf& conf,
+                   double observed_seconds);
+
+  /// Reports that a production run with `conf` died (OOM kill, executor
+  /// loss, ...). The config is fed to the tuner as a censored observation
+  /// so the model steers away, and the service degrades gracefully: the
+  /// nearest tuned size falls back to its last-known-good conf (or is
+  /// forgotten entirely, forcing a re-tune on the next recommendation, if
+  /// no good run was ever reported) and the region is marked penalized.
+  /// InvalidArgument on a non-finite or non-positive `datasize_gb` or a
+  /// negative/non-finite `partial_seconds`.
+  Status ReportFailedRun(double datasize_gb, const sparksim::SparkConf& conf,
+                         double partial_seconds = 0.0);
+
+  /// Failed production runs reported so far.
+  int failed_reports() const { return failed_reports_; }
+
+  /// How many failure reports have hit the tuned size nearest to
+  /// `datasize_gb` (0 when nothing nearby was ever penalized).
+  int penalized_count(double datasize_gb) const;
 
   /// Simulated time spent on tuning so far (the service's total
   /// optimization overhead).
@@ -72,15 +93,25 @@ class OnlineTuningService {
   void SetObservability(const obs::ObsContext& obs);
 
  private:
+  /// Key of the tuned size closest to `datasize_gb` when its symmetric
+  /// gap is within retune_threshold; NaN when nothing is close enough.
+  double NearestTunedKey(double datasize_gb) const;
+
   TuningSession* session_;
   Options options_;
   LocatTuner tuner_;
   std::map<double, sparksim::SparkConf> tuned_;  // ds -> best conf
+  /// Last conf that *finished* a reported production run, per tuned size —
+  /// the fallback target when a recommended conf starts failing.
+  std::map<double, sparksim::SparkConf> last_good_;
+  std::map<double, int> penalized_;  // tuned ds -> failure reports
   int tuning_passes_ = 0;
+  int failed_reports_ = 0;
   obs::ObsContext obs_;
   obs::Counter* recommendations_counter_ = nullptr;
   obs::Counter* reuse_counter_ = nullptr;
   obs::Counter* tuning_passes_counter_ = nullptr;
+  obs::Counter* failed_reports_counter_ = nullptr;
 };
 
 }  // namespace locat::core

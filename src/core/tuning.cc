@@ -1,13 +1,15 @@
 #include "core/tuning.h"
 
+#include <algorithm>
+
 namespace locat::core {
 
 TuningSession::TuningSession(sparksim::ClusterSimulator* simulator,
                              const sparksim::SparkSqlApp& app)
     : simulator_(simulator), app_(app), space_(simulator->cluster()) {}
 
-const EvalRecord& TuningSession::Evaluate(const sparksim::SparkConf& conf,
-                                          double datasize_gb) {
+StatusOr<EvalRecord> TuningSession::Evaluate(const sparksim::SparkConf& conf,
+                                             double datasize_gb) {
   if (!restriction_.empty()) {
     return EvaluateSubset(conf, datasize_gb, restriction_);
   }
@@ -29,6 +31,9 @@ void TuningSession::SetObservability(const obs::ObsContext& obs) {
     opt_seconds_counter_ = obs_.metrics->GetCounter(
         "locat_optimization_seconds_total",
         "Simulated seconds charged to the optimization-time meter");
+    eval_failures_counter_ = obs_.metrics->GetCounter(
+        "locat_evaluation_failures_total",
+        "Charged evaluations that ended in a fault-injected failure");
     eval_seconds_hist_ = obs_.metrics->GetHistogram(
         "locat_evaluation_seconds",
         "Simulated seconds per charged configuration evaluation",
@@ -36,26 +41,30 @@ void TuningSession::SetObservability(const obs::ObsContext& obs) {
   } else {
     evals_counter_ = nullptr;
     opt_seconds_counter_ = nullptr;
+    eval_failures_counter_ = nullptr;
     eval_seconds_hist_ = nullptr;
   }
 }
 
 void TuningSession::ClearQueryRestriction() { restriction_.clear(); }
 
-const EvalRecord& TuningSession::EvaluateSubset(
+StatusOr<EvalRecord> TuningSession::EvaluateSubset(
     const sparksim::SparkConf& conf, double datasize_gb,
     const std::vector<int>& query_indices) {
   obs::ScopedSpan span(obs_.tracer, "session/evaluate", "session");
-  sparksim::AppRunResult run =
+  StatusOr<sparksim::AppRunResult> run_or =
       simulator_->RunAppSubset(app_, query_indices, conf, datasize_gb);
+  if (!run_or.ok()) return run_or.status();
+  const sparksim::AppRunResult& run = *run_or;
   span.Arg("queries", static_cast<double>(query_indices.size()));
   span.Arg("datasize_gb", datasize_gb);
   span.Arg("simulated_seconds", run.total_seconds);
   span.Arg("oom", run.any_oom ? 1.0 : 0.0);
+  if (run.failed) span.Arg("failed", 1.0);
   return RecordRun(conf, datasize_gb, query_indices, run);
 }
 
-std::vector<EvalRecord> TuningSession::EvaluateBatch(
+StatusOr<std::vector<EvalRecord>> TuningSession::EvaluateBatch(
     const std::vector<sparksim::SparkConf>& confs, double datasize_gb) {
   if (!restriction_.empty()) {
     return EvaluateSubsetBatch(confs, datasize_gb, restriction_);
@@ -65,15 +74,17 @@ std::vector<EvalRecord> TuningSession::EvaluateBatch(
   return EvaluateSubsetBatch(confs, datasize_gb, all);
 }
 
-std::vector<EvalRecord> TuningSession::EvaluateSubsetBatch(
+StatusOr<std::vector<EvalRecord>> TuningSession::EvaluateSubsetBatch(
     const std::vector<sparksim::SparkConf>& confs, double datasize_gb,
     const std::vector<int>& query_indices) {
   std::vector<EvalRecord> out;
   out.reserve(confs.size());
   if (confs.empty()) return out;
   obs::ScopedSpan span(obs_.tracer, "session/evaluate_batch", "session");
-  const std::vector<sparksim::AppRunResult> runs =
+  StatusOr<std::vector<sparksim::AppRunResult>> runs_or =
       simulator_->RunAppBatch(app_, query_indices, confs, datasize_gb);
+  if (!runs_or.ok()) return runs_or.status();
+  const std::vector<sparksim::AppRunResult>& runs = *runs_or;
   double batch_seconds = 0.0;
   for (size_t k = 0; k < runs.size(); ++k) {
     batch_seconds += runs[k].total_seconds;
@@ -94,6 +105,9 @@ const EvalRecord& TuningSession::RecordRun(
   if (opt_seconds_counter_ != nullptr) {
     opt_seconds_counter_->Increment(run.total_seconds);
   }
+  if (eval_failures_counter_ != nullptr && run.failed) {
+    eval_failures_counter_->Increment();
+  }
   if (eval_seconds_hist_ != nullptr) {
     eval_seconds_hist_->Observe(run.total_seconds);
   }
@@ -112,10 +126,22 @@ const EvalRecord& TuningSession::RecordRun(
   }
   rec.gc_seconds = run.gc_seconds;
   rec.any_oom = run.any_oom;
+  rec.failed = run.failed;
+  rec.fail_reason = run.fail_reason;
+  rec.retries = run.retries;
+  rec.lost_executors = run.lost_executors;
 
   optimization_seconds_ += run.total_seconds;
   history_.push_back(std::move(rec));
   return history_.back();
+}
+
+void TuningSession::ChargePenaltySeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  optimization_seconds_ += seconds;
+  if (opt_seconds_counter_ != nullptr) {
+    opt_seconds_counter_->Increment(seconds);
+  }
 }
 
 sparksim::AppRunResult TuningSession::MeasureFinal(
@@ -128,11 +154,18 @@ void TuningSession::Reset() {
   optimization_seconds_ = 0.0;
 }
 
+double CensoredObjective(double worst_seen_seconds, double partial_seconds,
+                         double margin) {
+  const double base = std::max(worst_seen_seconds, partial_seconds);
+  return (base > 0.0 ? base : 1.0) * margin;
+}
+
 void EmitSimpleIteration(obs::TunerObserver* observer,
                          const std::string& tuner, const char* phase,
                          int iteration, double datasize_gb,
                          double eval_seconds, double objective,
-                         double incumbent, bool full_app) {
+                         double incumbent, bool full_app,
+                         int failed_evals) {
   if (observer == nullptr) return;
   obs::BoIterationEvent ev;
   ev.tuner = tuner;
@@ -143,6 +176,7 @@ void EmitSimpleIteration(obs::TunerObserver* observer,
   ev.objective_seconds = objective;
   ev.incumbent_seconds = incumbent;
   ev.full_app = full_app;
+  ev.failed_evals = failed_evals;
   observer->OnIteration(ev);
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/telemetry.h"
 #include "sparksim/config.h"
 #include "sparksim/query_profile.h"
@@ -22,6 +23,13 @@ struct EvalRecord {
   std::vector<int> query_indices;         // which queries ran
   double gc_seconds = 0.0;
   bool any_oom = false;
+  /// Fault-injection outcome: a failed record's app_seconds is the
+  /// *partial* time up to the kill (still charged to the meter — a dead
+  /// run is not free) and per_query_seconds covers only what ran.
+  bool failed = false;
+  std::string fail_reason;
+  int retries = 0;
+  int lost_executors = 0;
 };
 
 /// Accounting wrapper every tuner evaluates configurations through.
@@ -35,14 +43,18 @@ class TuningSession {
                 const sparksim::SparkSqlApp& app);
 
   /// Runs the full application; charged to the optimization-time meter.
-  const EvalRecord& Evaluate(const sparksim::SparkConf& conf,
-                             double datasize_gb);
+  /// Errors (bad datasize, bad indices) come back as a Status; a
+  /// fault-injected app kill is ok() with record.failed set — the partial
+  /// runtime is still charged, and tuners impute a censored cost.
+  /// Records are returned by value because history_ may reallocate.
+  StatusOr<EvalRecord> Evaluate(const sparksim::SparkConf& conf,
+                                double datasize_gb);
 
   /// Runs only the listed query indices (the RQA path); charged at the
   /// reduced cost, which is where QCSA's savings come from.
-  const EvalRecord& EvaluateSubset(const sparksim::SparkConf& conf,
-                                   double datasize_gb,
-                                   const std::vector<int>& query_indices);
+  StatusOr<EvalRecord> EvaluateSubset(const sparksim::SparkConf& conf,
+                                      double datasize_gb,
+                                      const std::vector<int>& query_indices);
 
   /// Batched equivalents of calling Evaluate/EvaluateSubset once per
   /// configuration, in order: the whole (conf x query) grid fans out
@@ -51,9 +63,9 @@ class TuningSession {
   /// sequential loop; records are returned by value because history_ may
   /// reallocate. Per-run "session/evaluate" spans collapse into one
   /// "session/evaluate_batch" span (observational only).
-  std::vector<EvalRecord> EvaluateBatch(
+  StatusOr<std::vector<EvalRecord>> EvaluateBatch(
       const std::vector<sparksim::SparkConf>& confs, double datasize_gb);
-  std::vector<EvalRecord> EvaluateSubsetBatch(
+  StatusOr<std::vector<EvalRecord>> EvaluateSubsetBatch(
       const std::vector<sparksim::SparkConf>& confs, double datasize_gb,
       const std::vector<int>& query_indices);
 
@@ -70,6 +82,12 @@ class TuningSession {
   double optimization_seconds() const { return optimization_seconds_; }
   int evaluations() const { return static_cast<int>(history_.size()); }
   const std::vector<EvalRecord>& history() const { return history_; }
+
+  /// Charges extra simulated seconds to the optimization-time meter
+  /// without an evaluation — retry backoff after a failed run is billed
+  /// through here so wasted wall clock shows up in the reported
+  /// optimization time.
+  void ChargePenaltySeconds(double seconds);
 
   /// Forgets history and resets the meter (keeps the simulator state).
   void Reset();
@@ -105,8 +123,17 @@ class TuningSession {
   obs::ObsContext obs_;
   obs::Counter* evals_counter_ = nullptr;
   obs::Counter* opt_seconds_counter_ = nullptr;
+  obs::Counter* eval_failures_counter_ = nullptr;
   obs::Histogram* eval_seconds_hist_ = nullptr;
 };
+
+/// Censored-cost imputation for a failed evaluation: the run died, so its
+/// true cost is unknown but at least the partial time observed and at
+/// least as bad as the worst completed run; the margin pushes the
+/// surrogate away from the region. Returns margin when nothing has been
+/// observed yet (both inputs non-positive).
+double CensoredObjective(double worst_seen_seconds, double partial_seconds,
+                         double margin);
 
 /// Builds and sends a minimal BoIterationEvent — the shared emit path for
 /// tuners without model-specific telemetry (the baselines). No-op when
@@ -116,7 +143,8 @@ void EmitSimpleIteration(obs::TunerObserver* observer,
                          const std::string& tuner, const char* phase,
                          int iteration, double datasize_gb,
                          double eval_seconds, double objective,
-                         double incumbent, bool full_app);
+                         double incumbent, bool full_app,
+                         int failed_evals = 0);
 
 /// Outcome of one tuning run.
 struct TuningResult {
@@ -128,6 +156,9 @@ struct TuningResult {
   /// Simulated time the whole optimization procedure consumed.
   double optimization_seconds = 0.0;
   int evaluations = 0;
+  /// Evaluations that ended in a fault-injected failure (after retries).
+  /// Baselines that don't track failures leave this 0.
+  int failed_evaluations = 0;
   /// Best-so-far observed objective after each evaluation.
   std::vector<double> trajectory;
 };

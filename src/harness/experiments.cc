@@ -246,23 +246,30 @@ CellResult ExperimentRunner::Compute(const CellSpec& spec) {
   cell.evaluations = tr.evaluations;
 
   // Judge the tuned configuration on the full application (not charged);
-  // three repetitions average out run-to-run noise. The last run supplies
-  // the per-query/GC breakdowns.
+  // three *successful* repetitions average out run-to-run noise — under
+  // fault injection a rep may die, so up to 9 attempts are made (with
+  // faults off every rep succeeds and this is the original 3-rep loop).
+  // The last successful run supplies the per-query/GC breakdowns.
   sparksim::AppRunResult final_run;
-  for (int rep = 0; rep < 3; ++rep) {
-    final_run = session.MeasureFinal(tr.best_conf, spec.datasize_gb);
+  int good_reps = 0;
+  for (int attempt = 0; attempt < 9 && good_reps < 3; ++attempt) {
+    sparksim::AppRunResult run =
+        session.MeasureFinal(tr.best_conf, spec.datasize_gb);
+    if (run.failed) continue;
+    final_run = std::move(run);
     cell.best_app_seconds += final_run.total_seconds / 3.0;
     cell.gc_seconds += final_run.gc_seconds / 3.0;
+    ++good_reps;
   }
 
-  for (int rep = 0; rep < 3; ++rep) {
-    cell.default_app_seconds +=
-        session
-            .MeasureFinal(
-                session.space().Repair(session.space().DefaultConf()),
-                spec.datasize_gb)
-            .total_seconds /
-        3.0;
+  good_reps = 0;
+  for (int attempt = 0; attempt < 9 && good_reps < 3; ++attempt) {
+    const sparksim::AppRunResult run = session.MeasureFinal(
+        session.space().Repair(session.space().DefaultConf()),
+        spec.datasize_gb);
+    if (run.failed) continue;
+    cell.default_app_seconds += run.total_seconds / 3.0;
+    ++good_reps;
   }
 
   const std::vector<int> csq = CanonicalCsq(spec.app, spec.cluster);

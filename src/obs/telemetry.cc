@@ -35,7 +35,8 @@ void JsonlObserver::OnIteration(const BoIterationEvent& e) {
      << ",\"mcmc_density_evals\":" << e.mcmc_density_evals
      << ",\"mcmc_acceptance\":" << Fmt(e.mcmc_acceptance)
      << ",\"rqa_share\":" << Fmt(e.rqa_share)
-     << ",\"rqa_queries\":" << e.rqa_queries << "}\n";
+     << ",\"rqa_queries\":" << e.rqa_queries
+     << ",\"failed_evals\":" << e.failed_evals << "}\n";
 }
 
 void JsonlObserver::OnPhase(const PhaseEvent& e) {

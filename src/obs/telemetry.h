@@ -39,6 +39,7 @@ struct BoIterationEvent {
   double mcmc_acceptance = 0.0;    // slice-sampler proposal acceptance rate
   double rqa_share = 0.0;      // estimated RQA/full-app time ratio
   int rqa_queries = 0;         // queries in the reduced application
+  int failed_evals = 0;        // cumulative failed evaluations so far
 };
 
 /// Phase-level record (analysis results, summaries): a named phase plus a

@@ -130,6 +130,12 @@ uint64_t CombineEnvFingerprint(uint64_t cluster_fp, uint64_t params_fp) {
   return h;
 }
 
+uint64_t CombineFaultFingerprint(uint64_t env_fp, uint64_t fault_fp) {
+  if (fault_fp == 0) return env_fp;
+  uint64_t h = MixWord(env_fp, 0x66617573ULL);  // "faus"
+  return MixWord(h, fault_fp);
+}
+
 uint64_t CombineEvalFingerprint(uint64_t conf_fp, uint64_t env_fp,
                                 uint64_t query_fp, double datasize_gb) {
   uint64_t h = MixWord(conf_fp, env_fp);

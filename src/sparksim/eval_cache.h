@@ -46,6 +46,12 @@ uint64_t CombineSubsetFingerprint(uint64_t app_fp, const int* indices,
 /// Environment fingerprint = cluster + sim params + cache format version.
 uint64_t CombineEnvFingerprint(uint64_t cluster_fp, uint64_t params_fp);
 
+/// Folds a fault-plan fingerprint (FingerprintFaultSpec) into the
+/// environment fingerprint, so entries cached under one fault plan are
+/// never served under another. Identity when fault_fp == 0 (faults off):
+/// the pre-fault key space is preserved bit-for-bit.
+uint64_t CombineFaultFingerprint(uint64_t env_fp, uint64_t fault_fp);
+
 /// Full per-evaluation fingerprint used as the cache bucket key.
 uint64_t CombineEvalFingerprint(uint64_t conf_fp, uint64_t env_fp,
                                 uint64_t query_fp, double datasize_gb);

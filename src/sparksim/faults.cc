@@ -1,0 +1,172 @@
+#include "sparksim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "sparksim/simulator.h"
+
+namespace locat::sparksim {
+namespace {
+
+// Local copies of the eval-cache mixers: faults.cc must not depend on
+// eval_cache.cc internals, but the fingerprints feed the same key space.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixWord(uint64_t h, uint64_t w) {
+  h ^= SplitMix64(w);
+  h *= 1099511628211ULL;
+  return h;
+}
+
+uint64_t MixDouble(uint64_t h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return MixWord(h, bits);
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::Off() { return FaultSpec{}; }
+
+FaultSpec FaultSpec::Light(uint64_t seed) {
+  FaultSpec s;
+  s.level = FaultLevel::kLight;
+  s.seed = seed;
+  s.executor_loss_prob = 0.02;
+  s.executor_loss_frac = 0.25;
+  s.straggler_prob = 0.03;
+  s.straggler_mult = 1.5;
+  s.fetch_failure_prob = 0.02;
+  s.kill_severity = 3.0;
+  s.kill_prob = 0.3;
+  return s;
+}
+
+FaultSpec FaultSpec::Heavy(uint64_t seed) {
+  FaultSpec s;
+  s.level = FaultLevel::kHeavy;
+  s.seed = seed;
+  s.executor_loss_prob = 0.10;
+  s.executor_loss_frac = 0.5;
+  s.straggler_prob = 0.10;
+  s.straggler_mult = 2.5;
+  s.fetch_failure_prob = 0.08;
+  s.kill_severity = 1.2;
+  s.kill_prob = 0.8;
+  return s;
+}
+
+StatusOr<FaultSpec> FaultSpec::FromName(const std::string& name,
+                                        uint64_t seed) {
+  if (name == "off") return Off();
+  if (name == "light") return Light(seed);
+  if (name == "heavy") return Heavy(seed);
+  return Status::InvalidArgument("unknown fault level '" + name +
+                                 "' (expected off|light|heavy)");
+}
+
+uint64_t FingerprintFaultSpec(const FaultSpec& spec) {
+  if (!spec.enabled()) return 0;
+  uint64_t h = SplitMix64(0xfa017c75ULL);
+  h = MixWord(h, static_cast<uint64_t>(spec.level));
+  h = MixWord(h, spec.seed);
+  h = MixDouble(h, spec.executor_loss_prob);
+  h = MixDouble(h, spec.executor_loss_frac);
+  h = MixDouble(h, spec.straggler_prob);
+  h = MixDouble(h, spec.straggler_mult);
+  h = MixDouble(h, spec.fetch_failure_prob);
+  h = MixDouble(h, spec.kill_severity);
+  h = MixDouble(h, spec.kill_prob);
+  // A live spec must never collide with the "faults off" sentinel.
+  return h == 0 ? 1 : h;
+}
+
+void DrawRunFaults(Rng* rng, size_t num_queries, double* draws) {
+  const size_t total = FaultDrawCount(num_queries);
+  for (size_t i = 0; i < total; ++i) draws[i] = rng->NextDouble();
+}
+
+int FaultKillIndex(const FaultSpec& spec, const double* draws,
+                   const QueryMetrics* metrics, size_t count) {
+  if (!spec.enabled()) return -1;
+  for (size_t i = 0; i < count; ++i) {
+    const double* qd = draws + kFaultDrawsPerRun + kFaultDrawsPerQuery * i;
+    if (metrics[i].oom_severity >= spec.kill_severity &&
+        qd[3] < spec.kill_prob) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+FaultOutcome ApplyRunFaults(const FaultSpec& spec, const double* draws,
+                            int executors_requested, QueryMetrics* metrics,
+                            size_t count) {
+  FaultOutcome out;
+  out.queries_run = count;
+  if (!spec.enabled()) return out;
+
+  // Run-level executor loss: from a deterministic point in the query
+  // sequence onwards, capacity shrinks and lost tasks re-run on the
+  // survivors, stretching runtime by roughly 1/(1-frac) plus a re-run tax.
+  bool loss_event = draws[0] < spec.executor_loss_prob;
+  double loss_factor = 1.0;
+  size_t loss_from = count;
+  if (loss_event && count > 0) {
+    const double frac =
+        std::clamp(draws[1] * spec.executor_loss_frac, 0.0, 0.9);
+    loss_from = static_cast<size_t>(draws[2] * static_cast<double>(count));
+    if (loss_from >= count) loss_from = count - 1;
+    loss_factor = 1.0 / (1.0 - frac) * (1.0 + 0.3 * frac);
+    out.lost_executors = std::max(
+        1, static_cast<int>(std::lround(frac * std::max(1, executors_requested))));
+    out.executor_losses = 1;
+  }
+
+  for (size_t i = 0; i < count; ++i) {
+    const double* qd = draws + kFaultDrawsPerRun + kFaultDrawsPerQuery * i;
+    QueryMetrics& m = metrics[i];
+
+    if (loss_event && i >= loss_from) {
+      m.exec_seconds *= loss_factor;
+      m.scan_seconds *= loss_factor;
+      m.shuffle_seconds *= loss_factor;
+      m.gc_seconds *= loss_factor;
+    }
+
+    if (qd[2] < spec.fetch_failure_prob && m.shuffle_seconds > 0.0) {
+      // Fetch failure: the wide stage is retried once.
+      m.exec_seconds += m.shuffle_seconds;
+      m.retries += 1;
+      out.retries += 1;
+      out.fetch_failures += 1;
+    }
+
+    if (qd[0] < spec.straggler_prob) {
+      const double f = 1.0 + qd[1] * (spec.straggler_mult - 1.0);
+      m.exec_seconds *= f;
+      m.scan_seconds *= f;
+      m.shuffle_seconds *= f;
+      m.gc_seconds *= f;
+      out.stragglers += 1;
+    }
+
+    if (m.oom_severity >= spec.kill_severity && qd[3] < spec.kill_prob) {
+      m.failed = true;
+      out.killed = true;
+      out.killed_at = static_cast<int>(i);
+      out.queries_run = i + 1;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace locat::sparksim

@@ -52,7 +52,16 @@ ClusterSimulator::ClusterSimulator(const ClusterSpec& cluster, uint64_t seed,
       params_(params),
       noise_rng_(seed),
       env_fp_(CombineEnvFingerprint(FingerprintCluster(cluster_),
-                                    FingerprintSimParams(params_))) {}
+                                    FingerprintSimParams(params_))) {
+  eval_env_fp_ = env_fp_;
+}
+
+void ClusterSimulator::set_faults(const FaultSpec& spec) {
+  faults_ = spec;
+  fault_rng_ = Rng(spec.seed);
+  fault_stats_ = FaultStats{};
+  eval_env_fp_ = CombineFaultFingerprint(env_fp_, FingerprintFaultSpec(spec));
+}
 
 ClusterSimulator::Resources ClusterSimulator::DeriveResources(
     const SparkConf& conf, const QueryProfile& query) const {
@@ -291,6 +300,7 @@ QueryMetrics ClusterSimulator::SimulateQuery(const QueryProfile& query,
     oom_multiplier = 1.0 + 1.2 * kill_risk * kill_risk;
     if (kill_risk > 0.5) m.oom = true;
     const double pressure_ratio = demand_gb / std::max(1e-3, avail_gb);
+    m.oom_severity = pressure_ratio / eff_threshold;
     if (pressure_ratio > eff_threshold) {
       // Continuous ramp: 1x exactly at the threshold, then task retries
       // multiply the stage cost with the log of the overshoot.
@@ -402,13 +412,13 @@ QueryMetrics ClusterSimulator::EvaluateQuery(const QueryProfile& query,
   }
   const uint64_t query_fp = FingerprintQuery(query);
   const uint64_t fp =
-      CombineEvalFingerprint(conf_fp, env_fp_, query_fp, datasize_gb);
+      CombineEvalFingerprint(conf_fp, eval_env_fp_, query_fp, datasize_gb);
   QueryMetrics m;
-  if (eval_cache_->Lookup(fp, conf, datasize_gb, query_fp, env_fp_, &m)) {
+  if (eval_cache_->Lookup(fp, conf, datasize_gb, query_fp, eval_env_fp_, &m)) {
     return m;
   }
   m = SimulateQuery(query, conf, datasize_gb);
-  eval_cache_->Insert(fp, conf, datasize_gb, query_fp, env_fp_, m);
+  eval_cache_->Insert(fp, conf, datasize_gb, query_fp, eval_env_fp_, m);
   return m;
 }
 
@@ -452,20 +462,33 @@ AppRunResult ClusterSimulator::RunApp(const SparkSqlApp& app,
   for (size_t i = 0; i < scratch_all_.size(); ++i) {
     scratch_all_[i] = static_cast<int>(i);
   }
-  return RunAppSubset(app, scratch_all_, conf, datasize_gb);
+  StatusOr<AppRunResult> result =
+      RunAppSubset(app, scratch_all_, conf, datasize_gb);
+  if (!result.ok()) {
+    AppRunResult bad;
+    bad.failed = true;
+    bad.fail_reason = result.status().ToString();
+    return bad;
+  }
+  return std::move(*result);
 }
 
-AppRunResult ClusterSimulator::RunAppSubset(
+StatusOr<AppRunResult> ClusterSimulator::RunAppSubset(
     const SparkSqlApp& app, const std::vector<int>& query_indices,
     const SparkConf& conf, double datasize_gb) {
+  if (!std::isfinite(datasize_gb) || datasize_gb <= 0.0) {
+    return Status::InvalidArgument("datasize_gb must be finite and > 0");
+  }
+  for (int idx : query_indices) {
+    if (idx < 0 || idx >= app.num_queries()) {
+      return Status::OutOfRange("query index " + std::to_string(idx) +
+                                " outside app of " +
+                                std::to_string(app.num_queries()) + " queries");
+    }
+  }
   obs::ScopedSpan app_span(tracer_, "sim/app", "sim");
 
-  scratch_valid_.clear();
-  scratch_valid_.reserve(query_indices.size());
-  for (int idx : query_indices) {
-    if (idx < 0 || idx >= app.num_queries()) continue;
-    scratch_valid_.push_back(idx);
-  }
+  scratch_valid_.assign(query_indices.begin(), query_indices.end());
   const size_t n = scratch_valid_.size();
 
   // Draw every noise factor up front, in exactly the order the sequential
@@ -477,6 +500,14 @@ AppRunResult ClusterSimulator::RunAppSubset(
     if (params_.noise_sigma > 0.0) {
       scratch_noises_[i] = noise_rng_.LognormalNoise(params_.noise_sigma);
     }
+  }
+  // Fault draws come from their own stream, with a fixed count per run
+  // (independent of outcomes), so the schedule is identical across cache
+  // hits, thread counts and batch shapes.
+  const bool faults_on = faults_.enabled();
+  if (faults_on) {
+    scratch_fault_draws_.resize(FaultDrawCount(n));
+    DrawRunFaults(&fault_rng_, n, scratch_fault_draws_.data());
   }
 
   // Evaluate the noise-free cost model for all queries — ideally from one
@@ -494,43 +525,129 @@ AppRunResult ClusterSimulator::RunAppSubset(
   if (eval_cache_ != nullptr && n > 0) {
     subset_fp =
         CombineSubsetFingerprint(AppFingerprint(app), scratch_valid_.data(), n);
-    app_key = CombineEvalFingerprint(conf_fp, env_fp_, subset_fp, datasize_gb);
+    app_key =
+        CombineEvalFingerprint(conf_fp, eval_env_fp_, subset_fp, datasize_gb);
     served = eval_cache_->LookupApp(app_key, conf, datasize_gb, subset_fp,
-                                    env_fp_, n, scratch_metrics_.data());
+                                    eval_env_fp_, n, scratch_metrics_.data());
   }
   if (!served) {
-    common::ThreadPool::Global()->ParallelForEach(n, [&](size_t i) {
-      scratch_metrics_[i] =
-          EvaluateQuery(app.queries[static_cast<size_t>(scratch_valid_[i])],
-                        conf, datasize_gb, conf_fp);
-    });
-    if (eval_cache_ != nullptr && n > 0) {
-      eval_cache_->InsertApp(app_key, conf, datasize_gb, subset_fp, env_fp_,
-                             scratch_metrics_.data(), n);
+    if (faults_on && eval_cache_ != nullptr) {
+      // Deferred-insert path: a run this fault schedule kills must not
+      // populate the noise-free cache at either level. Look up per-query
+      // entries without inserting, decide the kill on the noise-free
+      // severities (noise never changes oom_severity, so the decision
+      // matches ApplyRunFaults below), and only insert when the run
+      // survives.
+      scratch_missed_.assign(n, 0);
+      common::ThreadPool::Global()->ParallelForEach(n, [&](size_t i) {
+        const QueryProfile& q =
+            app.queries[static_cast<size_t>(scratch_valid_[i])];
+        const uint64_t qfp = FingerprintQuery(q);
+        const uint64_t fp =
+            CombineEvalFingerprint(conf_fp, eval_env_fp_, qfp, datasize_gb);
+        if (!eval_cache_->Lookup(fp, conf, datasize_gb, qfp, eval_env_fp_,
+                                 &scratch_metrics_[i])) {
+          scratch_metrics_[i] = SimulateQuery(q, conf, datasize_gb);
+          scratch_missed_[i] = 1;
+        }
+      });
+      const int kill_at = FaultKillIndex(faults_, scratch_fault_draws_.data(),
+                                         scratch_metrics_.data(), n);
+      if (kill_at < 0) {
+        for (size_t i = 0; i < n; ++i) {
+          if (scratch_missed_[i] == 0) continue;
+          const QueryProfile& q =
+              app.queries[static_cast<size_t>(scratch_valid_[i])];
+          const uint64_t qfp = FingerprintQuery(q);
+          const uint64_t fp =
+              CombineEvalFingerprint(conf_fp, eval_env_fp_, qfp, datasize_gb);
+          eval_cache_->Insert(fp, conf, datasize_gb, qfp, eval_env_fp_,
+                              scratch_metrics_[i]);
+        }
+        if (n > 0) {
+          eval_cache_->InsertApp(app_key, conf, datasize_gb, subset_fp,
+                                 eval_env_fp_, scratch_metrics_.data(), n);
+        }
+      }
+    } else {
+      common::ThreadPool::Global()->ParallelForEach(n, [&](size_t i) {
+        scratch_metrics_[i] =
+            EvaluateQuery(app.queries[static_cast<size_t>(scratch_valid_[i])],
+                          conf, datasize_gb, conf_fp);
+      });
+      if (eval_cache_ != nullptr && n > 0) {
+        eval_cache_->InsertApp(app_key, conf, datasize_gb, subset_fp,
+                               eval_env_fp_, scratch_metrics_.data(), n);
+      }
     }
   }
   for (size_t i = 0; i < n; ++i) {
     ApplyNoise(&scratch_metrics_[i], scratch_noises_[i]);
   }
 
-  return FinishAppRun(app, conf, datasize_gb, scratch_metrics_.data(), n,
-                      &app_span);
+  FaultOutcome outcome;
+  size_t run_count = n;
+  if (faults_on) {
+    outcome = ApplyRunFaults(faults_, scratch_fault_draws_.data(),
+                             std::max(1, conf.GetInt(kExecutorInstances)),
+                             scratch_metrics_.data(), n);
+    run_count = outcome.queries_run;
+    fault_stats_.executor_losses += outcome.executor_losses;
+    fault_stats_.stragglers += outcome.stragglers;
+    fault_stats_.fetch_failures += outcome.fetch_failures;
+    if (outcome.killed) {
+      fault_stats_.app_kills += 1;
+      fault_stats_.failed_runs += 1;
+    }
+  }
+
+  AppRunResult result = FinishAppRun(app, conf, datasize_gb,
+                                     scratch_metrics_.data(), run_count,
+                                     &app_span);
+  if (faults_on) {
+    result.failed = outcome.killed;
+    result.failed_at_query = outcome.killed_at;
+    result.retries = outcome.retries;
+    result.lost_executors = outcome.lost_executors;
+    if (outcome.killed) result.fail_reason = "oom_kill";
+  }
+  return result;
 }
 
-std::vector<AppRunResult> ClusterSimulator::RunAppBatch(
+StatusOr<std::vector<AppRunResult>> ClusterSimulator::RunAppBatch(
     const SparkSqlApp& app, const std::vector<int>& query_indices,
     const std::vector<SparkConf>& confs, double datasize_gb) {
+  if (!std::isfinite(datasize_gb) || datasize_gb <= 0.0) {
+    return Status::InvalidArgument("datasize_gb must be finite and > 0");
+  }
+  for (int idx : query_indices) {
+    if (idx < 0 || idx >= app.num_queries()) {
+      return Status::OutOfRange("query index " + std::to_string(idx) +
+                                " outside app of " +
+                                std::to_string(app.num_queries()) + " queries");
+    }
+  }
   std::vector<AppRunResult> results;
   results.reserve(confs.size());
   if (confs.empty()) return results;
+
+  if (faults_.enabled()) {
+    // Sequential per-conf path: the fault stream is consumed run by run
+    // and kills bypass cache insertion, so the batch must replay exactly
+    // what the equivalent RunAppSubset sequence would do. Noise draws are
+    // conf-major in both shapes, so the results stay bit-identical.
+    for (const SparkConf& conf : confs) {
+      StatusOr<AppRunResult> one =
+          RunAppSubset(app, query_indices, conf, datasize_gb);
+      if (!one.ok()) return one.status();
+      results.push_back(std::move(*one));
+    }
+    return results;
+  }
+
   obs::ScopedSpan batch_span(tracer_, "sim/app_batch", "sim");
 
-  std::vector<int> valid;
-  valid.reserve(query_indices.size());
-  for (int idx : query_indices) {
-    if (idx < 0 || idx >= app.num_queries()) continue;
-    valid.push_back(idx);
-  }
+  const std::vector<int>& valid = query_indices;
   const size_t nq = valid.size();
   const size_t nruns = confs.size();
 
@@ -560,10 +677,10 @@ std::vector<AppRunResult> ClusterSimulator::RunAppBatch(
     const uint64_t subset_fp =
         CombineSubsetFingerprint(AppFingerprint(app), valid.data(), nq);
     for (size_t k = 0; k < nruns; ++k) {
-      app_keys[k] =
-          CombineEvalFingerprint(conf_fps[k], env_fp_, subset_fp, datasize_gb);
+      app_keys[k] = CombineEvalFingerprint(conf_fps[k], eval_env_fp_,
+                                           subset_fp, datasize_gb);
       served[k] = eval_cache_->LookupApp(app_keys[k], confs[k], datasize_gb,
-                                         subset_fp, env_fp_, nq,
+                                         subset_fp, eval_env_fp_, nq,
                                          metrics.data() + k * nq)
                       ? 1
                       : 0;
@@ -582,7 +699,7 @@ std::vector<AppRunResult> ClusterSimulator::RunAppBatch(
     for (size_t k = 0; k < nruns; ++k) {
       if (served[k]) continue;
       eval_cache_->InsertApp(app_keys[k], confs[k], datasize_gb, subset_fp,
-                             env_fp_, metrics.data() + k * nq, nq);
+                             eval_env_fp_, metrics.data() + k * nq, nq);
     }
   } else {
     common::ThreadPool::Global()->ParallelForEach(nruns * nq, [&](size_t j) {

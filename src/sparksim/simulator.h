@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "obs/trace.h"
 #include "sparksim/cluster.h"
 #include "sparksim/config.h"
+#include "sparksim/faults.h"
 #include "sparksim/query_profile.h"
 
 namespace locat::sparksim {
@@ -87,6 +89,12 @@ struct QueryMetrics {
   double scan_tasks = 0.0;       // map/scan tasks launched
   double task_waves = 0.0;       // scheduling waves across all stages
   bool oom = false;              // hit the OOM retry path
+  /// Memory-pressure overshoot (pressure ratio / effective threshold);
+  /// >= 1 means the OOM retry path fired. Part of the noise-free model
+  /// output (cached), drives the fault layer's hard-kill decision.
+  double oom_severity = 0.0;
+  bool failed = false;           // query killed the app (fault injection)
+  int retries = 0;               // fetch-failure stage retries
 };
 
 /// Aggregate outcome of one simulated application run.
@@ -96,6 +104,14 @@ struct AppRunResult {
   double gc_seconds = 0.0;
   double shuffle_gb = 0.0;
   bool any_oom = false;
+  /// Fault-injection outcome. A failed run was killed mid-app:
+  /// `per_query` holds only the queries that ran (the last one marked
+  /// `failed`) and `total_seconds` is the partial time up to the kill.
+  bool failed = false;
+  int failed_at_query = -1;  // index into the run's query list
+  int retries = 0;           // fetch-failure stage retries, whole run
+  int lost_executors = 0;    // executors lost to the injected loss event
+  std::string fail_reason;   // empty when !failed
 };
 
 /// Deterministic analytical simulator of a Spark SQL cluster. Replaces the
@@ -123,13 +139,21 @@ class ClusterSimulator {
                         double datasize_gb);
 
   /// Runs a whole application (all queries, one submit overhead).
+  /// Convenience wrapper over RunAppSubset: an injected app kill comes
+  /// back as a result with `failed` set (partial metrics preserved)
+  /// rather than a Status, so measurement-style callers keep working.
   AppRunResult RunApp(const SparkSqlApp& app, const SparkConf& conf,
                       double datasize_gb);
 
   /// Runs only the listed query indices (the RQA path of QCSA).
-  AppRunResult RunAppSubset(const SparkSqlApp& app,
-                            const std::vector<int>& query_indices,
-                            const SparkConf& conf, double datasize_gb);
+  /// Errors: InvalidArgument for a non-finite or non-positive datasize,
+  /// OutOfRange for a query index outside the app. A fault-injected app
+  /// kill is NOT an error — it returns ok() with result.failed set, so
+  /// callers can bill the partial runtime and impute a censored cost.
+  StatusOr<AppRunResult> RunAppSubset(const SparkSqlApp& app,
+                                      const std::vector<int>& query_indices,
+                                      const SparkConf& conf,
+                                      double datasize_gb);
 
   /// Evaluates many configurations over the same query subset in one
   /// fan-out: the whole (conf x query) grid goes through the thread pool
@@ -139,10 +163,11 @@ class ClusterSimulator {
   /// RunAppSubset once per configuration, in order, for any thread
   /// count. The wall-lane trace differs (one "sim/app_batch" span instead
   /// of per-run "sim/app" spans); the simulated-time lane is identical.
-  std::vector<AppRunResult> RunAppBatch(const SparkSqlApp& app,
-                                        const std::vector<int>& query_indices,
-                                        const std::vector<SparkConf>& confs,
-                                        double datasize_gb);
+  /// Same error contract as RunAppSubset; with faults enabled the batch
+  /// degrades to the sequential per-conf path (bit-identical results).
+  StatusOr<std::vector<AppRunResult>> RunAppBatch(
+      const SparkSqlApp& app, const std::vector<int>& query_indices,
+      const std::vector<SparkConf>& confs, double datasize_gb);
 
   const ClusterSpec& cluster() const { return cluster_; }
   const SimParams& params() const { return params_; }
@@ -168,6 +193,16 @@ class ClusterSimulator {
   /// app runs.
   void set_eval_cache(EvalCache* cache) { eval_cache_ = cache; }
   EvalCache* eval_cache() const { return eval_cache_; }
+
+  /// Installs a fault-injection plan. Resets the dedicated fault RNG to
+  /// spec.seed and clears the fault counters, so the schedule is a pure
+  /// function of (spec, run order) — independent of the noise stream,
+  /// thread count and cache state. With faults enabled the cache key
+  /// space shifts by the plan fingerprint (failed runs additionally
+  /// bypass insertion), so entries never leak across plans.
+  void set_faults(const FaultSpec& spec);
+  const FaultSpec& faults() const { return faults_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
 
  private:
   /// Resource picture derived from a configuration.
@@ -229,6 +264,14 @@ class ClusterSimulator {
   /// CombineEnvFingerprint(cluster, params), computed once at
   /// construction.
   uint64_t env_fp_ = 0;
+  /// Cache environment key actually used for lookups:
+  /// CombineFaultFingerprint(env_fp_, fault plan). Equals env_fp_ when
+  /// faults are off.
+  uint64_t eval_env_fp_ = 0;
+  /// Fault-injection plan + its dedicated RNG stream and counters.
+  FaultSpec faults_;
+  Rng fault_rng_{0};
+  FaultStats fault_stats_;
   /// AppFingerprint memo (see the method comment).
   const void* app_fp_queries_data_ = nullptr;
   size_t app_fp_queries_size_ = 0;
@@ -243,6 +286,8 @@ class ClusterSimulator {
   std::vector<double> scratch_noises_;
   std::vector<QueryMetrics> scratch_metrics_;
   std::vector<int> scratch_all_;
+  std::vector<double> scratch_fault_draws_;
+  std::vector<char> scratch_missed_;
   /// Virtual-time cursor of the simulated lane (ns of trace time); app
   /// runs are appended back-to-back so the exported timeline reads as one
   /// continuous cluster schedule.

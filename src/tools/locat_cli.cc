@@ -74,6 +74,12 @@ int Usage() {
       "                      bit-identical either way)\n"
       "  --sim-cache-cap N   cache capacity in entries (default: env\n"
       "                      LOCAT_SIM_CACHE_CAP, else 1048576)\n"
+      "  --faults LEVEL      deterministic fault injection: off (default),\n"
+      "                      light or heavy — executor loss, stragglers,\n"
+      "                      fetch-failure retries and OOM app kills; the\n"
+      "                      tuner retries and imputes censored costs\n"
+      "  --fault-seed N      seed of the fault schedule (same seed =>\n"
+      "                      byte-identical run; independent of --seed)\n"
       "clusters: arm | x86; apps: TPC-DS | TPC-H | Join | Scan | "
       "Aggregation\n");
   return 2;
@@ -218,6 +224,8 @@ struct ObsFlags {
   std::string telemetry_path;
   bool sim_cache = true;
   size_t sim_cache_cap = 0;  // 0: LOCAT_SIM_CACHE_CAP env / built-in default
+  std::string faults = "off";
+  uint64_t fault_seed = 0;
 };
 
 int CmdTune(const std::string& app_name, const std::string& cluster,
@@ -233,6 +241,15 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
         flags.sim_cache_cap > 0 ? flags.sim_cache_cap
                                 : sparksim::EvalCache::CapacityFromEnv());
     sim.set_eval_cache(sim_cache.get());
+  }
+  if (flags.faults != "off") {
+    const auto spec_or =
+        sparksim::FaultSpec::FromName(flags.faults, flags.fault_seed);
+    if (!spec_or.ok()) {
+      std::fprintf(stderr, "%s\n", spec_or.status().ToString().c_str());
+      return 2;
+    }
+    sim.set_faults(*spec_or);
   }
   core::TuningSession session(&sim, app);
   auto tuner = harness::MakeTuner(tuner_name, flags.seed);
@@ -267,17 +284,76 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
   std::printf("Tuning %s @ %.0f GB on %s with %s...\n", app.name.c_str(), ds,
               cluster.c_str(), tuner->name().c_str());
   const auto result = tuner->Tune(&session, ds);
-  const double tuned =
-      session.MeasureFinal(result.best_conf, ds).total_seconds;
-  const double dflt =
-      session
-          .MeasureFinal(session.space().Repair(session.space().DefaultConf()),
-                        ds)
-          .total_seconds;
+  // Under fault injection a final measurement can die too — retry for a
+  // completed run (the retries draw from the deterministic fault stream,
+  // so repeated invocations still print identical output).
+  auto measure = [&](const sparksim::SparkConf& conf) {
+    sparksim::AppRunResult run;
+    for (int attempt = 0; attempt < 9; ++attempt) {
+      run = session.MeasureFinal(conf, ds);
+      if (!run.failed) break;
+    }
+    return run;
+  };
+  const sparksim::AppRunResult tuned_run = measure(result.best_conf);
+  const sparksim::AppRunResult dflt_run = measure(
+      session.space().Repair(session.space().DefaultConf()));
+  const double tuned = tuned_run.total_seconds;
+  const double dflt = dflt_run.total_seconds;
   std::printf("evaluations: %d | optimization time: %.1f simulated hours\n",
               result.evaluations, result.optimization_seconds / 3600.0);
-  std::printf("tuned run: %.0f s | defaults: %.0f s | improvement %.1fx\n",
-              tuned, dflt, dflt / tuned);
+  std::printf("tuned run: %.0f s%s | defaults: %.0f s%s | improvement %.1fx\n",
+              tuned, tuned_run.failed ? " (failed)" : "", dflt,
+              dflt_run.failed ? " (failed)" : "", dflt / tuned);
+  if (sim.faults().enabled()) {
+    const sparksim::FaultStats& fs = sim.fault_stats();
+    std::printf(
+        "faults(%s, seed %llu): %llu executor losses | %llu stragglers | "
+        "%llu fetch failures | %llu app kills | %d failed evals\n",
+        flags.faults.c_str(),
+        static_cast<unsigned long long>(flags.fault_seed),
+        static_cast<unsigned long long>(fs.executor_losses),
+        static_cast<unsigned long long>(fs.stragglers),
+        static_cast<unsigned long long>(fs.fetch_failures),
+        static_cast<unsigned long long>(fs.app_kills),
+        result.failed_evaluations);
+    if (ctx.metrics != nullptr) {
+      metrics
+          .GetCounter("locat_sim_faults_executor_loss_total",
+                      "Injected executor-loss events")
+          ->Increment(static_cast<double>(fs.executor_losses));
+      metrics
+          .GetCounter("locat_sim_faults_straggler_total",
+                      "Injected straggler events")
+          ->Increment(static_cast<double>(fs.stragglers));
+      metrics
+          .GetCounter("locat_sim_faults_fetch_failure_total",
+                      "Injected fetch-failure stage retries")
+          ->Increment(static_cast<double>(fs.fetch_failures));
+      metrics
+          .GetCounter("locat_sim_faults_app_kill_total",
+                      "Injected hard application kills")
+          ->Increment(static_cast<double>(fs.app_kills));
+      metrics
+          .GetCounter("locat_sim_faults_failed_runs_total",
+                      "Simulated app runs that ended failed")
+          ->Increment(static_cast<double>(fs.failed_runs));
+    }
+    if (ctx.observer != nullptr) {
+      obs::PhaseEvent ev;
+      ev.tuner = tuner->name();
+      ev.phase = "faults";
+      ev.fields = {
+          {"executor_losses", static_cast<double>(fs.executor_losses)},
+          {"stragglers", static_cast<double>(fs.stragglers)},
+          {"fetch_failures", static_cast<double>(fs.fetch_failures)},
+          {"app_kills", static_cast<double>(fs.app_kills)},
+          {"failed_runs", static_cast<double>(fs.failed_runs)},
+          {"failed_evals", static_cast<double>(result.failed_evaluations)},
+      };
+      ctx.observer->OnPhase(ev);
+    }
+  }
   if (sim_cache != nullptr) {
     const sparksim::EvalCacheStats cs = sim_cache->stats();
     std::printf(
@@ -511,6 +587,18 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       flags.sim_cache_cap =
           static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--faults") {
+      const char* v = value();
+      if (v == nullptr ||
+          (std::strcmp(v, "off") != 0 && std::strcmp(v, "light") != 0 &&
+           std::strcmp(v, "heavy") != 0)) {
+        return Usage();
+      }
+      flags.faults = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.fault_seed = std::strtoull(v, nullptr, 10);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();

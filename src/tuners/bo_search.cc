@@ -25,6 +25,8 @@ void BoSearch::Run(core::TuningSession* session, double datasize_gb,
   std::vector<math::Vector> xs;   // GP inputs (free dims only), log targets
   std::vector<double> ys;
   best_seconds_ = 0.0;
+  worst_seconds_ = 0.0;
+  failed_evals_ = 0;
   trajectory_.clear();
 
   auto evaluate = [&](const math::Vector& unit_full) {
@@ -35,10 +37,23 @@ void BoSearch::Run(core::TuningSession* session, double datasize_gb,
     }
     const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
     const double meter_before = session->optimization_seconds();
-    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+    const StatusOr<core::EvalRecord> rec_or =
+        session->Evaluate(conf, datasize_gb);
+    if (!rec_or.ok()) return;  // nothing was charged; skip the point
+    const core::EvalRecord& rec = *rec_or;
+    // A killed run trains the GP with the censored penalty cost and never
+    // becomes the incumbent.
+    double objective = rec.app_seconds;
+    if (rec.failed) {
+      objective = core::CensoredObjective(worst_seconds_, rec.app_seconds, 2.0);
+      ++failed_evals_;
+    } else {
+      worst_seconds_ = std::max(worst_seconds_, rec.app_seconds);
+    }
     xs.push_back(FreeDims(space.ToUnit(conf), free_dims));
-    ys.push_back(std::log(std::max(1e-6, rec.app_seconds)));
-    if (best_seconds_ <= 0.0 || rec.app_seconds < best_seconds_) {
+    ys.push_back(std::log(std::max(1e-6, objective)));
+    if (!rec.failed &&
+        (best_seconds_ <= 0.0 || rec.app_seconds < best_seconds_)) {
       best_seconds_ = rec.app_seconds;
       best_conf_ = conf;
     }
@@ -47,16 +62,19 @@ void BoSearch::Run(core::TuningSession* session, double datasize_gb,
       core::EmitSimpleIteration(
           obs_.observer, tuner_name_, "bo",
           static_cast<int>(trajectory_.size()) - 1, datasize_gb,
-          session->optimization_seconds() - meter_before, rec.app_seconds,
-          best_seconds_, rec.full_app);
+          session->optimization_seconds() - meter_before, objective,
+          best_seconds_, rec.full_app, failed_evals_);
     }
   };
 
   for (const auto& u : initial_units) evaluate(u);
-  // Ensure at least two points before the first GP fit.
-  while (xs.size() < 2) {
+  // Ensure at least two points before the first GP fit. Session errors
+  // are deterministic (bad datasize / indices), so cap the attempts
+  // instead of spinning.
+  for (int guard = 0; xs.size() < 2 && guard < 64; ++guard) {
     evaluate(space.RandomValidUnit(rng_));
   }
+  if (xs.size() < 2) return;
 
   ml::EiMcmc model(options_.ei);
   int since_refit = options_.refit_period;  // force initial fit

@@ -57,6 +57,9 @@ class BoSearch {
   const sparksim::SparkConf& best_conf() const { return best_conf_; }
   double best_seconds() const { return best_seconds_; }
   const std::vector<double>& trajectory() const { return trajectory_; }
+  /// Evaluations of the last Run that ended in an injected failure; those
+  /// runs train the GP with a censored cost and never become incumbent.
+  int failed_evals() const { return failed_evals_; }
 
  private:
   /// Projects free dims of `unit` onto the GP input vector.
@@ -67,6 +70,8 @@ class BoSearch {
   Rng* rng_;
   sparksim::SparkConf best_conf_;
   double best_seconds_ = 0.0;
+  double worst_seconds_ = 0.0;  // censored-cost anchor (successes only)
+  int failed_evals_ = 0;
   std::vector<double> trajectory_;
   obs::ObsContext obs_;
   std::string tuner_name_;

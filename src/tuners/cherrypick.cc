@@ -37,6 +37,7 @@ core::TuningResult CherryPickTuner::Tune(core::TuningSession* session,
   result.best_conf = bo.best_conf();
   result.best_observed_seconds = bo.best_seconds();
   result.trajectory = bo.trajectory();
+  result.failed_evaluations = bo.failed_evals();
   result.optimization_seconds = session->optimization_seconds() - meter_start;
   result.evaluations = session->evaluations() - evals_start;
   return result;

@@ -41,6 +41,7 @@ core::TuningResult DacTuner::Tune(core::TuningSession* session,
   // datasize-aware model.)
   std::vector<math::Vector> units;
   std::vector<double> seconds;
+  double worst_seconds = 0.0;  // censored-cost anchor (successes only)
   {
     obs::ScopedSpan span(tracer(), "dac/sample", "tuner");
     for (int i = 0; i < options_.training_samples; ++i) {
@@ -50,20 +51,40 @@ core::TuningResult DacTuner::Tune(core::TuningSession* session,
       }
       const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
       const double meter_before = session->optimization_seconds();
-      const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
-      units.push_back(space.ToUnit(conf));
-      seconds.push_back(rec.app_seconds);
-      if (result.best_observed_seconds <= 0.0 ||
-          rec.app_seconds < result.best_observed_seconds) {
-        result.best_observed_seconds = rec.app_seconds;
-        result.best_conf = conf;
+      const StatusOr<core::EvalRecord> rec_or =
+          session->Evaluate(conf, datasize_gb);
+      if (!rec_or.ok()) continue;
+      const core::EvalRecord& rec = *rec_or;
+      double objective = rec.app_seconds;
+      if (rec.failed) {
+        // Killed run: trains the model with the censored penalty, never
+        // the incumbent.
+        objective =
+            core::CensoredObjective(worst_seconds, rec.app_seconds, 2.0);
+        ++result.failed_evaluations;
+      } else {
+        worst_seconds = std::max(worst_seconds, rec.app_seconds);
+        if (result.best_observed_seconds <= 0.0 ||
+            rec.app_seconds < result.best_observed_seconds) {
+          result.best_observed_seconds = rec.app_seconds;
+          result.best_conf = conf;
+        }
       }
+      units.push_back(space.ToUnit(conf));
+      seconds.push_back(objective);
       result.trajectory.push_back(result.best_observed_seconds);
       core::EmitSimpleIteration(
           observer(), result.tuner_name, "sample", i, datasize_gb,
-          session->optimization_seconds() - meter_before, rec.app_seconds,
-          result.best_observed_seconds, rec.full_app);
+          session->optimization_seconds() - meter_before, objective,
+          result.best_observed_seconds, rec.full_app,
+          result.failed_evaluations);
     }
+  }
+  if (units.size() < 2) {
+    result.optimization_seconds =
+        session->optimization_seconds() - meter_start;
+    result.evaluations = session->evaluations() - evals_start;
+    return result;
   }
 
   std::vector<math::Vector> population;
@@ -156,8 +177,15 @@ core::TuningResult DacTuner::Tune(core::TuningSession* session,
     }
     const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
     const double meter_before = session->optimization_seconds();
-    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
-    if (best_validated <= 0.0 || rec.app_seconds < best_validated) {
+    const StatusOr<core::EvalRecord> rec_or =
+        session->Evaluate(conf, datasize_gb);
+    if (!rec_or.ok()) continue;
+    const core::EvalRecord& rec = *rec_or;
+    double objective = rec.app_seconds;
+    if (rec.failed) {
+      objective = core::CensoredObjective(worst_seconds, rec.app_seconds, 2.0);
+      ++result.failed_evaluations;
+    } else if (best_validated <= 0.0 || rec.app_seconds < best_validated) {
       best_validated = rec.app_seconds;
       result.best_conf = conf;
       result.best_observed_seconds = rec.app_seconds;
@@ -165,8 +193,9 @@ core::TuningResult DacTuner::Tune(core::TuningSession* session,
     result.trajectory.push_back(result.best_observed_seconds);
     core::EmitSimpleIteration(
         observer(), result.tuner_name, "validate", v, datasize_gb,
-        session->optimization_seconds() - meter_before, rec.app_seconds,
-        result.best_observed_seconds, rec.full_app);
+        session->optimization_seconds() - meter_before, objective,
+        result.best_observed_seconds, rec.full_app,
+        result.failed_evaluations);
   }
 
   result.optimization_seconds = session->optimization_seconds() - meter_start;

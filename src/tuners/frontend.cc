@@ -39,6 +39,7 @@ core::TuningResult QcsaIicpFrontend::Tune(core::TuningSession* session,
   std::vector<double> seconds;
   std::vector<std::vector<double>> per_query(
       static_cast<size_t>(session->app().num_queries()));
+  int sample_failures = 0;
   session->ClearQueryRestriction();
   {
     obs::ScopedSpan span(tracer(), "frontend/sampling", "tuner");
@@ -51,33 +52,50 @@ core::TuningResult QcsaIicpFrontend::Tune(core::TuningSession* session,
       sample_confs.push_back(space.RandomValid(&rng_));
     }
     double meter = session->optimization_seconds();
-    const std::vector<core::EvalRecord> recs =
+    const StatusOr<std::vector<core::EvalRecord>> recs_or =
         session->EvaluateBatch(sample_confs, datasize_gb);
-    double sample_best = 0.0;
-    for (int i = 0; i < n_samples; ++i) {
-      const core::EvalRecord& rec = recs[static_cast<size_t>(i)];
-      units.push_back(rec.unit);
-      seconds.push_back(rec.app_seconds);
-      for (size_t q = 0; q < rec.per_query_seconds.size(); ++q) {
-        per_query[q].push_back(rec.per_query_seconds[q]);
+    if (recs_or.ok()) {
+      const std::vector<core::EvalRecord>& recs = *recs_or;
+      double sample_best = 0.0;
+      for (int i = 0; i < n_samples; ++i) {
+        const core::EvalRecord& rec = recs[static_cast<size_t>(i)];
+        // Replays the sequential meter additions so the emitted
+        // eval_seconds deltas stay bit-identical.
+        const double meter_after = meter + rec.app_seconds;
+        if (rec.failed) {
+          // Killed sample: its per-query vector is truncated, so it can't
+          // feed QCSA's aligned columns — drop it from the analyses.
+          ++sample_failures;
+          if (observer() != nullptr) {
+            core::EmitSimpleIteration(observer(), name(), "sampling", i,
+                                      datasize_gb, meter_after - meter,
+                                      rec.app_seconds, sample_best,
+                                      rec.full_app, sample_failures);
+          }
+          meter = meter_after;
+          continue;
+        }
+        units.push_back(rec.unit);
+        seconds.push_back(rec.app_seconds);
+        for (size_t q = 0; q < rec.per_query_seconds.size(); ++q) {
+          per_query[q].push_back(rec.per_query_seconds[q]);
+        }
+        if (sample_best <= 0.0 || rec.app_seconds < sample_best) {
+          sample_best = rec.app_seconds;
+        }
+        if (observer() != nullptr) {
+          core::EmitSimpleIteration(observer(), name(), "sampling", i,
+                                    datasize_gb, meter_after - meter,
+                                    rec.app_seconds, sample_best,
+                                    rec.full_app, sample_failures);
+        }
+        meter = meter_after;
       }
-      if (sample_best <= 0.0 || rec.app_seconds < sample_best) {
-        sample_best = rec.app_seconds;
-      }
-      // Replays the sequential meter additions so the emitted eval_seconds
-      // deltas stay bit-identical.
-      const double meter_after = meter + rec.app_seconds;
-      if (observer() != nullptr) {
-        core::EmitSimpleIteration(observer(), name(), "sampling", i,
-                                  datasize_gb, meter_after - meter,
-                                  rec.app_seconds, sample_best, rec.full_app);
-      }
-      meter = meter_after;
     }
   }
 
-  // --- QCSA: restrict the session to the CSQs.
-  if (options_.apply_qcsa && n_samples >= 2) {
+  // --- QCSA: restrict the session to the CSQs (successful samples only).
+  if (options_.apply_qcsa && static_cast<int>(units.size()) >= 2) {
     auto qcsa = core::AnalyzeQuerySensitivity(per_query, tracer());
     if (qcsa.ok()) {
       qcsa_ = std::move(qcsa).value();
@@ -97,7 +115,7 @@ core::TuningResult QcsaIicpFrontend::Tune(core::TuningSession* session,
   }
 
   // --- IICP: restrict the inner tuner's parameters.
-  if (options_.apply_iicp && n_samples >= 4) {
+  if (options_.apply_iicp && static_cast<int>(units.size()) >= 4) {
     const int n = std::min<int>(options_.n_iicp,
                                 static_cast<int>(units.size()));
     math::Matrix confs(static_cast<size_t>(n), sparksim::kNumParams);
@@ -128,6 +146,7 @@ core::TuningResult QcsaIicpFrontend::Tune(core::TuningSession* session,
   session->ClearQueryRestriction();
 
   result.tuner_name = name();
+  result.failed_evaluations += sample_failures;
   result.optimization_seconds = session->optimization_seconds() - meter_start;
   result.evaluations = session->evaluations() - evals_start;
   return result;

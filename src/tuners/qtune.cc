@@ -55,19 +55,38 @@ core::TuningResult QtuneTuner::Tune(core::TuningSession* session,
 
   obs::ScopedSpan tune_span(tracer(), "qtune/episodes", "tuner");
   int qtune_iter = 0;
+  bool last_failed = false;        // last charged_evaluate run died
+  double worst_seconds = 0.0;      // censored-cost anchor (successes only)
+  // Returns the objective the agent learns from: the measured runtime, or
+  // the censored penalty when the run died (negative reward steers the
+  // policy away). Returns -1 when the session itself errored.
   auto charged_evaluate = [&](const sparksim::SparkConf& conf) {
     const double meter_before = session->optimization_seconds();
-    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
+    const StatusOr<core::EvalRecord> rec_or =
+        session->Evaluate(conf, datasize_gb);
+    if (!rec_or.ok()) {
+      last_failed = true;
+      return -1.0;
+    }
+    const core::EvalRecord& rec = *rec_or;
+    last_failed = rec.failed;
+    double objective = rec.app_seconds;
+    if (rec.failed) {
+      objective = core::CensoredObjective(worst_seconds, rec.app_seconds, 2.0);
+      ++result.failed_evaluations;
+    } else {
+      worst_seconds = std::max(worst_seconds, rec.app_seconds);
+    }
     const double incumbent =
-        (result.best_observed_seconds <= 0.0 ||
-         rec.app_seconds < result.best_observed_seconds)
-            ? rec.app_seconds
+        (!rec.failed && (result.best_observed_seconds <= 0.0 ||
+                         objective < result.best_observed_seconds))
+            ? objective
             : result.best_observed_seconds;
     core::EmitSimpleIteration(
         observer(), result.tuner_name, "episode", qtune_iter++, datasize_gb,
-        session->optimization_seconds() - meter_before, rec.app_seconds,
-        incumbent, rec.full_app);
-    return rec.app_seconds;
+        session->optimization_seconds() - meter_before, objective,
+        incumbent, rec.full_app, result.failed_evaluations);
+    return objective;
   };
 
   double reference_seconds = 0.0;  // first observation sets the scale
@@ -78,9 +97,10 @@ core::TuningResult QtuneTuner::Tune(core::TuningSession* session,
       level[j] = static_cast<int>(rng_.UniformInt(0, levels - 1));
     }
     double prev_seconds = charged_evaluate(conf_from_levels());
+    if (prev_seconds < 0.0) break;  // session error — deterministic
     if (reference_seconds <= 0.0) reference_seconds = prev_seconds;
-    if (result.best_observed_seconds <= 0.0 ||
-        prev_seconds < result.best_observed_seconds) {
+    if (!last_failed && (result.best_observed_seconds <= 0.0 ||
+                         prev_seconds < result.best_observed_seconds)) {
       result.best_observed_seconds = prev_seconds;
       result.best_conf = conf_from_levels();
     }
@@ -108,6 +128,7 @@ core::TuningResult QtuneTuner::Tune(core::TuningSession* session,
       level[pidx] = std::clamp(level[pidx] + direction, 0, levels - 1);
 
       const double now_seconds = charged_evaluate(conf_from_levels());
+      if (now_seconds < 0.0) break;  // session error — deterministic
       const double reward = std::log(prev_seconds / now_seconds);
 
       // Q-learning update against the next state's best value.
@@ -124,7 +145,8 @@ core::TuningResult QtuneTuner::Tune(core::TuningSession* session,
                             qvals[static_cast<size_t>(action)]);
 
       prev_seconds = now_seconds;
-      if (now_seconds < result.best_observed_seconds) {
+      if (!last_failed && (result.best_observed_seconds <= 0.0 ||
+                           now_seconds < result.best_observed_seconds)) {
         result.best_observed_seconds = now_seconds;
         result.best_conf = conf_from_levels();
       }

@@ -28,6 +28,7 @@ core::TuningResult RandomSearchTuner::Tune(core::TuningSession* session,
   result.tuner_name = name();
   obs::ScopedSpan tune_span(tracer(), "tune", "tuner");
   tune_span.Arg("tuner", result.tuner_name);
+  double worst_seconds = 0.0;  // censored-cost anchor (successes only)
   for (int i = 0; i < options_.evaluations; ++i) {
     math::Vector unit = base_unit;
     for (int d : free_dims_) {
@@ -35,18 +36,29 @@ core::TuningResult RandomSearchTuner::Tune(core::TuningSession* session,
     }
     const sparksim::SparkConf conf = space.Repair(space.FromUnit(unit));
     const double meter_before = session->optimization_seconds();
-    const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
-    if (result.best_observed_seconds <= 0.0 ||
-        rec.app_seconds < result.best_observed_seconds) {
-      result.best_observed_seconds = rec.app_seconds;
-      result.best_conf = conf;
+    const StatusOr<core::EvalRecord> rec_or =
+        session->Evaluate(conf, datasize_gb);
+    if (!rec_or.ok()) continue;
+    const core::EvalRecord& rec = *rec_or;
+    double objective = rec.app_seconds;
+    if (rec.failed) {
+      // Killed run: never the incumbent; report the censored cost.
+      objective = core::CensoredObjective(worst_seconds, rec.app_seconds, 2.0);
+      ++result.failed_evaluations;
+    } else {
+      worst_seconds = std::max(worst_seconds, rec.app_seconds);
+      if (result.best_observed_seconds <= 0.0 ||
+          rec.app_seconds < result.best_observed_seconds) {
+        result.best_observed_seconds = rec.app_seconds;
+        result.best_conf = conf;
+      }
     }
     result.trajectory.push_back(result.best_observed_seconds);
     core::EmitSimpleIteration(observer(), result.tuner_name, "random", i,
                               datasize_gb,
                               session->optimization_seconds() - meter_before,
-                              rec.app_seconds, result.best_observed_seconds,
-                              rec.full_app);
+                              objective, result.best_observed_seconds,
+                              rec.full_app, result.failed_evaluations);
   }
   result.optimization_seconds = session->optimization_seconds() - meter_start;
   result.evaluations = session->evaluations() - evals_start;

@@ -29,21 +29,36 @@ core::TuningResult TunefulTuner::Tune(core::TuningSession* session,
   // --- Significance phase: one-at-a-time probes per parameter against
   // the base configuration's runtime.
   std::vector<double> influence(sparksim::kNumParams, 0.0);
+  int failed_evals = 0;
   {
     obs::ScopedSpan oat_span(tracer(), "tuneful/oat", "tuner");
     int oat_iter = 0;
     double oat_best = 0.0;
+    double oat_worst = 0.0;
+    // A probe that dies reads as maximally costly (censored penalty), so
+    // its parameter still registers as influential; session errors read
+    // as the base runtime (no influence signal, no crash).
     auto oat_evaluate = [&](const sparksim::SparkConf& conf) {
       const double meter_before = session->optimization_seconds();
-      const core::EvalRecord& rec = session->Evaluate(conf, datasize_gb);
-      if (oat_best <= 0.0 || rec.app_seconds < oat_best) {
-        oat_best = rec.app_seconds;
+      const StatusOr<core::EvalRecord> rec_or =
+          session->Evaluate(conf, datasize_gb);
+      if (!rec_or.ok()) return oat_best > 0.0 ? oat_best : 1.0;
+      const core::EvalRecord& rec = *rec_or;
+      double objective = rec.app_seconds;
+      if (rec.failed) {
+        objective = core::CensoredObjective(oat_worst, rec.app_seconds, 2.0);
+        ++failed_evals;
+      } else {
+        oat_worst = std::max(oat_worst, rec.app_seconds);
+        if (oat_best <= 0.0 || rec.app_seconds < oat_best) {
+          oat_best = rec.app_seconds;
+        }
       }
       core::EmitSimpleIteration(
           observer(), "Tuneful", "oat", oat_iter++, datasize_gb,
-          session->optimization_seconds() - meter_before, rec.app_seconds,
-          oat_best, rec.full_app);
-      return rec.app_seconds;
+          session->optimization_seconds() - meter_before, objective,
+          oat_best, rec.full_app, failed_evals);
+      return objective;
     };
     const double base_seconds = oat_evaluate(base_conf);
     for (int d : free_dims_) {
@@ -88,6 +103,7 @@ core::TuningResult TunefulTuner::Tune(core::TuningSession* session,
   result.best_conf = bo.best_conf();
   result.best_observed_seconds = bo.best_seconds();
   result.trajectory = bo.trajectory();
+  result.failed_evaluations = failed_evals + bo.failed_evals();
   result.optimization_seconds = session->optimization_seconds() - meter_start;
   result.evaluations = session->evaluations() - evals_start;
   return result;

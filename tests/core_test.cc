@@ -197,7 +197,7 @@ TEST(TuningSessionTest, ChargesSimulatedTime) {
   TuningSession session(&sim, app);
   const sparksim::SparkConf conf =
       session.space().Repair(session.space().DefaultConf());
-  const EvalRecord& rec = session.Evaluate(conf, 100.0);
+  const EvalRecord rec = *session.Evaluate(conf, 100.0);
   EXPECT_GT(rec.app_seconds, 0.0);
   EXPECT_DOUBLE_EQ(session.optimization_seconds(), rec.app_seconds);
   EXPECT_EQ(session.evaluations(), 1);
@@ -227,11 +227,11 @@ TEST(TuningSessionTest, QueryRestrictionAppliesToEvaluate) {
       session.space().Repair(session.space().DefaultConf());
   session.RestrictToQueries({0, 1, 2});
   EXPECT_TRUE(session.restricted());
-  const EvalRecord& rec = session.Evaluate(conf, 100.0);
+  const EvalRecord rec = *session.Evaluate(conf, 100.0);
   EXPECT_EQ(rec.per_query_seconds.size(), 3u);
   EXPECT_FALSE(rec.full_app);
   session.ClearQueryRestriction();
-  const EvalRecord& full = session.Evaluate(conf, 100.0);
+  const EvalRecord full = *session.Evaluate(conf, 100.0);
   EXPECT_EQ(full.per_query_seconds.size(), 22u);
   EXPECT_TRUE(full.full_app);
 }

@@ -203,8 +203,8 @@ TEST(SimCacheTest, CachedRunsAreBitIdenticalToUncached) {
   // the hit path; noise draws advance identically on both sides.
   for (uint64_t s = 0; s < 4; ++s) {
     const SparkConf conf = SomeConf(space, 10 + s % 2);
-    const AppRunResult a = plain.RunAppSubset(app, all, conf, 100.0);
-    const AppRunResult b = cached.RunAppSubset(app, all, conf, 100.0);
+    const AppRunResult a = *plain.RunAppSubset(app, all, conf, 100.0);
+    const AppRunResult b = *cached.RunAppSubset(app, all, conf, 100.0);
     ASSERT_EQ(a.per_query.size(), b.per_query.size());
     EXPECT_EQ(a.total_seconds, b.total_seconds);  // exact double equality
     EXPECT_EQ(a.gc_seconds, b.gc_seconds);
@@ -300,14 +300,14 @@ TEST(SimCacheTest, MutatedSingleQueryAppIsReFingerprinted) {
   EvalCache cache(1 << 16);
   ClusterSimulator sim(ArmCluster(), 4, quiet);
   sim.set_eval_cache(&cache);
-  const double first = sim.RunAppSubset(app, all, conf, 100.0).total_seconds;
+  const double first = sim.RunAppSubset(app, all, conf, 100.0)->total_seconds;
 
   app.queries[0].input_frac *= 2.0;
-  const double heavier = sim.RunAppSubset(app, all, conf, 100.0).total_seconds;
+  const double heavier = sim.RunAppSubset(app, all, conf, 100.0)->total_seconds;
   EXPECT_GT(heavier, first);
 
   ClusterSimulator plain(ArmCluster(), 4, quiet);
-  EXPECT_EQ(heavier, plain.RunAppSubset(app, all, conf, 100.0).total_seconds);
+  EXPECT_EQ(heavier, plain.RunAppSubset(app, all, conf, 100.0)->total_seconds);
 }
 
 TEST(SimCacheTest, DifferentEnvironmentsDoNotShareEntries) {
@@ -342,14 +342,14 @@ TEST(RunAppBatchTest, MatchesSequentialRunsAcrossThreadCounts) {
   ClusterSimulator seq(ArmCluster(), 7);
   std::vector<AppRunResult> expected;
   for (const auto& conf : confs) {
-    expected.push_back(seq.RunAppSubset(app, subset, conf, 300.0));
+    expected.push_back(*seq.RunAppSubset(app, subset, conf, 300.0));
   }
 
   for (int threads : {1, 4}) {
     common::ThreadPool::SetGlobalThreads(threads);
     ClusterSimulator sim(ArmCluster(), 7);
     const std::vector<AppRunResult> got =
-        sim.RunAppBatch(app, subset, confs, 300.0);
+        *sim.RunAppBatch(app, subset, confs, 300.0);
     ASSERT_EQ(got.size(), expected.size());
     for (size_t k = 0; k < got.size(); ++k) {
       EXPECT_EQ(got[k].total_seconds, expected[k].total_seconds);
@@ -375,13 +375,14 @@ TEST(RunAppBatchTest, CachedBatchMatchesUncachedBatch) {
   for (uint64_t s = 0; s < 6; ++s) confs.push_back(SomeConf(space, 30 + s % 3));
 
   ClusterSimulator plain(X86Cluster(), 13);
-  const std::vector<AppRunResult> a = plain.RunAppBatch(app, all, confs, 200.0);
+  const std::vector<AppRunResult> a =
+      *plain.RunAppBatch(app, all, confs, 200.0);
 
   EvalCache cache(1 << 16);
   ClusterSimulator cached(X86Cluster(), 13);
   cached.set_eval_cache(&cache);
   const std::vector<AppRunResult> b =
-      cached.RunAppBatch(app, all, confs, 200.0);
+      *cached.RunAppBatch(app, all, confs, 200.0);
 
   ASSERT_EQ(a.size(), b.size());
   for (size_t k = 0; k < a.size(); ++k) {

@@ -117,5 +117,88 @@ TEST(OnlineServiceTest, ReuseGapIsSymmetric) {
   EXPECT_EQ(service.tuning_passes(), 2);
 }
 
+TEST(OnlineServiceTest, ReportRunRejectsNonFiniteObservations) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 604);
+  TuningSession session(&sim, workloads::HiBenchScan());
+  OnlineTuningService service(&session, TinyOptions());
+  const auto conf = service.RecommendedConf(100.0).value();
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double bad : {nan, inf, -inf, 0.0, -12.0}) {
+    EXPECT_EQ(service.ReportRun(100.0, conf, bad).code(),
+              StatusCode::kInvalidArgument)
+        << "observed_seconds=" << bad;
+    EXPECT_EQ(service.ReportRun(bad, conf, 30.0).code(),
+              StatusCode::kInvalidArgument)
+        << "datasize_gb=" << bad;
+  }
+  EXPECT_TRUE(service.ReportRun(100.0, conf, 30.0).ok());
+}
+
+TEST(OnlineServiceTest, ReportFailedRunValidatesArguments) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 605);
+  TuningSession session(&sim, workloads::HiBenchScan());
+  OnlineTuningService service(&session, TinyOptions());
+  const auto conf = service.RecommendedConf(100.0).value();
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(service.ReportFailedRun(nan, conf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.ReportFailedRun(-1.0, conf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.ReportFailedRun(100.0, conf, nan).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.ReportFailedRun(100.0, conf, -3.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.failed_reports(), 0);  // rejected reports don't count
+  // partial_seconds of zero is legal: "it died before doing any work".
+  EXPECT_TRUE(service.ReportFailedRun(100.0, conf, 0.0).ok());
+  EXPECT_EQ(service.failed_reports(), 1);
+}
+
+TEST(OnlineServiceTest, ReportFailedRunFallsBackToLastKnownGood) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 606);
+  TuningSession session(&sim, workloads::HiBenchJoin());
+  OnlineTuningService service(&session, TinyOptions());
+
+  const auto tuned = service.RecommendedConf(200.0).value();
+  ASSERT_EQ(service.tuning_passes(), 1);
+
+  // A user-supplied run establishes a different last-known-good conf.
+  sparksim::SparkConf good = tuned;
+  good.Set(sparksim::kExecutorInstances,
+           tuned.Get(sparksim::kExecutorInstances) > 4 ? 4.0 : 6.0);
+  good = session.space().Repair(good);
+  ASSERT_TRUE(service.ReportRun(200.0, good, 45.0).ok());
+
+  // The tuned conf then dies in production: the service must degrade to
+  // the last-known-good conf without paying for a fresh tuning pass.
+  ASSERT_TRUE(service.ReportFailedRun(200.0, tuned, 12.0).ok());
+  EXPECT_EQ(service.failed_reports(), 1);
+  EXPECT_EQ(service.penalized_count(200.0), 1);
+
+  const double meter = service.optimization_seconds();
+  const auto fallback = service.RecommendedConf(200.0).value();
+  EXPECT_TRUE(fallback == good);
+  EXPECT_EQ(service.tuning_passes(), 1);  // no retune for the fallback
+  EXPECT_DOUBLE_EQ(service.optimization_seconds(), meter);
+}
+
+TEST(OnlineServiceTest, ReportFailedRunWithoutGoodRunForcesRetune) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 607);
+  TuningSession session(&sim, workloads::HiBenchAggregation());
+  OnlineTuningService service(&session, TinyOptions());
+
+  const auto tuned = service.RecommendedConf(150.0).value();
+  ASSERT_EQ(service.tuning_passes(), 1);
+
+  // No external good run is known for this size: the only safe move is
+  // to drop the poisoned entry and re-tune on the next request.
+  ASSERT_TRUE(service.ReportFailedRun(150.0, tuned).ok());
+  ASSERT_TRUE(service.RecommendedConf(150.0).ok());
+  EXPECT_EQ(service.tuning_passes(), 2);
+}
+
 }  // namespace
 }  // namespace locat::core

@@ -111,7 +111,7 @@ TEST(ReproductionTest, RqaIsSubstantiallyCheaperThanFullApp) {
   conf = space.Repair(conf);
   const double full = sim.RunApp(app, conf, 100.0).total_seconds;
   const double rqa =
-      sim.RunAppSubset(app, qcsa.csq_indices, conf, 100.0).total_seconds;
+      sim.RunAppSubset(app, qcsa.csq_indices, conf, 100.0)->total_seconds;
   EXPECT_LT(rqa, 0.75 * full);
 }
 

@@ -392,7 +392,7 @@ TEST(SimulatorTest, RunAppSubsetIsCheaper) {
   app.queries = {ScanOnlyQuery(), ShuffleHeavyQuery()};
   const SparkConf conf = DecentConf(space);
   const double full = sim.RunApp(app, conf, 200.0).total_seconds;
-  const double subset = sim.RunAppSubset(app, {0}, conf, 200.0).total_seconds;
+  const double subset = sim.RunAppSubset(app, {0}, conf, 200.0)->total_seconds;
   EXPECT_LT(subset, full);
 }
 
