@@ -1,0 +1,282 @@
+// Linear-algebra kernel bench: scalar backend vs the CPU's best SIMD
+// backend on the primitives under the GP/KPCA hot path.
+//
+// For each problem size n it times, on both backends:
+//   gemm cold: one n x n matrix product on freshly faulted-in operands
+//              (first touch, includes dispatch init on the very first
+//              call);
+//   gemm warm: the same product with operands resident in cache;
+//   chol:      Cholesky factorization of an SPD n x n Gram + n I;
+//   gram:      ARD squared-exponential Gram construction over an
+//              n x kDim dataset (batched squared distances + the shared
+//              polynomial exp) — the DAGP fit inner loop;
+//   fit:       one end-to-end EI-MCMC surrogate fit (fast path).
+// Wall times are minima over reps of an adaptively iterated loop
+// (hand-rolled steady_clock timing, same idiom as micro_bo_hotpath;
+// "cold" is the single first call and is reported as-is), written to
+// BENCH_linalg.json.
+//
+// The two backends must agree bit-for-bit (checked on the Gram matrix
+// every run; the bench aborts on any mismatch). The acceptance bar is
+// >= 3x on gram and >= 2x on fit at n = 120, single-core — the bench
+// pins the thread pool to one worker unless --threads says otherwise.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "math/cholesky.h"
+#include "math/kern/kern.h"
+#include "math/matrix.h"
+#include "ml/ei_mcmc.h"
+#include "ml/kernels.h"
+
+namespace {
+
+using namespace locat;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kDim = 10;  // ~ IICP latent dims + data size
+constexpr int kReps = 5;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Iterations so one timed loop does ~5e7 flop-equivalents: keeps every
+/// measurement well above timer resolution without stretching the bench.
+int Iters(double approx_flops) {
+  return std::max(1, static_cast<int>(5e7 / std::max(1.0, approx_flops)));
+}
+
+/// Synthetic tuning-shaped dataset, same generator as micro_bo_hotpath.
+void MakeDataset(int n, math::Matrix* x, math::Vector* y) {
+  Rng rng(1234);
+  *x = math::Matrix(static_cast<size_t>(n), kDim);
+  *y = math::Vector(static_cast<size_t>(n));
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < kDim; ++j) {
+      const double v = rng.NextDouble();
+      (*x)(i, j) = v;
+      s += std::sin(4.0 * v + static_cast<double>(j)) / (1.0 + j);
+    }
+    (*y)[i] = 100.0 + 20.0 * s + 0.5 * rng.NextGaussian();
+  }
+}
+
+math::Matrix RandomSquare(int n, uint64_t seed) {
+  Rng rng(seed);
+  math::Matrix m(static_cast<size_t>(n), static_cast<size_t>(n));
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) m(i, j) = rng.NextGaussian();
+  }
+  return m;
+}
+
+struct OpTimes {
+  double gemm_cold_s = 0.0;
+  double gemm_warm_s = 0.0;
+  double chol_s = 0.0;
+  double gram_s = 0.0;
+  double fit_s = 0.0;
+};
+
+struct CaseResult {
+  int n = 0;
+  OpTimes scalar;
+  OpTimes native;
+  double gemm_speedup() const { return scalar.gemm_warm_s / native.gemm_warm_s; }
+  double chol_speedup() const { return scalar.chol_s / native.chol_s; }
+  double gram_speedup() const { return scalar.gram_s / native.gram_s; }
+  double fit_speedup() const { return scalar.fit_s / native.fit_s; }
+};
+
+/// Times all ops for one size under the currently dispatched backend.
+/// `gram_out` receives the Gram matrix for the cross-backend bit check.
+OpTimes RunBackend(int n, math::Matrix* gram_out) {
+  OpTimes out;
+  math::Matrix x;
+  math::Vector y;
+  MakeDataset(n, &x, &y);
+  const ml::ArdSquaredExponentialKernel kernel(
+      math::Vector(static_cast<size_t>(kDim), 0.5), 1.0);
+
+  // GEMM, cold: freshly generated operands, first call after generation.
+  {
+    const math::Matrix a = RandomSquare(n, 42);
+    const math::Matrix b = RandomSquare(n, 43);
+    const auto t0 = Clock::now();
+    const math::Matrix c = a * b;
+    const auto t1 = Clock::now();
+    if (!(c(0, 0) == c(0, 0))) std::abort();  // keep it observable
+    out.gemm_cold_s = Seconds(t0, t1);
+  }
+  // GEMM, warm: same operands reused across an iterated loop.
+  {
+    const math::Matrix a = RandomSquare(n, 42);
+    const math::Matrix b = RandomSquare(n, 43);
+    const int iters = Iters(2.0 * n * n * n);
+    double best = std::numeric_limits<double>::infinity();
+    double sink = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = Clock::now();
+      for (int it = 0; it < iters; ++it) {
+        const math::Matrix c = a * b;
+        sink += c(0, 0);
+      }
+      const auto t1 = Clock::now();
+      best = std::min(best, Seconds(t0, t1) / iters);
+    }
+    if (!(sink == sink)) std::abort();
+    out.gemm_warm_s = best;
+  }
+  // Cholesky of an SPD matrix (Gram + n I).
+  {
+    math::Matrix spd = kernel.GramMatrix(x);
+    spd.AddToDiagonal(static_cast<double>(n));
+    const int iters = Iters(n * n * n / 3.0);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = Clock::now();
+      for (int it = 0; it < iters; ++it) {
+        const auto chol = math::Cholesky::Factor(spd);
+        if (!chol.ok()) std::abort();
+      }
+      const auto t1 = Clock::now();
+      best = std::min(best, Seconds(t0, t1) / iters);
+    }
+    out.chol_s = best;
+  }
+  // Gram construction: batched weighted sqdist + vectorized exp.
+  {
+    const int iters = Iters(3.0 * n * n * kDim);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = Clock::now();
+      for (int it = 0; it < iters; ++it) {
+        *gram_out = kernel.GramMatrix(x);
+      }
+      const auto t1 = Clock::now();
+      best = std::min(best, Seconds(t0, t1) / iters);
+    }
+    out.gram_s = best;
+  }
+  // End-to-end EI-MCMC surrogate fit (fast path, as the tuner runs it).
+  {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      ml::EiMcmc::Options opts;
+      opts.fast_path = true;
+      ml::EiMcmc model(opts);
+      Rng rng(7);
+      const auto t0 = Clock::now();
+      if (!model.Fit(x, y, &rng).ok()) std::abort();
+      const auto t1 = Clock::now();
+      best = std::min(best, Seconds(t0, t1));
+    }
+    out.fit_s = best;
+  }
+  return out;
+}
+
+CaseResult RunCase(int n) {
+  CaseResult out;
+  out.n = n;
+  math::Matrix gram_scalar;
+  math::Matrix gram_native;
+  math::kern::SetBackend(math::kern::Backend::kScalar);
+  out.scalar = RunBackend(n, &gram_scalar);
+  math::kern::SetBackend(math::kern::BestBackend());
+  out.native = RunBackend(n, &gram_native);
+  // Determinism gate: the backends must agree on every Gram bit.
+  for (size_t i = 0; i < gram_scalar.rows(); ++i) {
+    for (size_t j = 0; j < gram_scalar.cols(); ++j) {
+      if (std::memcmp(&gram_scalar(i, j), &gram_native(i, j), 8) != 0) {
+        std::fprintf(stderr, "backend mismatch at n=%d (%zu,%zu)\n", n, i, j);
+        std::abort();
+      }
+    }
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, const std::vector<CaseResult>& cases) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  os.precision(6);
+  os << "{\n"
+     << "  \"benchmark\": \"linalg\",\n"
+     << "  \"dim\": " << kDim << ",\n"
+     << "  \"native_backend\": \""
+     << math::kern::BackendName(math::kern::BestBackend()) << "\",\n"
+     << "  \"threads\": " << common::ThreadPool::Global()->num_threads()
+     << ",\n"
+     << "  \"cases\": [\n";
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    os << "    {\"n\": " << c.n
+       << ", \"gemm_cold_scalar_s\": " << c.scalar.gemm_cold_s
+       << ", \"gemm_cold_native_s\": " << c.native.gemm_cold_s
+       << ", \"gemm_warm_scalar_s\": " << c.scalar.gemm_warm_s
+       << ", \"gemm_warm_native_s\": " << c.native.gemm_warm_s
+       << ", \"chol_scalar_s\": " << c.scalar.chol_s
+       << ", \"chol_native_s\": " << c.native.chol_s
+       << ", \"gram_scalar_s\": " << c.scalar.gram_s
+       << ", \"gram_native_s\": " << c.native.gram_s
+       << ", \"fit_scalar_s\": " << c.scalar.fit_s
+       << ", \"fit_native_s\": " << c.native.fit_s
+       << ", \"gemm_speedup\": " << c.gemm_speedup()
+       << ", \"chol_speedup\": " << c.chol_speedup()
+       << ", \"gram_speedup\": " << c.gram_speedup()
+       << ", \"fit_speedup\": " << c.fit_speedup() << "}"
+       << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_linalg.json";
+  int threads = 1;  // single-core by default: the acceptance bar
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
+  }
+  common::ThreadPool::SetGlobalThreads(threads);
+
+  std::printf("native backend: %s\n",
+              math::kern::BackendName(math::kern::BestBackend()));
+  std::vector<CaseResult> cases;
+  TablePrinter tp({"n", "gemm warm", "chol", "gram", "ei-mcmc fit"});
+  for (int n : {20, 60, 120, 240}) {
+    const CaseResult c = RunCase(n);
+    cases.push_back(c);
+    tp.AddRow({std::to_string(c.n),
+               TablePrinter::Num(c.gemm_speedup(), 2) + "x",
+               TablePrinter::Num(c.chol_speedup(), 2) + "x",
+               TablePrinter::Num(c.gram_speedup(), 2) + "x",
+               TablePrinter::Num(c.fit_speedup(), 2) + "x"});
+  }
+  tp.Print(std::cout);
+  WriteJson(out_path, cases);
+  return 0;
+}

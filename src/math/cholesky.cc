@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "math/kern/kern.h"
+
 namespace locat::math {
 
 StatusOr<Cholesky> Cholesky::Factor(const Matrix& a) {
@@ -9,21 +11,20 @@ StatusOr<Cholesky> Cholesky::Factor(const Matrix& a) {
     return Status::InvalidArgument("Cholesky requires a square matrix");
   }
   const size_t n = a.rows();
+  // Copy the lower triangle into a zeroed matrix and factor in place; the
+  // kern Cholesky never touches the (zero) upper triangle.
   Matrix l(n, n);
-  for (size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (diag <= 0.0 || !std::isfinite(diag)) {
-      return Status::FailedPrecondition(
-          "matrix is not positive definite (pivot " + std::to_string(j) + ")");
-    }
-    const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    for (size_t i = j + 1; i < n; ++i) {
-      double s = a(i, j);
-      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
-      l(i, j) = s / ljj;
-    }
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = a.RowData(i);
+    double* dst = l.RowData(i);
+    for (size_t j = 0; j <= i; ++j) dst[j] = src[j];
+  }
+  const ptrdiff_t pivot =
+      n == 0 ? -1 : kern::CholeskyFactorInPlace(l.RowData(0), n);
+  if (pivot >= 0) {
+    return Status::FailedPrecondition(
+        "matrix is not positive definite (pivot " + std::to_string(pivot) +
+        ")");
   }
   return Cholesky(std::move(l), /*jitter=*/0.0);
 }
@@ -71,9 +72,9 @@ Vector Cholesky::SolveLower(const Vector& b) const {
   const size_t n = l_.rows();
   assert(b.size() == n);
   Vector y(n);
+  const double* yd = y.data().data();
   for (size_t i = 0; i < n; ++i) {
-    double s = b[i];
-    for (size_t j = 0; j < i; ++j) s -= l_(i, j) * y[j];
+    const double s = b[i] - kern::Dot(l_.RowData(i), yd, i);
     y[i] = s / l_(i, i);
   }
   return y;
@@ -84,17 +85,8 @@ Matrix Cholesky::SolveLowerMatrix(const Matrix& b) const {
   assert(b.rows() == n);
   const size_t m = b.cols();
   Matrix y = b;
-  for (size_t i = 0; i < n; ++i) {
-    double* yi = y.RowData(i);
-    const double* li = l_.RowData(i);
-    for (size_t j = 0; j < i; ++j) {
-      const double l_ij = li[j];
-      if (l_ij == 0.0) continue;
-      const double* yj = y.RowData(j);
-      for (size_t c = 0; c < m; ++c) yi[c] -= l_ij * yj[c];
-    }
-    const double inv = 1.0 / li[i];
-    for (size_t c = 0; c < m; ++c) yi[c] *= inv;
+  if (n > 0 && m > 0) {
+    kern::SolveLowerMatrixInPlace(l_.RowData(0), n, y.RowData(0), m);
   }
   return y;
 }

@@ -1,0 +1,55 @@
+// AVX2 + FMA backend: one __m256d per 4-lane vector. This TU alone is
+// compiled with -mavx2 -mfma (src/math/CMakeLists.txt); the dispatcher
+// only hands out this table after __builtin_cpu_supports confirms the
+// CPU has both, so the rest of the binary stays runnable on older x86.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "math/kern/kern_impl.h"
+#include "math/kern/kern_ops.h"
+
+namespace locat::math::kern {
+namespace {
+
+struct V4Avx2 {
+  __m256d v;
+
+  static V4Avx2 Zero() { return {_mm256_setzero_pd()}; }
+  static V4Avx2 Broadcast(double s) { return {_mm256_set1_pd(s)}; }
+  static V4Avx2 Load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  void Store(double* p) const { _mm256_storeu_pd(p, v); }
+  static V4Avx2 Add(V4Avx2 a, V4Avx2 b) { return {_mm256_add_pd(a.v, b.v)}; }
+  static V4Avx2 Sub(V4Avx2 a, V4Avx2 b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  static V4Avx2 Mul(V4Avx2 a, V4Avx2 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  static V4Avx2 Fma(V4Avx2 a, V4Avx2 b, V4Avx2 c) {
+    return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+  }
+  static V4Avx2 Round(V4Avx2 x) {
+    return {_mm256_round_pd(x.v, _MM_FROUND_TO_NEAREST_INT |
+                                     _MM_FROUND_NO_EXC)};
+  }
+  static V4Avx2 IfLess(V4Avx2 x, V4Avx2 y, V4Avx2 a, V4Avx2 b) {
+    const __m256d mask = _mm256_cmp_pd(x.v, y.v, _CMP_LT_OQ);
+    return {_mm256_blendv_pd(b.v, a.v, mask)};
+  }
+  static V4Avx2 Pow2i(V4Avx2 n) {
+    // n is integral and clamped to cvtpd_epi32 range by ExpV's bounds.
+    const __m128i k32 = _mm256_cvtpd_epi32(n.v);
+    const __m256i k64 = _mm256_cvtepi32_epi64(k32);
+    const __m256i bits = _mm256_slli_epi64(
+        _mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+    return {_mm256_castsi256_pd(bits)};
+  }
+};
+
+constexpr KernOps kAvx2Ops = MakeOps<V4Avx2>();
+
+}  // namespace
+
+const KernOps* Avx2Ops() { return &kAvx2Ops; }
+
+}  // namespace locat::math::kern
+
+#endif  // x86_64

@@ -1,0 +1,402 @@
+#ifndef LOCAT_MATH_KERN_KERN_IMPL_H_
+#define LOCAT_MATH_KERN_KERN_IMPL_H_
+
+// Shared templated kernel bodies. Every backend TU instantiates MakeOps<V>
+// over its 4-lane vector type V, so all backends execute the exact same
+// sequence of IEEE-754 operations per element/lane and produce identical
+// bits. The vector concept V provides:
+//
+//   static V Zero();
+//   static V Broadcast(double s);
+//   static V Load(const double* p);            // unaligned
+//   void     Store(double* p) const;           // unaligned
+//   static V Add(V a, V b);  static V Sub(V a, V b);  static V Mul(V a, V b);
+//   static V Fma(V a, V b, V c);               // a * b + c, single rounding
+//   static V Round(V x);                       // nearest-even, per lane
+//   static V IfLess(V x, V y, V a, V b);       // lane: x < y ? a : b
+//                                              // (ordered: NaN picks b)
+//   static V Pow2i(V n);                       // 2^n, n integral in
+//                                              // [-1075, 1023)
+//
+// Determinism rules for code in this header:
+//   * mul-feeding-add dataflow is forbidden — the compiler may contract it
+//     into an fma on one backend but not another. Use explicit Fma (or a
+//     standalone Mul/Add/Sub whose result feeds nothing contractible).
+//   * scalar tails must replay the exact per-lane op sequence (std::fma /
+//     plain * - +) into the lane the element would have occupied.
+//   * reductions end with the fixed tree (l0 + l2) + (l1 + l3).
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "math/kern/kern_ops.h"
+
+namespace locat::math::kern {
+
+inline constexpr double kExpSatHi = 708.0;    // saturate above (exp ~ 3e307)
+inline constexpr double kExpFlushLo = -708.0;  // flush to +0 below
+inline constexpr double kExpClampLo = -745.0;  // keeps Pow2i's int in range
+inline constexpr double kLog2e = 1.4426950408889634074;
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+// Taylor coefficients 1/k!; |r| <= ln2/2 after Cody-Waite reduction, so the
+// degree-13 truncation error r^14/14! is ~4e-18 — below double rounding.
+inline constexpr double kExpCoef[14] = {
+    1.0,
+    1.0,
+    1.0 / 2,
+    1.0 / 6,
+    1.0 / 24,
+    1.0 / 120,
+    1.0 / 720,
+    1.0 / 5040,
+    1.0 / 40320,
+    1.0 / 362880,
+    1.0 / 3628800,
+    1.0 / 39916800,
+    1.0 / 479001600,
+    1.0 / 6227020800.0,
+};
+
+/// exp(2^k) by bit assembly for integral k in [-1075, 1023). Out-of-range
+/// exponents produce garbage bits the callers blend away; never UB.
+inline double Pow2iScalar(double n) {
+  const auto k = static_cast<int64_t>(n);
+  return std::bit_cast<double>(static_cast<uint64_t>(k + 1023) << 52);
+}
+
+/// The one true exp. Scalar replay of ExpV's per-lane sequence; kern::Exp
+/// routes here regardless of the active backend.
+inline double ExpScalar(double x) {
+  double xc = x < kExpSatHi ? x : kExpSatHi;  // NaN picks the bound, like
+  xc = xc < kExpClampLo ? kExpClampLo : xc;   // the vector IfLess
+  const double n = std::nearbyint(xc * kLog2e);
+  double r = std::fma(n, -kLn2Hi, xc);
+  r = std::fma(n, -kLn2Lo, r);
+  double p = kExpCoef[13];
+  for (int c = 12; c >= 0; --c) p = std::fma(p, r, kExpCoef[c]);
+  const double res = p * Pow2iScalar(n);
+  return x < kExpFlushLo ? 0.0 : res;
+}
+
+template <class V>
+inline V ExpV(V x) {
+  V xc = V::IfLess(x, V::Broadcast(kExpSatHi), x, V::Broadcast(kExpSatHi));
+  xc = V::IfLess(xc, V::Broadcast(kExpClampLo), V::Broadcast(kExpClampLo), xc);
+  const V n = V::Round(V::Mul(xc, V::Broadcast(kLog2e)));
+  V r = V::Fma(n, V::Broadcast(-kLn2Hi), xc);
+  r = V::Fma(n, V::Broadcast(-kLn2Lo), r);
+  V p = V::Broadcast(kExpCoef[13]);
+  for (int c = 12; c >= 0; --c) p = V::Fma(p, r, V::Broadcast(kExpCoef[c]));
+  const V res = V::Mul(p, V::Pow2i(n));
+  return V::IfLess(x, V::Broadcast(kExpFlushLo), V::Zero(), res);
+}
+
+// ---------------------------------------------------------------------------
+// Reductions.
+
+template <class V>
+double DotImpl(const double* a, const double* b, size_t n) {
+  V acc = V::Zero();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = V::Fma(V::Load(a + i), V::Load(b + i), acc);
+  alignas(32) double l[4];
+  acc.Store(l);
+  for (size_t t = 0; i + t < n; ++t) l[t] = std::fma(a[i + t], b[i + t], l[t]);
+  return (l[0] + l[2]) + (l[1] + l[3]);
+}
+
+/// Four dots sharing the a-side loads: out[r] = dot(a, b + r*stride, n).
+/// Each accumulator chain is op-for-op the DotImpl chain, so out[r] is
+/// bit-identical to the corresponding standalone DotImpl call.
+template <class V>
+void Dot4Impl(const double* a, const double* b, size_t stride, size_t n,
+              double* out) {
+  V a0 = V::Zero(), a1 = V::Zero(), a2 = V::Zero(), a3 = V::Zero();
+  const double* b0 = b;
+  const double* b1 = b + stride;
+  const double* b2 = b + 2 * stride;
+  const double* b3 = b + 3 * stride;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const V av = V::Load(a + i);
+    a0 = V::Fma(av, V::Load(b0 + i), a0);
+    a1 = V::Fma(av, V::Load(b1 + i), a1);
+    a2 = V::Fma(av, V::Load(b2 + i), a2);
+    a3 = V::Fma(av, V::Load(b3 + i), a3);
+  }
+  alignas(32) double l0[4], l1[4], l2[4], l3[4];
+  a0.Store(l0);
+  a1.Store(l1);
+  a2.Store(l2);
+  a3.Store(l3);
+  for (size_t t = 0; i + t < n; ++t) {
+    const double av = a[i + t];
+    l0[t] = std::fma(av, b0[i + t], l0[t]);
+    l1[t] = std::fma(av, b1[i + t], l1[t]);
+    l2[t] = std::fma(av, b2[i + t], l2[t]);
+    l3[t] = std::fma(av, b3[i + t], l3[t]);
+  }
+  out[0] = (l0[0] + l0[2]) + (l0[1] + l0[3]);
+  out[1] = (l1[0] + l1[2]) + (l1[1] + l1[3]);
+  out[2] = (l2[0] + l2[2]) + (l2[1] + l2[3]);
+  out[3] = (l3[0] + l3[2]) + (l3[1] + l3[3]);
+}
+
+template <class V>
+double SumImpl(const double* x, size_t n) {
+  V acc = V::Zero();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = V::Add(acc, V::Load(x + i));
+  alignas(32) double l[4];
+  acc.Store(l);
+  for (size_t t = 0; i + t < n; ++t) l[t] = l[t] + x[i + t];
+  return (l[0] + l[2]) + (l[1] + l[3]);
+}
+
+template <class V>
+double SqDistImpl(const double* a, const double* b, size_t n) {
+  V acc = V::Zero();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const V d = V::Sub(V::Load(a + i), V::Load(b + i));
+    acc = V::Fma(d, d, acc);
+  }
+  alignas(32) double l[4];
+  acc.Store(l);
+  for (size_t t = 0; i + t < n; ++t) {
+    const double d = a[i + t] - b[i + t];
+    l[t] = std::fma(d, d, l[t]);
+  }
+  return (l[0] + l[2]) + (l[1] + l[3]);
+}
+
+template <class V>
+double WSqDistImpl(const double* a, const double* b, const double* w,
+                   size_t n) {
+  V acc = V::Zero();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const V d = V::Sub(V::Load(a + i), V::Load(b + i));
+    acc = V::Fma(V::Mul(V::Load(w + i), d), d, acc);
+  }
+  alignas(32) double l[4];
+  acc.Store(l);
+  for (size_t t = 0; i + t < n; ++t) {
+    const double d = a[i + t] - b[i + t];
+    l[t] = std::fma(w[i + t] * d, d, l[t]);
+  }
+  return (l[0] + l[2]) + (l[1] + l[3]);
+}
+
+template <class V>
+void MatVecImpl(const double* m, size_t rows, size_t cols, const double* v,
+                double* out) {
+  size_t r = 0;
+  for (; r + 4 <= rows; r += 4) Dot4Impl<V>(v, m + r * cols, cols, cols, out + r);
+  for (; r < rows; ++r) out[r] = DotImpl<V>(m + r * cols, v, cols);
+}
+
+template <class V>
+void SqDistRowsImpl(const double* rows, size_t nrows, size_t dim,
+                    size_t stride, const double* q, double* out) {
+  for (size_t r = 0; r < nrows; ++r)
+    out[r] = SqDistImpl<V>(rows + r * stride, q, dim);
+}
+
+template <class V>
+void WSqDistRowsImpl(const double* rows, size_t nrows, size_t dim,
+                     size_t stride, const double* q, const double* w,
+                     double* out) {
+  for (size_t r = 0; r < nrows; ++r)
+    out[r] = WSqDistImpl<V>(rows + r * stride, q, w, dim);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels. Lane-independent: the scalar tail op is the exact
+// per-lane op, so these are backend-invariant without a lane tree.
+
+template <class V>
+void AxpyImpl(double alpha, const double* x, double* y, size_t n) {
+  const V av = V::Broadcast(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    V::Fma(av, V::Load(x + i), V::Load(y + i)).Store(y + i);
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+template <class V>
+void ScaleImpl(double alpha, double* x, size_t n) {
+  const V av = V::Broadcast(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) V::Mul(av, V::Load(x + i)).Store(x + i);
+  for (; i < n; ++i) x[i] = alpha * x[i];
+}
+
+template <class V>
+void AddSquaresImpl(const double* x, double* acc, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const V xv = V::Load(x + i);
+    V::Fma(xv, xv, V::Load(acc + i)).Store(acc + i);
+  }
+  for (; i < n; ++i) acc[i] = std::fma(x[i], x[i], acc[i]);
+}
+
+template <class V>
+void SubSquareImpl(const double* a, const double* b, double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const V d = V::Sub(V::Load(a + i), V::Load(b + i));
+    V::Mul(d, d).Store(out + i);
+  }
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    out[i] = d * d;
+  }
+}
+
+template <class V>
+void SubShiftImpl(const double* a, const double* b, double shift, double* out,
+                  size_t n) {
+  const V sv = V::Broadcast(shift);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    V::Sub(V::Sub(V::Load(a + i), V::Load(b + i)), sv).Store(out + i);
+  for (; i < n; ++i) out[i] = (a[i] - b[i]) - shift;
+}
+
+template <class V>
+void ExpScaledImpl(double* x, size_t n, double pre, double post) {
+  const V prev = V::Broadcast(pre);
+  const V postv = V::Broadcast(post);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    V::Mul(postv, ExpV<V>(V::Mul(prev, V::Load(x + i)))).Store(x + i);
+  if (i < n) {
+    // Tail rides the same vector path on a zero-padded block so every
+    // element sees the vector lane sequence (padding computes exp(0)).
+    alignas(32) double tmp[4] = {0.0, 0.0, 0.0, 0.0};
+    for (size_t t = 0; i + t < n; ++t) tmp[t] = x[i + t];
+    V r = V::Mul(postv, ExpV<V>(V::Mul(prev, V::Load(tmp))));
+    r.Store(tmp);
+    for (size_t t = 0; i + t < n; ++t) x[i + t] = tmp[t];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked linear algebra.
+
+/// c = a * b in axpy form: each c[i][j] accumulates k in ascending order
+/// via elementwise fma, so bits are independent of backend and of the
+/// column blocking. Column blocks keep the streamed b panel cache-sized.
+template <class V>
+void GemmImpl(const double* a, size_t m, size_t k, const double* b, size_t n,
+              double* c) {
+  constexpr size_t kColBlock = 512;
+  for (size_t j0 = 0; j0 < n; j0 += kColBlock) {
+    const size_t jn = std::min(kColBlock, n - j0);
+    for (size_t i = 0; i < m; ++i) {
+      double* ci = c + i * n + j0;
+      for (size_t j = 0; j < jn; ++j) ci[j] = 0.0;
+      const double* ai = a + i * k;
+      for (size_t kk = 0; kk < k; ++kk) {
+        if (ai[kk] == 0.0) continue;  // fma(0, inf, y) would poison y
+        AxpyImpl<V>(ai[kk], b + kk * n + j0, ci, jn);
+      }
+    }
+  }
+}
+
+/// c[i][j] = dot(a_i, b_j) with b row-major n x k. Row blocks of b sized
+/// to stay cache-resident; 4-wide register blocking over j via Dot4Impl.
+template <class V>
+void GemmBtImpl(const double* a, size_t m, const double* b, size_t n, size_t k,
+                double* c) {
+  constexpr size_t kRowBlock = 64;
+  for (size_t j0 = 0; j0 < n; j0 += kRowBlock) {
+    const size_t jn = std::min(kRowBlock, n - j0);
+    for (size_t i = 0; i < m; ++i) {
+      const double* ai = a + i * k;
+      double* ci = c + i * n + j0;
+      size_t j = 0;
+      for (; j + 4 <= jn; j += 4)
+        Dot4Impl<V>(ai, b + (j0 + j) * k, k, k, ci + j);
+      for (; j < jn; ++j) ci[j] = DotImpl<V>(ai, b + (j0 + j) * k, k);
+    }
+  }
+}
+
+/// Blocked right-looking Cholesky on the lower triangle, panel width 32.
+/// Panel columns factor left-looking within the block; the trailing SYRK
+/// update then folds the panel into the remaining rows with Dot4-blocked
+/// inner products. Returns the first bad pivot index, or -1.
+template <class V>
+ptrdiff_t CholImpl(double* a, size_t n) {
+  constexpr size_t kPanel = 32;
+  for (size_t j0 = 0; j0 < n; j0 += kPanel) {
+    const size_t jb = std::min(kPanel, n - j0);
+    for (size_t j = j0; j < j0 + jb; ++j) {
+      double* rj = a + j * n;
+      const double d = rj[j] - DotImpl<V>(rj + j0, rj + j0, j - j0);
+      if (!(d > 0.0) || !std::isfinite(d)) return static_cast<ptrdiff_t>(j);
+      const double ljj = std::sqrt(d);
+      rj[j] = ljj;
+      const double inv = 1.0 / ljj;
+      for (size_t i = j + 1; i < n; ++i) {
+        double* ri = a + i * n;
+        ri[j] = (ri[j] - DotImpl<V>(ri + j0, rj + j0, j - j0)) * inv;
+      }
+    }
+    const size_t e = j0 + jb;
+    for (size_t i = e; i < n; ++i) {
+      double* ri = a + i * n;
+      const double* li = ri + j0;
+      size_t j = e;
+      for (; j + 4 <= i + 1; j += 4) {
+        double d4[4];
+        Dot4Impl<V>(li, a + j * n + j0, n, jb, d4);
+        ri[j] -= d4[0];
+        ri[j + 1] -= d4[1];
+        ri[j + 2] -= d4[2];
+        ri[j + 3] -= d4[3];
+      }
+      for (; j <= i; ++j) ri[j] -= DotImpl<V>(li, a + j * n + j0, jb);
+    }
+  }
+  return -1;
+}
+
+/// Forward substitution streaming whole rows of y (n x m): each row i
+/// folds rows j < i in ascending order via Axpy, then scales by 1/l_ii.
+template <class V>
+void SolveLowerMultiImpl(const double* l, size_t n, double* y, size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    const double* li = l + i * n;
+    double* yi = y + i * m;
+    for (size_t j = 0; j < i; ++j) {
+      if (li[j] == 0.0) continue;
+      AxpyImpl<V>(-li[j], y + j * m, yi, m);
+    }
+    ScaleImpl<V>(1.0 / li[i], yi, m);
+  }
+}
+
+template <class V>
+constexpr KernOps MakeOps() {
+  return KernOps{
+      &DotImpl<V>,        &SumImpl<V>,       &SqDistImpl<V>,
+      &WSqDistImpl<V>,    &MatVecImpl<V>,    &SqDistRowsImpl<V>,
+      &WSqDistRowsImpl<V>, &AxpyImpl<V>,     &ScaleImpl<V>,
+      &AddSquaresImpl<V>, &SubSquareImpl<V>, &SubShiftImpl<V>,
+      &ExpScaledImpl<V>,  &GemmImpl<V>,      &GemmBtImpl<V>,
+      &CholImpl<V>,       &SolveLowerMultiImpl<V>,
+  };
+}
+
+}  // namespace locat::math::kern
+
+#endif  // LOCAT_MATH_KERN_KERN_IMPL_H_

@@ -1,0 +1,66 @@
+// NEON backend: two float64x2_t halves per 4-lane vector (AdvSIMD is
+// 128-bit). NEON is baseline on aarch64, so no extra ISA flags are
+// needed; the TU is simply excluded from non-ARM builds.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "math/kern/kern_impl.h"
+#include "math/kern/kern_ops.h"
+
+namespace locat::math::kern {
+namespace {
+
+struct V4Neon {
+  float64x2_t lo, hi;
+
+  static V4Neon Zero() { return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)}; }
+  static V4Neon Broadcast(double s) { return {vdupq_n_f64(s), vdupq_n_f64(s)}; }
+  static V4Neon Load(const double* p) { return {vld1q_f64(p), vld1q_f64(p + 2)}; }
+  void Store(double* p) const {
+    vst1q_f64(p, lo);
+    vst1q_f64(p + 2, hi);
+  }
+  static V4Neon Add(V4Neon a, V4Neon b) {
+    return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+  }
+  static V4Neon Sub(V4Neon a, V4Neon b) {
+    return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+  }
+  static V4Neon Mul(V4Neon a, V4Neon b) {
+    return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+  }
+  static V4Neon Fma(V4Neon a, V4Neon b, V4Neon c) {
+    // vfmaq_f64(c, a, b) = c + a * b, fused single rounding.
+    return {vfmaq_f64(c.lo, a.lo, b.lo), vfmaq_f64(c.hi, a.hi, b.hi)};
+  }
+  static V4Neon Round(V4Neon x) {
+    return {vrndnq_f64(x.lo), vrndnq_f64(x.hi)};  // nearest-even
+  }
+  static V4Neon IfLess(V4Neon x, V4Neon y, V4Neon a, V4Neon b) {
+    // vcltq is an ordered compare: NaN lanes produce all-zero masks and
+    // select b, matching _CMP_LT_OQ and the scalar `<`.
+    const uint64x2_t mlo = vcltq_f64(x.lo, y.lo);
+    const uint64x2_t mhi = vcltq_f64(x.hi, y.hi);
+    return {vbslq_f64(mlo, a.lo, b.lo), vbslq_f64(mhi, a.hi, b.hi)};
+  }
+  static V4Neon Pow2i(V4Neon n) {
+    // n is integral and clamped by ExpV's bounds.
+    const int64x2_t klo = vcvtq_s64_f64(n.lo);
+    const int64x2_t khi = vcvtq_s64_f64(n.hi);
+    const int64x2_t bias = vdupq_n_s64(1023);
+    return {vreinterpretq_f64_s64(vshlq_n_s64(vaddq_s64(klo, bias), 52)),
+            vreinterpretq_f64_s64(vshlq_n_s64(vaddq_s64(khi, bias), 52))};
+  }
+};
+
+constexpr KernOps kNeonOps = MakeOps<V4Neon>();
+
+}  // namespace
+
+const KernOps* NeonOps() { return &kNeonOps; }
+
+}  // namespace locat::math::kern
+
+#endif  // __aarch64__

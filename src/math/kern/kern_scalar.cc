@@ -1,0 +1,70 @@
+// Portable scalar backend: four explicit double lanes with std::fma per
+// lane. Compiled with -ffp-contract=off (src/math/CMakeLists.txt) so the
+// compiler cannot contract the plain Mul/Add/Sub lanes into fmas and break
+// bit-identity with the SIMD backends. std::fma itself is correctly
+// rounded on every platform (hardware fma or the exact libm fallback), so
+// the lanes match vfmadd/fmla bit for bit.
+
+#include <cmath>
+
+#include "math/kern/kern_impl.h"
+#include "math/kern/kern_ops.h"
+
+namespace locat::math::kern {
+namespace {
+
+struct V4Scalar {
+  double l[4];
+
+  static V4Scalar Zero() { return V4Scalar{{0.0, 0.0, 0.0, 0.0}}; }
+  static V4Scalar Broadcast(double s) { return V4Scalar{{s, s, s, s}}; }
+  static V4Scalar Load(const double* p) {
+    return V4Scalar{{p[0], p[1], p[2], p[3]}};
+  }
+  void Store(double* p) const {
+    p[0] = l[0];
+    p[1] = l[1];
+    p[2] = l[2];
+    p[3] = l[3];
+  }
+  static V4Scalar Add(V4Scalar a, V4Scalar b) {
+    return V4Scalar{{a.l[0] + b.l[0], a.l[1] + b.l[1], a.l[2] + b.l[2],
+                     a.l[3] + b.l[3]}};
+  }
+  static V4Scalar Sub(V4Scalar a, V4Scalar b) {
+    return V4Scalar{{a.l[0] - b.l[0], a.l[1] - b.l[1], a.l[2] - b.l[2],
+                     a.l[3] - b.l[3]}};
+  }
+  static V4Scalar Mul(V4Scalar a, V4Scalar b) {
+    return V4Scalar{{a.l[0] * b.l[0], a.l[1] * b.l[1], a.l[2] * b.l[2],
+                     a.l[3] * b.l[3]}};
+  }
+  static V4Scalar Fma(V4Scalar a, V4Scalar b, V4Scalar c) {
+    return V4Scalar{{std::fma(a.l[0], b.l[0], c.l[0]),
+                     std::fma(a.l[1], b.l[1], c.l[1]),
+                     std::fma(a.l[2], b.l[2], c.l[2]),
+                     std::fma(a.l[3], b.l[3], c.l[3])}};
+  }
+  static V4Scalar Round(V4Scalar x) {
+    return V4Scalar{{std::nearbyint(x.l[0]), std::nearbyint(x.l[1]),
+                     std::nearbyint(x.l[2]), std::nearbyint(x.l[3])}};
+  }
+  static V4Scalar IfLess(V4Scalar x, V4Scalar y, V4Scalar a, V4Scalar b) {
+    return V4Scalar{{x.l[0] < y.l[0] ? a.l[0] : b.l[0],
+                     x.l[1] < y.l[1] ? a.l[1] : b.l[1],
+                     x.l[2] < y.l[2] ? a.l[2] : b.l[2],
+                     x.l[3] < y.l[3] ? a.l[3] : b.l[3]}};
+  }
+  static V4Scalar Pow2i(V4Scalar n) {
+    return V4Scalar{{Pow2iScalar(n.l[0]), Pow2iScalar(n.l[1]),
+                     Pow2iScalar(n.l[2]), Pow2iScalar(n.l[3])}};
+  }
+};
+
+constexpr KernOps kScalarOps = MakeOps<V4Scalar>();
+
+}  // namespace
+
+const KernOps* ScalarOps() { return &kScalarOps; }
+
+}  // namespace locat::math::kern

@@ -4,25 +4,19 @@
 #include <cstdio>
 #include <sstream>
 
+#include "math/kern/kern.h"
+
 namespace locat::math {
 
 double Vector::Norm() const {
-  double s = 0.0;
-  for (double v : data_) s += v * v;
-  return std::sqrt(s);
+  return std::sqrt(kern::Dot(data_.data(), data_.data(), size()));
 }
 
-double Vector::Sum() const {
-  double s = 0.0;
-  for (double v : data_) s += v;
-  return s;
-}
+double Vector::Sum() const { return kern::Sum(data_.data(), size()); }
 
 double Vector::Dot(const Vector& other) const {
   assert(size() == other.size());
-  double s = 0.0;
-  for (size_t i = 0; i < size(); ++i) s += data_[i] * other.data_[i];
-  return s;
+  return kern::Dot(data_.data(), other.data_.data(), size());
 }
 
 Vector& Vector::operator+=(const Vector& other) {
@@ -100,42 +94,24 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::operator*(const Matrix& other) const {
   assert(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out(i, j) += a * other(k, j);
-      }
-    }
-  }
+  kern::Gemm(data_.data(), rows_, cols_, other.data_.data(), other.cols_,
+             out.data_.data());
   return out;
 }
 
 Matrix Matrix::MultiplyTransposed(const Matrix& other) const {
   assert(cols_ == other.cols_);
   Matrix out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = RowData(i);
-    double* out_row = out.RowData(i);
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const double* b = other.RowData(j);
-      double s = 0.0;
-      for (size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
-      out_row[j] = s;
-    }
-  }
+  kern::GemmTransposedB(data_.data(), rows_, other.data_.data(), other.rows_,
+                        cols_, out.data_.data());
   return out;
 }
 
 Vector Matrix::operator*(const Vector& v) const {
   assert(cols_ == v.size());
   Vector out(rows_);
-  for (size_t r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    for (size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * v[c];
-    out[r] = s;
-  }
+  kern::MatVecRowMajor(data_.data(), rows_, cols_, v.data().data(),
+                       out.data().data());
   return out;
 }
 

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "math/kern/kern.h"
 #include "math/stats.h"
 
 namespace locat::ml {
@@ -20,16 +22,6 @@ math::Vector KernelWeights(const GpHyperparams& hp) {
     w[i] = std::exp(-2.0 * hp.log_lengthscales[i]);
   }
   return w;
-}
-
-double WeightedSqExp(const double* a, const double* b, const math::Vector& w,
-                     double signal_variance) {
-  double s = 0.0;
-  for (size_t i = 0; i < w.size(); ++i) {
-    const double diff = a[i] - b[i];
-    s += w[i] * (diff * diff);
-  }
-  return signal_variance * std::exp(-0.5 * s);
 }
 
 /// The original per-pair kernel evaluation: one exp + divide per
@@ -52,20 +44,16 @@ math::Matrix BuildKernelMatrix(const math::Matrix& x, const GpHyperparams& hp) {
   const double sv = std::exp(hp.log_signal_variance);
   const double diag = sv + std::exp(hp.log_noise_variance) + 1e-10;
   math::Matrix k(n, n);
+  // Strict lower triangle row-batched: weighted squared distances straight
+  // into row i, one vectorized exp pass over the row, then mirror.
   for (size_t i = 0; i < n; ++i) {
-    const double* xi = x.RowData(i);
-    for (size_t j = 0; j < i; ++j) {
-      const double* xj = x.RowData(j);
-      double s = 0.0;
-      for (size_t c = 0; c < d; ++c) {
-        const double diff = xi[c] - xj[c];
-        s += w[c] * (diff * diff);
-      }
-      const double v = sv * std::exp(-0.5 * s);
-      k(i, j) = v;
-      k(j, i) = v;
-    }
-    k(i, i) = diag;
+    double* row = k.RowData(i);
+    math::kern::WeightedSquaredDistanceRows(x.RowData(0), i, d, d,
+                                            x.RowData(i), w.data().data(),
+                                            row);
+    math::kern::ExpScaled(row, i, -0.5, sv);
+    for (size_t j = 0; j < i; ++j) k(j, i) = row[j];
+    row[i] = diag;
   }
   return k;
 }
@@ -119,11 +107,7 @@ GpKernelCache::GpKernelCache(const math::Matrix& x, const math::Vector& y)
   for (size_t i = 0; i < n; ++i) {
     const double* xi = x_.RowData(i);
     for (size_t j = 0; j < i; ++j) {
-      const double* xj = x_.RowData(j);
-      for (size_t c = 0; c < d; ++c) {
-        const double diff = xi[c] - xj[c];
-        out[c] = diff * diff;
-      }
+      math::kern::SubSquare(xi, x_.RowData(j), out, d);
       out += d;
     }
   }
@@ -136,15 +120,20 @@ math::Matrix GpKernelCache::BuildKernel(const GpHyperparams& hp) const {
   const double sv = std::exp(hp.log_signal_variance);
   const double diag = sv + std::exp(hp.log_noise_variance) + 1e-10;
   math::Matrix k(n, n);
-  const double* sq = pair_sqdiff_.data();
+  // The precomputed pair squared-diffs form an (npairs x d) row-major
+  // matrix, so the whole strict lower triangle is one mat-vec against the
+  // lengthscale weights followed by one vectorized exp pass.
+  const size_t npairs = n * (n - 1) / 2;
+  std::vector<double> vals(npairs);
+  math::kern::MatVecRowMajor(pair_sqdiff_.data(), npairs, d, w.data().data(),
+                             vals.data());
+  math::kern::ExpScaled(vals.data(), npairs, -0.5, sv);
+  const double* v = vals.data();
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < i; ++j) {
-      double s = 0.0;
-      for (size_t c = 0; c < d; ++c) s += w[c] * sq[c];
-      sq += d;
-      const double v = sv * std::exp(-0.5 * s);
-      k(i, j) = v;
-      k(j, i) = v;
+      k(i, j) = *v;
+      k(j, i) = *v;
+      ++v;
     }
     k(i, i) = diag;
   }
@@ -277,10 +266,11 @@ GaussianProcess::Prediction GaussianProcess::Predict(
   const size_t n = x_.rows();
   const double* xp = x.data().data();
   math::Vector kstar(n);
-  for (size_t i = 0; i < n; ++i) {
-    kstar[i] = WeightedSqExp(xp, x_.RowData(i), inv_sq_lengthscales_,
-                             signal_variance_);
-  }
+  math::kern::WeightedSquaredDistanceRows(x_.RowData(0), n, x_.cols(),
+                                          x_.cols(), xp,
+                                          inv_sq_lengthscales_.data().data(),
+                                          kstar.data().data());
+  math::kern::ExpScaled(kstar.data().data(), n, -0.5, signal_variance_);
 
   Prediction pred;
   pred.mean = y_mean_ + y_std_ * kstar.Dot(alpha_);
@@ -324,22 +314,17 @@ GaussianProcess::BatchPrediction GaussianProcess::PredictBatch(
   if (m == 0) return out;
 
   // Candidate-major cross-kernel: km(c, i) = k(xs_c, x_i). Row c is the
-  // k* vector of candidate c, contiguous for the mean dot product.
+  // k* vector of candidate c — built with exactly the batched ops Predict
+  // uses, so the two paths agree bit-for-bit on the kernel values.
   math::Matrix km(m, n);
+  const double* w = inv_sq_lengthscales_.data().data();
   for (size_t c = 0; c < m; ++c) {
-    const double* xc = xs.RowData(c);
     double* row = km.RowData(c);
-    for (size_t i = 0; i < n; ++i) {
-      row[i] = WeightedSqExp(xc, x_.RowData(i), inv_sq_lengthscales_,
-                             signal_variance_);
-    }
-  }
-
-  for (size_t c = 0; c < m; ++c) {
-    const double* row = km.RowData(c);
-    double s = 0.0;
-    for (size_t i = 0; i < n; ++i) s += row[i] * alpha_[i];
-    out.mean[c] = y_mean_ + y_std_ * s;
+    math::kern::WeightedSquaredDistanceRows(x_.RowData(0), n, x_.cols(),
+                                            x_.cols(), xs.RowData(c), w, row);
+    math::kern::ExpScaled(row, n, -0.5, signal_variance_);
+    out.mean[c] =
+        y_mean_ + y_std_ * math::kern::Dot(row, alpha_.data().data(), n);
   }
 
   // One blocked forward substitution for every candidate at once:
@@ -348,8 +333,7 @@ GaussianProcess::BatchPrediction GaussianProcess::PredictBatch(
   const math::Matrix v = chol_->SolveLowerMatrix(km.Transpose());
   math::Vector sumsq(m);
   for (size_t i = 0; i < n; ++i) {
-    const double* row = v.RowData(i);
-    for (size_t c = 0; c < m; ++c) sumsq[c] += row[c] * row[c];
+    math::kern::AddSquares(v.RowData(i), sumsq.data().data(), m);
   }
   const double ys2 = y_std_ * y_std_;
   for (size_t c = 0; c < m; ++c) {

@@ -4,18 +4,30 @@
 #include <cassert>
 #include <cmath>
 
+#include "math/kern/kern.h"
+
 namespace locat::ml {
+
+void Kernel::EvaluateAgainstRows(const double* q, size_t dim,
+                                 const double* rows, size_t nrows,
+                                 size_t stride, double* out) const {
+  for (size_t r = 0; r < nrows; ++r) {
+    out[r] = EvaluateData(q, rows + r * stride, dim);
+  }
+}
 
 math::Matrix Kernel::GramMatrix(const math::Matrix& x) const {
   const size_t n = x.rows();
   math::Matrix k(n, n);
+  if (n == 0) return k;
+  // Lower triangle row-batched (row i against rows 0..i), then mirrored:
+  // half the kernel evaluations, no per-pair Vector allocations.
   for (size_t i = 0; i < n; ++i) {
-    const math::Vector xi = x.Row(i);
-    for (size_t j = i; j < n; ++j) {
-      const double v = Evaluate(xi, x.Row(j));
-      k(i, j) = v;
-      k(j, i) = v;
-    }
+    EvaluateAgainstRows(x.RowData(i), x.cols(), x.RowData(0), i + 1, x.cols(),
+                        k.RowData(i));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) k(i, j) = k(j, i);
   }
   return k;
 }
@@ -23,61 +35,90 @@ math::Matrix Kernel::GramMatrix(const math::Matrix& x) const {
 math::Matrix Kernel::CrossGramMatrix(const math::Matrix& a,
                                      const math::Matrix& b) const {
   math::Matrix k(a.rows(), b.rows());
+  if (a.rows() == 0 || b.rows() == 0) return k;
   for (size_t i = 0; i < a.rows(); ++i) {
-    const math::Vector ai = a.Row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      k(i, j) = Evaluate(ai, b.Row(j));
-    }
+    EvaluateAgainstRows(a.RowData(i), a.cols(), b.RowData(0), b.rows(),
+                        b.cols(), k.RowData(i));
   }
   return k;
 }
 
-double GaussianKernel::Evaluate(const math::Vector& a,
-                                const math::Vector& b) const {
-  assert(a.size() == b.size());
-  double d2 = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    d2 += d * d;
-  }
-  return std::exp(-d2 / (2.0 * bandwidth_ * bandwidth_));
+double GaussianKernel::EvaluateData(const double* a, const double* b,
+                                    size_t n) const {
+  return math::kern::Exp(pre_ * math::kern::SquaredDistance(a, b, n));
 }
 
-double PolynomialKernel::Evaluate(const math::Vector& a,
-                                  const math::Vector& b) const {
-  return std::pow(a.Dot(b) + coef0_, degree_);
+void GaussianKernel::EvaluateAgainstRows(const double* q, size_t dim,
+                                         const double* rows, size_t nrows,
+                                         size_t stride, double* out) const {
+  math::kern::SquaredDistanceRows(rows, nrows, dim, stride, q, out);
+  math::kern::ExpScaled(out, nrows, pre_, 1.0);
 }
 
-double PerceptronKernel::Evaluate(const math::Vector& a,
-                                  const math::Vector& b) const {
-  const double na = a.Norm();
-  const double nb = b.Norm();
+double PolynomialKernel::EvaluateData(const double* a, const double* b,
+                                      size_t n) const {
+  return std::pow(math::kern::Dot(a, b, n) + coef0_, degree_);
+}
+
+double PerceptronKernel::EvaluateData(const double* a, const double* b,
+                                      size_t n) const {
+  const double na = std::sqrt(math::kern::Dot(a, a, n));
+  const double nb = std::sqrt(math::kern::Dot(b, b, n));
   if (na == 0.0 || nb == 0.0) return na == nb ? 1.0 : 0.0;
-  const double cosang = std::clamp(a.Dot(b) / (na * nb), -1.0, 1.0);
+  const double cosang =
+      std::clamp(math::kern::Dot(a, b, n) / (na * nb), -1.0, 1.0);
   return 1.0 - std::acos(cosang) / M_PI;
 }
 
-double ArdSquaredExponentialKernel::Evaluate(const math::Vector& a,
-                                             const math::Vector& b) const {
-  assert(a.size() == b.size() && a.size() == lengthscales_.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = (a[i] - b[i]) / lengthscales_[i];
-    s += d * d;
+namespace {
+
+std::vector<double> InverseSquares(const math::Vector& lengthscales) {
+  std::vector<double> w(lengthscales.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    w[i] = 1.0 / (lengthscales[i] * lengthscales[i]);
   }
-  return signal_variance_ * std::exp(-0.5 * s);
+  return w;
 }
 
-double ArdMatern52Kernel::Evaluate(const math::Vector& a,
-                                   const math::Vector& b) const {
-  assert(a.size() == b.size() && a.size() == lengthscales_.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = (a[i] - b[i]) / lengthscales_[i];
-    s += d * d;
-  }
+}  // namespace
+
+ArdSquaredExponentialKernel::ArdSquaredExponentialKernel(
+    math::Vector lengthscales, double signal_variance)
+    : lengthscales_(std::move(lengthscales)),
+      inv_sq_lengthscales_(InverseSquares(lengthscales_)),
+      signal_variance_(signal_variance) {}
+
+double ArdSquaredExponentialKernel::EvaluateData(const double* a,
+                                                 const double* b,
+                                                 size_t n) const {
+  assert(n == lengthscales_.size());
+  const double s = math::kern::WeightedSquaredDistance(
+      a, b, inv_sq_lengthscales_.data(), n);
+  return signal_variance_ * math::kern::Exp(-0.5 * s);
+}
+
+void ArdSquaredExponentialKernel::EvaluateAgainstRows(
+    const double* q, size_t dim, const double* rows, size_t nrows,
+    size_t stride, double* out) const {
+  assert(dim == lengthscales_.size());
+  math::kern::WeightedSquaredDistanceRows(rows, nrows, dim, stride, q,
+                                          inv_sq_lengthscales_.data(), out);
+  math::kern::ExpScaled(out, nrows, -0.5, signal_variance_);
+}
+
+ArdMatern52Kernel::ArdMatern52Kernel(math::Vector lengthscales,
+                                     double signal_variance)
+    : lengthscales_(std::move(lengthscales)),
+      inv_sq_lengthscales_(InverseSquares(lengthscales_)),
+      signal_variance_(signal_variance) {}
+
+double ArdMatern52Kernel::EvaluateData(const double* a, const double* b,
+                                       size_t n) const {
+  assert(n == lengthscales_.size());
+  const double s = math::kern::WeightedSquaredDistance(
+      a, b, inv_sq_lengthscales_.data(), n);
   const double r = std::sqrt(5.0 * s);
-  return signal_variance_ * (1.0 + r + 5.0 * s / 3.0) * std::exp(-r);
+  return signal_variance_ * (1.0 + r + 5.0 * s / 3.0) * math::kern::Exp(-r);
 }
 
 }  // namespace locat::ml

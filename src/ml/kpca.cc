@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "math/eigen.h"
+#include "math/kern/kern.h"
 
 namespace locat::ml {
 
@@ -25,18 +27,19 @@ Status Kpca::Fit(const math::Matrix& x, const Kernel* kernel,
   row_means_ = math::Vector(n);
   grand_mean_ = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    double s = 0.0;
-    for (size_t j = 0; j < n; ++j) s += k(i, j);
+    const double s = math::kern::Sum(k.RowData(i), n);
     row_means_[i] = s / static_cast<double>(n);
     grand_mean_ += s;
   }
   grand_mean_ /= static_cast<double>(n * n);
 
+  // Row i of the centered matrix is (k_i - row_means) - (row_means_i - gm),
+  // one fused subtract-shift pass per row.
   math::Matrix kc(n, n);
+  const double* rm = row_means_.data().data();
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      kc(i, j) = k(i, j) - row_means_[i] - row_means_[j] + grand_mean_;
-    }
+    math::kern::SubtractShift(k.RowData(i), rm, row_means_[i] - grand_mean_,
+                              kc.RowData(i), n);
   }
 
   auto eig = math::JacobiEigenSymmetric(kc);
@@ -81,29 +84,28 @@ Status Kpca::Fit(const math::Matrix& x, const Kernel* kernel,
 
 math::Vector Kpca::CenteredKernelColumn(const math::Vector& x) const {
   const size_t n = x_.rows();
+  assert(x.size() == x_.cols());
   math::Vector kx(n);
-  double kx_mean = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    kx[i] = kernel_->Evaluate(x, x_.Row(i));
-    kx_mean += kx[i];
-  }
-  kx_mean /= static_cast<double>(n);
-  for (size_t i = 0; i < n; ++i) {
-    kx[i] = kx[i] - kx_mean - row_means_[i] + grand_mean_;
-  }
+  double* kd = kx.data().data();
+  kernel_->EvaluateAgainstRows(x.data().data(), x_.cols(), x_.RowData(0), n,
+                               x_.cols(), kd);
+  const double kx_mean = math::kern::Sum(kd, n) / static_cast<double>(n);
+  // kx_i - kx_mean - row_means_i + gm, fused (in place: a == out is safe).
+  math::kern::SubtractShift(kd, row_means_.data().data(),
+                            kx_mean - grand_mean_, kd, n);
   return kx;
 }
 
 math::Vector Kpca::Project(const math::Vector& x) const {
   assert(fitted_);
   const math::Vector kx = CenteredKernelColumn(x);
+  // z = alphas^T kx, accumulated row-wise so each pass is contiguous in
+  // the row-major alphas (the strided column walk thrashed the cache).
   math::Vector z(static_cast<size_t>(num_components_));
-  for (int c = 0; c < num_components_; ++c) {
-    double s = 0.0;
-    for (size_t i = 0; i < x_.rows(); ++i) {
-      s += alphas_(i, static_cast<size_t>(c)) * kx[i];
-    }
-    z[static_cast<size_t>(c)] = s;
+  double* zd = z.data().data();
+  const size_t m = static_cast<size_t>(num_components_);
+  for (size_t i = 0; i < x_.rows(); ++i) {
+    math::kern::Axpy(kx[i], alphas_.RowData(i), zd, m);
   }
   return z;
 }
@@ -150,25 +152,28 @@ StatusOr<math::Vector> Kpca::GaussianPreimage(const math::Vector& z,
   for (size_t i = 0; i < n; ++i) gsum += gamma[i];
   if (std::fabs(gsum) < 1e-300) gsum = 1.0;
   for (size_t i = 0; i < n; ++i) {
-    const math::Vector xi = x_.Row(i);
-    for (size_t k = 0; k < d; ++k) current[k] += gamma[i] * xi[k] / gsum;
+    math::kern::Axpy(gamma[i] / gsum, x_.RowData(i), current.data().data(), d);
   }
 
-  // Mika fixed-point iteration.
+  // Mika fixed-point iteration. Each step batches the kernel row
+  // evaluations and accumulates the weighted mean with axpy passes over
+  // contiguous training rows.
+  std::vector<double> kvals(n);
   for (int it = 0; it < max_iterations; ++it) {
+    gaussian->EvaluateAgainstRows(current.data().data(), d, x_.RowData(0), n,
+                                  d, kvals.data());
     math::Vector next(d);
     double denom = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      const math::Vector xi = x_.Row(i);
-      const double w = gamma[i] * gaussian->Evaluate(current, xi);
+      const double w = gamma[i] * kvals[i];
       denom += w;
-      for (size_t k = 0; k < d; ++k) next[k] += w * xi[k];
+      math::kern::Axpy(w, x_.RowData(i), next.data().data(), d);
     }
     if (std::fabs(denom) < 1e-12) {
       // Reconstruction collapsed; return the current best iterate.
       return current;
     }
-    for (size_t k = 0; k < d; ++k) next[k] /= denom;
+    math::kern::Scale(1.0 / denom, next.data().data(), d);
     const double delta = (next - current).Norm();
     current = next;
     if (delta < tolerance) break;

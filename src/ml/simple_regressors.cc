@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <vector>
 
 #include "math/cholesky.h"
+#include "math/kern/kern.h"
 #include "math/stats.h"
 
 namespace locat::ml {
@@ -161,11 +163,12 @@ Status SvrRegressor::Fit(const math::Matrix& x, const math::Vector& y) {
 
 double SvrRegressor::Predict(const math::Vector& x) const {
   assert(kernel_ != nullptr);
-  double f = bias_;
-  for (size_t i = 0; i < x_.rows(); ++i) {
-    f += beta_[i] * kernel_->Evaluate(x_.Row(i), x);
-  }
-  return y_mean_ + y_std_ * f;
+  const size_t n = x_.rows();
+  std::vector<double> kx(n);
+  kernel_->EvaluateAgainstRows(x.data().data(), x_.cols(), x_.RowData(0), n,
+                               x_.cols(), kx.data());
+  return y_mean_ +
+         y_std_ * (bias_ + math::kern::Dot(beta_.data().data(), kx.data(), n));
 }
 
 }  // namespace locat::ml

@@ -34,6 +34,7 @@
 #include "core/qcsa.h"
 #include "core/tuning.h"
 #include "harness/experiments.h"
+#include "math/kern/kern.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -63,6 +64,11 @@ int Usage() {
       "                      ensemble fits, acquisition scoring, RQA query\n"
       "                      evaluation); results are bit-identical for\n"
       "                      any N. Default: hardware concurrency\n"
+      "  --simd MODE         math-kernel dispatch: native (default; best\n"
+      "                      of AVX2/NEON/scalar for this CPU), scalar or\n"
+      "                      off (both force the scalar backend); results\n"
+      "                      are bit-identical for any mode. Overrides the\n"
+      "                      LOCAT_SIMD environment variable\n"
       "  --trace FILE        write a Chrome trace_event JSON timeline\n"
       "                      (chrome://tracing, Perfetto); includes the\n"
       "                      simulated-time lane of the cluster simulator\n"
@@ -382,6 +388,17 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
     }
     if (ctx.metrics != nullptr) sim_cache->ExportMetrics(ctx.metrics);
   }
+  std::printf("linalg: %s dispatch\n", math::kern::ActiveBackendName());
+  if (ctx.observer != nullptr) {
+    obs::PhaseEvent ev;
+    ev.tuner = tuner->name();
+    ev.phase = "linalg";
+    ev.fields = {
+        {"backend_id",
+         static_cast<double>(math::kern::ActiveBackend())},
+    };
+    ctx.observer->OnPhase(ev);
+  }
   std::printf("\n%s\n", result.best_conf.ToString().c_str());
 
   if (!flags.trace_path.empty()) {
@@ -443,6 +460,8 @@ int CmdReport(const std::string& path) {
   double summary_evals = 0.0;
   bool have_summary = false;
   bool have_sim_cache = false;
+  bool have_linalg = false;
+  double linalg_backend_id = 0.0;
   double cache_hits = 0.0;
   double cache_misses = 0.0;
   double cache_evictions = 0.0;
@@ -481,6 +500,9 @@ int CmdReport(const std::string& path) {
       summary_opt = rec.Num("optimization_seconds");
       summary_best = rec.Num("best_seconds");
       summary_evals = rec.Num("evaluations");
+    } else if (rec.type == "phase" && rec.Str("phase") == "linalg") {
+      have_linalg = true;
+      linalg_backend_id = rec.Num("backend_id");
     } else if (rec.type == "phase" && rec.Str("phase") == "sim_cache") {
       have_sim_cache = true;
       cache_hits = rec.Num("hits");
@@ -541,6 +563,20 @@ int CmdReport(const std::string& path) {
         cache_hits, cache_misses, 100.0 * cache_hit_rate, cache_entries,
         cache_evictions, cache_collisions);
   }
+  if (have_linalg) {
+    // The fit/acq columns are where the math kernels run (GP Gram +
+    // Cholesky under "fit", PredictBatch under "acq"), so their split is
+    // the kernel-time share of the tuner's own overhead.
+    const double kern_seconds = total_fit_seconds + total_acq_seconds;
+    const auto backend = static_cast<math::kern::Backend>(
+        static_cast<int>(linalg_backend_id));
+    std::printf(
+        "linalg: %s dispatch | %.3f s in math kernels "
+        "(fit %.1f%% / acq %.1f%%)\n",
+        math::kern::BackendName(backend), kern_seconds,
+        100.0 * total_fit_seconds / std::max(1e-12, kern_seconds),
+        100.0 * total_acq_seconds / std::max(1e-12, kern_seconds));
+  }
   return 0;
 }
 
@@ -563,6 +599,14 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Usage();
       common::ThreadPool::SetGlobalThreads(std::atoi(v));
+    } else if (arg == "--simd") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      const auto status = locat::math::kern::SetBackendByName(v);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return Usage();
+      }
     } else if (arg == "--trace") {
       const char* v = value();
       if (v == nullptr) return Usage();

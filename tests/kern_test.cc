@@ -1,0 +1,377 @@
+// Property tests for the SIMD kernel layer: the scalar backend and the
+// best available SIMD backend must agree BIT-FOR-BIT on every kernel, for
+// sizes covering full vectors, remainder lanes (n % 4 != 0), and the
+// empty/degenerate edges. Accuracy of the shared polynomial exp is checked
+// against libm separately (it intentionally is not libm).
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/tuning.h"
+#include "harness/experiments.h"
+#include "math/cholesky.h"
+#include "math/kern/kern.h"
+#include "math/matrix.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace locat::math::kern {
+namespace {
+
+bool SameBits(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, 8);
+  std::memcpy(&bb, &b, 8);
+  return ba == bb;
+}
+
+#define EXPECT_SAME_BITS(a, b) \
+  EXPECT_PRED2(SameBits, (a), (b)) << "values: " << (a) << " vs " << (b)
+
+std::vector<double> RandomVec(Rng* rng, size_t n, double scale = 1.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = scale * rng->NextGaussian();
+  return v;
+}
+
+/// Runs `body` under the scalar backend and under the best backend,
+/// restoring the entry dispatch afterwards. When the best backend IS
+/// scalar (no SIMD on this CPU), the test degenerates to scalar==scalar,
+/// which is fine: the CI x86 runners exercise the real comparison.
+template <typename Fn>
+void CompareBackends(Fn body) {
+  const Backend entry = ActiveBackend();
+  SetBackend(Backend::kScalar);
+  body(/*is_reference=*/true);
+  SetBackend(BestBackend());
+  body(/*is_reference=*/false);
+  SetBackend(entry);
+}
+
+// Sizes straddling the 4-lane width: empty, sub-vector, exact multiples,
+// and every remainder class.
+const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64, 97, 240};
+
+TEST(KernBackendEquality, DotSumSqDist) {
+  Rng rng(42);
+  for (size_t n : kSizes) {
+    const auto a = RandomVec(&rng, n);
+    const auto b = RandomVec(&rng, n);
+    const auto w = RandomVec(&rng, n, 0.5);
+    double ref_dot = 0, ref_sum = 0, ref_sq = 0, ref_wsq = 0;
+    CompareBackends([&](bool is_reference) {
+      const double d = Dot(a.data(), b.data(), n);
+      const double s = Sum(a.data(), n);
+      const double sq = SquaredDistance(a.data(), b.data(), n);
+      const double wsq = WeightedSquaredDistance(a.data(), b.data(), w.data(), n);
+      if (is_reference) {
+        ref_dot = d;
+        ref_sum = s;
+        ref_sq = sq;
+        ref_wsq = wsq;
+      } else {
+        EXPECT_SAME_BITS(ref_dot, d) << "dot n=" << n;
+        EXPECT_SAME_BITS(ref_sum, s) << "sum n=" << n;
+        EXPECT_SAME_BITS(ref_sq, sq) << "sqdist n=" << n;
+        EXPECT_SAME_BITS(ref_wsq, wsq) << "wsqdist n=" << n;
+      }
+    });
+  }
+}
+
+TEST(KernBackendEquality, RowBatchesMatchSingleCalls) {
+  Rng rng(7);
+  const size_t dim = 13, nrows = 9, stride = 17;
+  const auto rows = RandomVec(&rng, nrows * stride);
+  const auto q = RandomVec(&rng, dim);
+  const auto w = RandomVec(&rng, dim, 0.3);
+  CompareBackends([&](bool) {
+    std::vector<double> out(nrows), wout(nrows), mv(nrows);
+    SquaredDistanceRows(rows.data(), nrows, dim, stride, q.data(), out.data());
+    WeightedSquaredDistanceRows(rows.data(), nrows, dim, stride, q.data(),
+                                w.data(), wout.data());
+    std::vector<double> m(nrows * dim);
+    for (size_t i = 0; i < m.size(); ++i) m[i] = rows[i % rows.size()];
+    MatVecRowMajor(m.data(), nrows, dim, q.data(), mv.data());
+    for (size_t r = 0; r < nrows; ++r) {
+      EXPECT_SAME_BITS(out[r],
+                       SquaredDistance(rows.data() + r * stride, q.data(), dim));
+      EXPECT_SAME_BITS(wout[r],
+                       WeightedSquaredDistance(rows.data() + r * stride,
+                                               q.data(), w.data(), dim));
+      EXPECT_SAME_BITS(mv[r], Dot(m.data() + r * dim, q.data(), dim));
+    }
+  });
+}
+
+TEST(KernBackendEquality, Elementwise) {
+  Rng rng(99);
+  for (size_t n : kSizes) {
+    const auto a = RandomVec(&rng, n);
+    const auto b = RandomVec(&rng, n);
+    std::vector<double> ref_y, ref_sq, ref_sh, ref_acc;
+    CompareBackends([&](bool is_reference) {
+      auto y = b;
+      Axpy(1.7, a.data(), y.data(), n);
+      Scale(0.37, y.data(), n);
+      auto acc = b;
+      AddSquares(a.data(), acc.data(), n);
+      std::vector<double> sq(n), sh(n);
+      SubSquare(a.data(), b.data(), sq.data(), n);
+      SubtractShift(a.data(), b.data(), 0.125, sh.data(), n);
+      if (is_reference) {
+        ref_y = y;
+        ref_acc = acc;
+        ref_sq = sq;
+        ref_sh = sh;
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_SAME_BITS(ref_y[i], y[i]);
+          EXPECT_SAME_BITS(ref_acc[i], acc[i]);
+          EXPECT_SAME_BITS(ref_sq[i], sq[i]);
+          EXPECT_SAME_BITS(ref_sh[i], sh[i]);
+        }
+      }
+    });
+  }
+}
+
+TEST(KernBackendEquality, ExpScaled) {
+  Rng rng(1234);
+  for (size_t n : kSizes) {
+    // GP-shaped inputs: nonnegative squared distances, pre < 0.
+    auto x = RandomVec(&rng, n);
+    for (auto& v : x) v = v * v * 50.0;
+    std::vector<double> ref;
+    CompareBackends([&](bool is_reference) {
+      auto y = x;
+      ExpScaled(y.data(), n, -0.37, 1.3);
+      if (is_reference) {
+        ref = y;
+      } else {
+        for (size_t i = 0; i < n; ++i) EXPECT_SAME_BITS(ref[i], y[i]);
+      }
+    });
+  }
+}
+
+TEST(KernExp, MatchesLibmClosely) {
+  // The polynomial exp is not libm, but over the GP-relevant range it must
+  // agree to a few ulp (the fast-vs-reference GP suites assert 1e-10).
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Uniform(-60.0, 1.0);
+    const double ours = Exp(x);
+    const double libm = std::exp(x);
+    EXPECT_NEAR(ours, libm, 4e-15 * libm) << "x=" << x;
+  }
+  EXPECT_EQ(Exp(0.0), 1.0);  // exact: kernels require k(x,x) == 1.0
+  EXPECT_EQ(Exp(-1000.0), 0.0);  // documented flush to zero
+  EXPECT_GT(Exp(709.0), 1e307);  // documented saturation
+}
+
+TEST(KernExp, ScalarEntryMatchesVectorLanes) {
+  Rng rng(6);
+  const size_t n = 64;
+  auto x = RandomVec(&rng, n, 10.0);
+  CompareBackends([&](bool) {
+    auto y = x;
+    ExpScaled(y.data(), n, 1.0, 1.0);
+    for (size_t i = 0; i < n; ++i) EXPECT_SAME_BITS(y[i], Exp(x[i]));
+  });
+}
+
+TEST(KernBackendEquality, GemmAndGemmBt) {
+  Rng rng(21);
+  const size_t shapes[][3] = {
+      {1, 1, 1}, {3, 5, 2}, {8, 8, 8}, {13, 7, 9}, {40, 33, 17}, {65, 64, 63}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    const auto a = RandomVec(&rng, m * k);
+    const auto b = RandomVec(&rng, k * n);
+    const auto bt = RandomVec(&rng, n * k);
+    std::vector<double> ref_c, ref_ct;
+    CompareBackends([&](bool is_reference) {
+      std::vector<double> c(m * n, -777.0), ct(m * n, -777.0);
+      Gemm(a.data(), m, k, b.data(), n, c.data());
+      GemmTransposedB(a.data(), m, bt.data(), n, k, ct.data());
+      if (is_reference) {
+        ref_c = c;
+        ref_ct = ct;
+        // Cross-check against a naive triple loop (tolerance, not bits).
+        for (size_t i = 0; i < m; ++i)
+          for (size_t j = 0; j < n; ++j) {
+            double acc = 0, acct = 0;
+            for (size_t kk = 0; kk < k; ++kk) {
+              acc += a[i * k + kk] * b[kk * n + j];
+              acct += a[i * k + kk] * bt[j * k + kk];
+            }
+            EXPECT_NEAR(c[i * n + j], acc, 1e-10);
+            EXPECT_NEAR(ct[i * n + j], acct, 1e-10);
+          }
+      } else {
+        for (size_t i = 0; i < m * n; ++i) {
+          EXPECT_SAME_BITS(ref_c[i], c[i]);
+          EXPECT_SAME_BITS(ref_ct[i], ct[i]);
+        }
+      }
+    });
+  }
+}
+
+TEST(KernBackendEquality, CholeskyAndSolve) {
+  Rng rng(31);
+  for (size_t n : {1u, 2u, 5u, 8u, 31u, 32u, 33u, 64u, 97u}) {
+    // Random SPD matrix: B * B^T + n * I.
+    Matrix bmat(n, n);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j) bmat(i, j) = rng.NextGaussian();
+    Matrix spd = bmat.MultiplyTransposed(bmat);
+    spd.AddToDiagonal(static_cast<double>(n));
+    const size_t m = 6;
+    const auto rhs = RandomVec(&rng, n * m);
+    std::vector<double> ref_l, ref_y;
+    CompareBackends([&](bool is_reference) {
+      std::vector<double> a(n * n);
+      for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j) a[i * n + j] = spd(i, j);
+      ASSERT_EQ(CholeskyFactorInPlace(a.data(), n), -1);
+      auto y = rhs;
+      SolveLowerMatrixInPlace(a.data(), n, y.data(), m);
+      if (is_reference) {
+        ref_l = a;
+        ref_y = y;
+      } else {
+        for (size_t i = 0; i < n; ++i)
+          for (size_t j = 0; j <= i; ++j)
+            EXPECT_SAME_BITS(ref_l[i * n + j], a[i * n + j])
+                << "L(" << i << "," << j << ") n=" << n;
+        for (size_t i = 0; i < n * m; ++i) EXPECT_SAME_BITS(ref_y[i], y[i]);
+      }
+    });
+  }
+}
+
+TEST(KernCholesky, ReportsFirstBadPivot) {
+  // Indefinite matrix: the factorization must fail deterministically with
+  // the same pivot index on every backend (the SPD-jitter retry path in
+  // Cholesky::FactorWithJitter depends on this agreement).
+  const size_t n = 5;
+  Matrix m = Matrix::Identity(n);
+  m(3, 3) = -4.0;  // first bad pivot at index 3
+  ptrdiff_t ref = -2;
+  CompareBackends([&](bool is_reference) {
+    std::vector<double> a(n * n);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j) a[i * n + j] = m(i, j);
+    const ptrdiff_t piv = CholeskyFactorInPlace(a.data(), n);
+    if (is_reference) {
+      ref = piv;
+      EXPECT_EQ(piv, 3);
+    } else {
+      EXPECT_EQ(ref, piv);
+    }
+  });
+}
+
+TEST(KernCholesky, JitterRetryPathBitIdentical) {
+  // A barely-indefinite matrix drives Cholesky::FactorWithJitter through
+  // its retry loop; the recovered factor must be bit-identical across
+  // backends (jitter amounts are data-dependent).
+  Rng rng(77);
+  const size_t n = 24;
+  Matrix bmat(n, 3);  // rank-3 Gram: massively rank-deficient
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < 3; ++j) bmat(i, j) = rng.NextGaussian();
+  const Matrix gram = bmat.MultiplyTransposed(bmat);
+  Matrix ref_l(1, 1);
+  double ref_jitter = -1.0;
+  bool have_ref = false;
+  CompareBackends([&](bool is_reference) {
+    auto result = Cholesky::FactorWithJitter(gram);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const Cholesky& chol = *result;
+    if (is_reference) {
+      ref_l = chol.L();
+      ref_jitter = chol.jitter();
+      have_ref = true;
+      EXPECT_GT(chol.jitter(), 0.0);  // the path actually retried
+    } else {
+      ASSERT_TRUE(have_ref);
+      EXPECT_EQ(ref_jitter, chol.jitter());
+      const Matrix& l = chol.L();
+      for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j <= i; ++j)
+          EXPECT_SAME_BITS(ref_l(i, j), l(i, j));
+    }
+  });
+}
+
+TEST(KernDispatch, NamesAndAvailability) {
+  EXPECT_TRUE(BackendAvailable(Backend::kScalar));
+  EXPECT_TRUE(BackendAvailable(BestBackend()));
+  EXPECT_STREQ(BackendName(Backend::kScalar), "scalar");
+  EXPECT_STREQ(BackendName(Backend::kAvx2), "avx2");
+  EXPECT_STREQ(BackendName(Backend::kNeon), "neon");
+  const Backend entry = ActiveBackend();
+  EXPECT_TRUE(SetBackendByName("off").ok());
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+  EXPECT_TRUE(SetBackendByName("scalar").ok());
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+  EXPECT_TRUE(SetBackendByName("native").ok());
+  EXPECT_EQ(ActiveBackend(), BestBackend());
+  EXPECT_FALSE(SetBackendByName("avx512").ok());
+  SetBackend(entry);
+}
+
+// End-to-end determinism contract: a full LOCAT tuning run must be
+// bit-identical across SIMD backends (scalar vs the CPU's best) and
+// across thread counts, in every combination — the in-process equivalent
+// of `LOCAT_SIMD=off/native x --threads 1/8`.
+TEST(KernEndToEnd, TunerBitIdenticalAcrossBackendsAndThreads) {
+  const Backend entry = ActiveBackend();
+  auto run_once = [&]() {
+    sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 777);
+    core::TuningSession session(&sim, workloads::HiBenchAggregation());
+    return harness::MakeTuner("LOCAT", /*seed_salt=*/0)->Tune(&session, 150.0);
+  };
+  struct Run {
+    Backend backend;
+    int threads;
+    core::TuningResult result;
+  };
+  std::vector<Run> runs;
+  for (const Backend backend : {Backend::kScalar, BestBackend()}) {
+    for (const int threads : {1, 8}) {
+      SetBackend(backend);
+      common::ThreadPool::SetGlobalThreads(threads);
+      runs.push_back(Run{backend, threads, run_once()});
+    }
+  }
+  common::ThreadPool::SetGlobalThreads(0);  // restore default
+  SetBackend(entry);
+  const auto& ref = runs.front().result;
+  EXPECT_GT(ref.evaluations, 0);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    const std::string label = std::string(BackendName(run.backend)) +
+                              " threads=" + std::to_string(run.threads);
+    EXPECT_EQ(ref.evaluations, run.result.evaluations) << label;
+    EXPECT_DOUBLE_EQ(ref.optimization_seconds,
+                     run.result.optimization_seconds)
+        << label;
+    EXPECT_DOUBLE_EQ(ref.best_observed_seconds,
+                     run.result.best_observed_seconds)
+        << label;
+    EXPECT_TRUE(ref.best_conf == run.result.best_conf) << label;
+  }
+}
+
+}  // namespace
+}  // namespace locat::math::kern
