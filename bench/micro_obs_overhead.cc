@@ -11,6 +11,9 @@
 
 #include "core/locat_tuner.h"
 #include "core/tuning.h"
+#include "obs/flight_recorder.h"
+#include "obs/labels.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -67,6 +70,94 @@ void BM_HistogramObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramObserve);
 
+// Labeled-family lookup: the map+mutex path taken when a caller resolves
+// a child by LabelSet every time. Wired code should not do this on a hot
+// path — it resolves once and keeps the Counter* (next benchmark).
+void BM_CounterFamily_WithLabels(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::CounterFamily* family =
+      registry.GetCounterFamily("bench_family_total");
+  const obs::LabelSet labels({{"app", "TPC-H"}, {"status", "ok"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family->WithLabels(labels));
+  }
+}
+BENCHMARK(BM_CounterFamily_WithLabels);
+
+// Cached-child path: resolve once at wiring time, then one relaxed
+// fetch_add per event. This must match BM_CounterIncrement.
+void BM_CounterFamily_CachedChild(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::CounterFamily* family =
+      registry.GetCounterFamily("bench_family_total");
+  obs::Counter* child =
+      family->WithLabels(obs::LabelSet({{"app", "TPC-H"}, {"status", "ok"}}));
+  for (auto _ : state) {
+    child->Increment();
+  }
+  benchmark::DoNotOptimize(child->value());
+}
+BENCHMARK(BM_CounterFamily_CachedChild);
+
+// Disabled-path floor for structured logging: one relaxed level load,
+// no clock read, no allocation. Fields are built only after the check.
+void BM_Log_Disabled(benchmark::State& state) {
+  obs::Log log;  // default level kOff
+  for (auto _ : state) {
+    if (log.Enabled(obs::LogLevel::kInfo)) {
+      log.Info("bench", "never emitted", {{"n", "1"}});
+    }
+    benchmark::DoNotOptimize(&log);
+  }
+}
+BENCHMARK(BM_Log_Disabled);
+
+void BM_Log_Enabled_Jsonl(benchmark::State& state) {
+  std::ostringstream os;
+  obs::Log log;
+  log.SetLevel(obs::LogLevel::kInfo);
+  log.SetJsonlSink(&os);
+  for (auto _ : state) {
+    log.Info("bench", "structured record", {{"n", "1"}, {"phase", "bench"}});
+    if (os.tellp() > (1 << 22)) {
+      state.PauseTiming();
+      os.str("");
+      state.ResumeTiming();
+    }
+  }
+  state.counters["written"] = static_cast<double>(log.written());
+}
+BENCHMARK(BM_Log_Enabled_Jsonl);
+
+// Rate-limited steady state: after the burst drains, each call is the
+// token-bucket check plus a dropped-counter bump — no formatting, no IO.
+void BM_Log_RateLimited(benchmark::State& state) {
+  std::ostringstream os;
+  obs::Log log;
+  log.SetLevel(obs::LogLevel::kInfo);
+  log.SetJsonlSink(&os);
+  log.SetRateLimit(1.0, 1);
+  log.Info("bench", "drain the burst", {});
+  for (auto _ : state) {
+    log.Info("bench", "mostly dropped", {{"n", "1"}});
+  }
+  state.counters["dropped"] = static_cast<double>(log.dropped());
+}
+BENCHMARK(BM_Log_RateLimited);
+
+// Flight-recorder append: wait-free seqlock slot claim + fixed-size
+// copies. This sits on the simulator fault path, so it must stay flat.
+void BM_FlightRecord(benchmark::State& state) {
+  obs::FlightRecorder flight(256);
+  double v = 0.0;
+  for (auto _ : state) {
+    flight.Record("bench", "info", "bench", "ring append payload", v);
+    v += 1.0;
+  }
+  benchmark::DoNotOptimize(flight.total_recorded());
+}
+BENCHMARK(BM_FlightRecord);
+
 void BM_JsonlIterationEvent(benchmark::State& state) {
   std::ostringstream os;
   obs::JsonlObserver observer(&os);
@@ -113,8 +204,11 @@ BENCHMARK(BM_SimApp_Traced);
 // dominated by DAGP/EI-MCMC model fits, as a real deployment's is by
 // Spark runs) with observability fully off vs fully on — tracer, metrics,
 // JSONL telemetry, and the simulator lane. The contract is < 2% overhead
-// enabled; the per-evaluation emission cost is tens of µs against
-// hundreds of ms of model fitting, so the pair should be within noise.
+// enabled against a real deployment, where each evaluation is a
+// minutes-long Spark run; here the analytical simulator compresses an
+// evaluation to sub-ms, so the demo-scale ratio overstates production
+// overhead. The number to watch is the per-evaluation emission cost
+// (delta / evaluations), which must stay in the tens of µs.
 void RunTunePass(benchmark::State& state, bool observed) {
   core::LocatTuner::Options opts;
   opts.n_qcsa = 8;

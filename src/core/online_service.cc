@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/clock.h"
+#include "sparksim/properties_io.h"
+
 namespace locat::core {
 
 OnlineTuningService::OnlineTuningService(TuningSession* session,
@@ -26,11 +29,40 @@ void OnlineTuningService::SetObservability(const obs::ObsContext& obs) {
     failed_reports_counter_ = obs_.metrics->GetCounter(
         "locat_service_failed_reports_total",
         "Failed production runs reported back to the service");
+    // Labeled views of the same events, keyed by app. Children are
+    // resolved here, once, so recording stays one relaxed atomic op.
+    const std::string& app = session_->app().name;
+    obs::CounterFamily* rec = obs_.metrics->GetCounterFamily(
+        "locat_service_recommendations",
+        "RecommendedConf calls, by app and how they were answered");
+    rec_reuse_ = rec->WithLabels(
+        obs::LabelSet({{"app", app}, {"source", "reuse"}}));
+    rec_tuned_ = rec->WithLabels(
+        obs::LabelSet({{"app", app}, {"source", "tuned"}}));
+    obs::CounterFamily* runs = obs_.metrics->GetCounterFamily(
+        "locat_service_runs_total",
+        "Production runs reported back to the service, by app and outcome");
+    runs_ok_ = runs->WithLabels(
+        obs::LabelSet({{"app", app}, {"status", "ok"}}));
+    runs_failed_ = runs->WithLabels(
+        obs::LabelSet({{"app", app}, {"status", "failed"}}));
+    recommend_latency_ =
+        obs_.metrics
+            ->GetHistogramFamily(
+                "locat_service_recommend_seconds",
+                "Wall-clock latency of RecommendedConf, by app",
+                obs::LatencySecondsBuckets())
+            ->WithLabels(obs::LabelSet({{"app", app}}));
   } else {
     recommendations_counter_ = nullptr;
     reuse_counter_ = nullptr;
     tuning_passes_counter_ = nullptr;
     failed_reports_counter_ = nullptr;
+    rec_reuse_ = nullptr;
+    rec_tuned_ = nullptr;
+    runs_ok_ = nullptr;
+    runs_failed_ = nullptr;
+    recommend_latency_ = nullptr;
   }
 }
 
@@ -59,9 +91,26 @@ StatusOr<sparksim::SparkConf> OnlineTuningService::RecommendedConf(
   }
   obs::ScopedSpan span(obs_.tracer, "service/recommend", "service");
   span.Arg("datasize_gb", datasize_gb);
+  ++recommendations_;
   if (recommendations_counter_ != nullptr) {
     recommendations_counter_->Increment();
   }
+  // Latency is only clocked when a histogram is wired: the disabled path
+  // must never read a clock.
+  const uint64_t t0_ns = recommend_latency_ != nullptr
+                             ? obs::MonotonicClock::Default()->NowNanos()
+                             : 0;
+  auto finish = [&](const sparksim::SparkConf& conf)
+      -> const sparksim::SparkConf& {
+    last_datasize_gb_ = datasize_gb;
+    last_conf_ = conf;
+    has_last_conf_ = true;
+    if (recommend_latency_ != nullptr) {
+      const uint64_t t1_ns = obs::MonotonicClock::Default()->NowNanos();
+      recommend_latency_->Observe(static_cast<double>(t1_ns - t0_ns) * 1e-9);
+    }
+    return conf;
+  };
   // Closest tuned size, if any. The gap is symmetric in the two sizes so
   // the reuse decision does not depend on which of the pair was tuned
   // first (|ds - x| / max(ds, x) instead of dividing by the tuned size).
@@ -77,15 +126,18 @@ StatusOr<sparksim::SparkConf> OnlineTuningService::RecommendedConf(
   }
   if (nearest != nullptr && best_gap <= options_.retune_threshold) {
     span.Arg("reused", 1.0);
+    ++reuses_;
     if (reuse_counter_ != nullptr) reuse_counter_->Increment();
-    return *nearest;
+    if (rec_reuse_ != nullptr) rec_reuse_->Increment();
+    return finish(*nearest);
   }
   span.Arg("reused", 0.0);
   const TuningResult result = tuner_.Tune(session_, datasize_gb);
   ++tuning_passes_;
   if (tuning_passes_counter_ != nullptr) tuning_passes_counter_->Increment();
+  if (rec_tuned_ != nullptr) rec_tuned_->Increment();
   tuned_[datasize_gb] = result.best_conf;
-  return result.best_conf;
+  return finish(tuned_[datasize_gb]);
 }
 
 Status OnlineTuningService::ReportRun(double datasize_gb,
@@ -101,6 +153,7 @@ Status OnlineTuningService::ReportRun(double datasize_gb,
   }
   tuner_.ObserveExternalRun(session_->space(), conf, datasize_gb,
                             observed_seconds);
+  if (runs_ok_ != nullptr) runs_ok_->Increment();
   const double key = NearestTunedKey(datasize_gb);
   if (!std::isnan(key)) last_good_[key] = conf;
   return Status::OK();
@@ -121,6 +174,7 @@ Status OnlineTuningService::ReportFailedRun(double datasize_gb,
   span.Arg("datasize_gb", datasize_gb);
   ++failed_reports_;
   if (failed_reports_counter_ != nullptr) failed_reports_counter_->Increment();
+  if (runs_failed_ != nullptr) runs_failed_->Increment();
   tuner_.ObserveFailedExternalRun(session_->space(), conf, datasize_gb,
                                   partial_seconds);
   const double key = NearestTunedKey(datasize_gb);
@@ -144,6 +198,26 @@ int OnlineTuningService::penalized_count(double datasize_gb) const {
   if (std::isnan(key)) return 0;
   const auto it = penalized_.find(key);
   return it == penalized_.end() ? 0 : it->second;
+}
+
+OnlineTuningService::StatusSnapshot OnlineTuningService::Snapshot() const {
+  StatusSnapshot snap;
+  snap.app = session_->app().name;
+  snap.recommendations = recommendations_;
+  snap.reuses = reuses_;
+  snap.tuning_passes = tuning_passes_;
+  snap.failed_reports = failed_reports_;
+  snap.tuned_sizes = tuned_sizes();
+  snap.last_datasize_gb = last_datasize_gb_;
+  if (has_last_conf_) {
+    snap.last_conf = sparksim::SparkPropertiesToString(last_conf_);
+  }
+  if (recommend_latency_ != nullptr) {
+    snap.recommend_p50_s = recommend_latency_->Quantile(0.50);
+    snap.recommend_p95_s = recommend_latency_->Quantile(0.95);
+    snap.recommend_p99_s = recommend_latency_->Quantile(0.99);
+  }
+  return snap;
 }
 
 std::vector<double> OnlineTuningService::tuned_sizes() const {

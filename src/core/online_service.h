@@ -1,12 +1,14 @@
 #ifndef LOCAT_CORE_ONLINE_SERVICE_H_
 #define LOCAT_CORE_ONLINE_SERVICE_H_
 
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/locat_tuner.h"
 #include "core/tuning.h"
+#include "obs/metrics.h"
 
 namespace locat::core {
 
@@ -88,8 +90,34 @@ class OnlineTuningService {
 
   const LocatTuner& tuner() const { return tuner_; }
 
+  /// Point-in-time serving state of this service, the row /statusz renders
+  /// for each app. Quantiles are 0 until a metrics registry is wired (the
+  /// latency histogram lives there).
+  struct StatusSnapshot {
+    std::string app;
+    int recommendations = 0;
+    int reuses = 0;
+    int tuning_passes = 0;
+    int failed_reports = 0;
+    std::vector<double> tuned_sizes;
+    /// NaN until the first recommendation.
+    double last_datasize_gb = std::numeric_limits<double>::quiet_NaN();
+    /// Spark-properties form of the last recommended conf ("" until the
+    /// first recommendation).
+    std::string last_conf;
+    double recommend_p50_s = 0.0;
+    double recommend_p95_s = 0.0;
+    double recommend_p99_s = 0.0;
+  };
+  StatusSnapshot Snapshot() const;
+
   /// Wires observability into the service and its tuner (the session is
-  /// wired separately by whoever owns it). Purely observational.
+  /// wired separately by whoever owns it). Purely observational. Besides
+  /// the plain counters, the service exports labeled families keyed by
+  /// the session's app name:
+  ///   locat_service_recommendations{app,source="reuse"|"tuned"}
+  ///   locat_service_runs_total{app,status="ok"|"failed"}
+  ///   locat_service_recommend_seconds{app}   (histogram)
   void SetObservability(const obs::ObsContext& obs);
 
  private:
@@ -107,11 +135,23 @@ class OnlineTuningService {
   std::map<double, int> penalized_;  // tuned ds -> failure reports
   int tuning_passes_ = 0;
   int failed_reports_ = 0;
+  int recommendations_ = 0;
+  int reuses_ = 0;
+  double last_datasize_gb_ = std::numeric_limits<double>::quiet_NaN();
+  sparksim::SparkConf last_conf_;
+  bool has_last_conf_ = false;
   obs::ObsContext obs_;
   obs::Counter* recommendations_counter_ = nullptr;
   obs::Counter* reuse_counter_ = nullptr;
   obs::Counter* tuning_passes_counter_ = nullptr;
   obs::Counter* failed_reports_counter_ = nullptr;
+  // Labeled children, resolved once at wiring time (app name is fixed for
+  // the session) so the hot path stays one relaxed atomic op.
+  obs::Counter* rec_reuse_ = nullptr;        // {app,source="reuse"}
+  obs::Counter* rec_tuned_ = nullptr;        // {app,source="tuned"}
+  obs::Counter* runs_ok_ = nullptr;          // {app,status="ok"}
+  obs::Counter* runs_failed_ = nullptr;      // {app,status="failed"}
+  obs::Histogram* recommend_latency_ = nullptr;  // {app}
 };
 
 }  // namespace locat::core

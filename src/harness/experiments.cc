@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "core/locat_tuner.h"
 #include "core/qcsa.h"
+#include "obs/log.h"
 #include "tuners/baselines.h"
 #include "tuners/frontend.h"
 #include "workloads/workloads.h"
@@ -183,7 +184,16 @@ void ExperimentRunner::Save() {
     std::filesystem::rename(tmp_path, cache_path_, ec);
     if (!ec) dirty_ = false;
   }
-  if (!wrote || ec) std::filesystem::remove(tmp_path, ec);
+  if (!wrote || ec) {
+    std::filesystem::remove(tmp_path, ec);
+    obs::Log::Global()->Warn("harness", "results cache save failed",
+                             {{"path", cache_path_}});
+  } else {
+    obs::Log::Global()->Debug(
+        "harness", "results cache saved",
+        {{"path", cache_path_},
+         {"rows", static_cast<double>(cache_.size())}});
+  }
 
   if (lock_fd >= 0) {
     ::flock(lock_fd, LOCK_UN);
@@ -303,8 +313,18 @@ void ExperimentRunner::InsertResult(const CellSpec& spec,
 
 CellResult ExperimentRunner::Run(const CellSpec& spec) {
   CellResult result;
-  if (Find(spec, &result)) return result;
+  if (Find(spec, &result)) {
+    obs::Log::Global()->Debug("harness", "cell cache hit",
+                              {{"key", spec.Key()}});
+    return result;
+  }
   result = Compute(spec);
+  obs::Log::Global()->Debug(
+      "harness", "cell computed",
+      {{"key", spec.Key()},
+       {"best_app_seconds", result.best_app_seconds},
+       {"optimization_seconds", result.optimization_seconds},
+       {"evaluations", result.evaluations}});
   InsertResult(spec, result);
   return result;
 }
@@ -323,6 +343,9 @@ std::vector<CellResult> ExperimentRunner::RunAll(
     return results;
   }
 
+  obs::Log::Global()->Info("harness", "experiment grid",
+                           {{"cells", static_cast<double>(specs.size())},
+                            {"threads", threads}});
   // Dedicated pool sized to the request; Run() serializes cache access
   // internally and each cell writes only its own slot, so results are in
   // input order regardless of scheduling.

@@ -598,6 +598,15 @@ StatusOr<AppRunResult> ClusterSimulator::RunAppSubset(
     if (outcome.killed) {
       fault_stats_.app_kills += 1;
       fault_stats_.failed_runs += 1;
+      if (flight_ != nullptr) {
+        char msg[96];
+        std::snprintf(msg, sizeof(msg), "oom_kill app=%s ds=%g at_query=%d",
+                      app.name.c_str(), datasize_gb, outcome.killed_at);
+        // A "fault" event also triggers the recorder's dump-on-fault
+        // snapshot when one is configured.
+        flight_->Record("fault", "warn", "sparksim", msg,
+                        static_cast<double>(outcome.killed_at));
+      }
     }
   }
 

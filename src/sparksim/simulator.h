@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "sparksim/cluster.h"
 #include "sparksim/config.h"
@@ -204,6 +205,14 @@ class ClusterSimulator {
   const FaultSpec& faults() const { return faults_; }
   const FaultStats& fault_stats() const { return fault_stats_; }
 
+  /// Wires a flight recorder (null disables, the default). Injected
+  /// app-kill faults then record a "fault" event — which, when the
+  /// recorder was configured with SetDumpOnFault, snapshots the window to
+  /// disk at the moment of the kill. Purely observational.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+
  private:
   /// Resource picture derived from a configuration.
   struct Resources {
@@ -260,6 +269,7 @@ class ClusterSimulator {
   Rng noise_rng_;
   int64_t runs_performed_ = 0;
   obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   EvalCache* eval_cache_ = nullptr;
   /// CombineEnvFingerprint(cluster, params), computed once at
   /// construction.

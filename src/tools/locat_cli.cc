@@ -8,10 +8,14 @@
 //   locat qcsa <app> <cluster> [runs]     # query sensitivity analysis
 //   locat tune <app> <cluster> <ds> [tuner]
 //                                         # run LOCAT (or a baseline)
+//   locat serve <cluster> [apps...]       # multi-app online tuning service
 //   locat report <telemetry.jsonl>        # per-phase breakdown of a run
+//   locat check-metrics <metrics.txt>     # validate Prometheus exposition
 //
 // `tune` accepts observability flags (see Usage) that write a Chrome
 // trace, a Prometheus metrics snapshot, and per-iteration JSONL telemetry.
+// `serve` runs the OnlineTuningService loop and (with --admin-port) exposes
+// /metrics, /healthz, /statusz and /flightz over loopback HTTP.
 //
 // Clusters: "arm" (4-node KUNPENG) or "x86" (8-node Xeon).
 // Apps: TPC-DS, TPC-H, Join, Scan, Aggregation.
@@ -21,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -31,10 +36,15 @@
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "core/locat_tuner.h"
+#include "core/online_service.h"
 #include "core/qcsa.h"
 #include "core/tuning.h"
 #include "harness/experiments.h"
 #include "math/kern/kern.h"
+#include "obs/admin_server.h"
+#include "obs/flight_recorder.h"
+#include "obs/labels.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -57,7 +67,12 @@ int Usage() {
       "  qcsa <app> <cluster> [runs]      query sensitivity analysis\n"
       "  tune <app> <cluster> <ds> [t]    tune (t: LOCAT|Tuneful|DAC|"
       "GBO-RL|QTune|Random)\n"
+      "  serve <cluster> [apps...]        run the online tuning service on\n"
+      "                                   a synthetic multi-app workload\n"
+      "                                   (default apps: TPC-DS TPC-H)\n"
       "  report <telemetry.jsonl>         per-phase breakdown of a tune run\n"
+      "  check-metrics <file>             validate a Prometheus text\n"
+      "                                   exposition (exit 0 iff well-formed)\n"
       "tune flags:\n"
       "  --seed N            repetition salt for the tuner and simulator\n"
       "  --threads N         worker threads for the BO hot path (GP\n"
@@ -86,6 +101,24 @@ int Usage() {
       "                      tuner retries and imputes censored costs\n"
       "  --fault-seed N      seed of the fault schedule (same seed =>\n"
       "                      byte-identical run; independent of --seed)\n"
+      "observability flags (tune and serve):\n"
+      "  --admin-port P      serve /metrics /varz /healthz /statusz\n"
+      "                      /flightz /quitz on 127.0.0.1:P (0 picks an\n"
+      "                      ephemeral port). tune prints the bound port\n"
+      "                      to stderr so stdout stays byte-identical;\n"
+      "                      serve prints it to stdout\n"
+      "  --log-level L       structured logging: debug|info|warn|error|off\n"
+      "                      (default off — zero cost)\n"
+      "  --log-file FILE     route log records to FILE as JSONL instead of\n"
+      "                      human-readable stderr\n"
+      "  --flight FILE       keep a flight recorder of recent events and\n"
+      "                      dump it to FILE on injected app kills and on\n"
+      "                      SIGSEGV/SIGABRT\n"
+      "serve flags:\n"
+      "  --rounds N          production rounds to serve (default 6)\n"
+      "  --serve-linger S    after the rounds, keep serving the admin\n"
+      "                      endpoint up to S seconds or until /quitz\n"
+      "                      (default 0)\n"
       "clusters: arm | x86; apps: TPC-DS | TPC-H | Join | Scan | "
       "Aggregation\n");
   return 2;
@@ -221,7 +254,7 @@ int CmdQcsa(const std::string& app_name, const std::string& cluster,
   return 0;
 }
 
-/// Observability flags of `tune`, parsed out of argv before the
+/// Observability flags of `tune`/`serve`, parsed out of argv before the
 /// positional arguments.
 struct ObsFlags {
   uint64_t seed = 0;
@@ -232,13 +265,61 @@ struct ObsFlags {
   size_t sim_cache_cap = 0;  // 0: LOCAT_SIM_CACHE_CAP env / built-in default
   std::string faults = "off";
   uint64_t fault_seed = 0;
+  int admin_port = -1;  // -1: no admin server (zero sockets, zero threads)
+  std::string log_level = "off";
+  std::string log_file;
+  std::string flight_path;
+  int rounds = 6;
+  double serve_linger = 0.0;
 };
 
+/// Error/diagnostic output. Routed through the structured logger when one
+/// is enabled (so --log-file captures it as JSONL); plain stderr
+/// otherwise — the default path is byte-for-byte what it always was.
+void Diag(const char* component, const std::string& message) {
+  obs::Log* log = obs::Log::Global();
+  if (log->Enabled(obs::LogLevel::kError)) {
+    log->Error(component, message);
+  } else {
+    std::fprintf(stderr, "%s\n", message.c_str());
+  }
+}
+
+/// Applies --log-level/--log-file/--flight to the process-global logger
+/// and flight recorder. Returns the recorder (null when --flight absent).
+obs::FlightRecorder* SetupProcessObs(const ObsFlags& flags) {
+  obs::Log* log = obs::Log::Global();
+  if (!flags.log_file.empty()) {
+    const auto status = log->OpenJsonlFile(flags.log_file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(2);
+    }
+  }
+  const auto level = obs::ParseLogLevel(flags.log_level);
+  if (!level.ok()) {
+    std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
+    std::exit(2);
+  }
+  log->SetLevel(*level);
+
+  obs::FlightRecorder* flight = nullptr;
+  if (!flags.flight_path.empty()) {
+    flight = obs::FlightRecorder::InstallGlobal();
+    flight->SetDumpOnFault(flags.flight_path);
+    obs::FlightRecorder::InstallCrashHandlers(flags.flight_path);
+    log->SetFlightRecorder(flight);
+  }
+  return flight;
+}
+
 int CmdTune(const std::string& app_name, const std::string& cluster,
-            double ds, const std::string& tuner_name, const ObsFlags& flags) {
+            double ds, const std::string& tuner_name, const ObsFlags& flags,
+            obs::FlightRecorder* flight) {
   const auto app = harness::MakeApp(app_name);
   sparksim::ClusterSimulator sim(harness::MakeCluster(cluster),
                                  21 + flags.seed);
+  if (flight != nullptr) sim.set_flight_recorder(flight);
   // The eval cache memoizes the noise-free per-query simulation; it only
   // changes wall-clock, never results (--sim-cache off to compare).
   std::unique_ptr<sparksim::EvalCache> sim_cache;
@@ -252,7 +333,7 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
     const auto spec_or =
         sparksim::FaultSpec::FromName(flags.faults, flags.fault_seed);
     if (!spec_or.ok()) {
-      std::fprintf(stderr, "%s\n", spec_or.status().ToString().c_str());
+      Diag("cli", spec_or.status().ToString());
       return 2;
     }
     sim.set_faults(*spec_or);
@@ -275,18 +356,42 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
   if (!flags.telemetry_path.empty()) {
     telemetry_os.open(flags.telemetry_path);
     if (!telemetry_os) {
-      std::fprintf(stderr, "cannot write %s\n",
-                   flags.telemetry_path.c_str());
+      Diag("cli", "cannot write " + flags.telemetry_path);
       return 1;
     }
     observer = std::make_unique<obs::JsonlObserver>(&telemetry_os);
     ctx.observer = observer.get();
+  }
+  // An admin server implies a live metrics registry (that's what /metrics
+  // scrapes). Wiring the registry is purely observational — counters and
+  // histograms only — so stdout stays byte-identical with the port on or
+  // off; the listening line goes to stderr for the same reason.
+  std::unique_ptr<obs::AdminServer> admin;
+  if (flags.admin_port >= 0) {
+    ctx.metrics = &metrics;
+    obs::AdminServer::Options opts;
+    opts.port = flags.admin_port;
+    opts.metrics = &metrics;
+    opts.flight = flight;
+    auto admin_or = obs::AdminServer::Start(std::move(opts));
+    if (!admin_or.ok()) {
+      Diag("cli", admin_or.status().ToString());
+      return 1;
+    }
+    admin = std::move(admin_or).value();
+    std::fprintf(stderr, "admin: listening on 127.0.0.1:%d\n",
+                 admin->port());
   }
   if (ctx.any()) {
     session.SetObservability(ctx);
     tuner->SetObservability(ctx);
   }
 
+  obs::Log::Global()->Info("cli", "tune start",
+                           {{"app", app.name},
+                            {"cluster", cluster},
+                            {"datasize_gb", ds},
+                            {"tuner", tuner->name()}});
   std::printf("Tuning %s @ %.0f GB on %s with %s...\n", app.name.c_str(), ds,
               cluster.c_str(), tuner->name().c_str());
   const auto result = tuner->Tune(&session, ds);
@@ -306,6 +411,10 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
       session.space().Repair(session.space().DefaultConf()));
   const double tuned = tuned_run.total_seconds;
   const double dflt = dflt_run.total_seconds;
+  obs::Log::Global()->Info("cli", "tune done",
+                           {{"evaluations", result.evaluations},
+                            {"tuned_seconds", tuned},
+                            {"default_seconds", dflt}});
   std::printf("evaluations: %d | optimization time: %.1f simulated hours\n",
               result.evaluations, result.optimization_seconds / 3600.0);
   std::printf("tuned run: %.0f s%s | defaults: %.0f s%s | improvement %.1fx\n",
@@ -404,7 +513,7 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
   if (!flags.trace_path.empty()) {
     std::ofstream os(flags.trace_path);
     if (!os) {
-      std::fprintf(stderr, "cannot write %s\n", flags.trace_path.c_str());
+      Diag("cli", "cannot write " + flags.trace_path);
       return 1;
     }
     tracer.WriteChromeTrace(os);
@@ -414,7 +523,7 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
   if (!flags.metrics_path.empty()) {
     std::ofstream os(flags.metrics_path);
     if (!os) {
-      std::fprintf(stderr, "cannot write %s\n", flags.metrics_path.c_str());
+      Diag("cli", "cannot write " + flags.metrics_path);
       return 1;
     }
     metrics.WritePrometheus(os);
@@ -424,6 +533,248 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
     telemetry_os.close();
     std::printf("telemetry: %s\n", flags.telemetry_path.c_str());
   }
+  return 0;
+}
+
+/// `locat serve`: the production loop of ROADMAP item 1 as a demo — one
+/// OnlineTuningService per app, a deterministic schedule of data sizes,
+/// and (with --admin-port) a live admin endpoint to scrape while it runs.
+int CmdServe(const std::string& cluster, std::vector<std::string> app_names,
+             const ObsFlags& flags, obs::FlightRecorder* flight) {
+  if (app_names.empty()) app_names = {"TPC-DS", "TPC-H"};
+
+  obs::MetricsRegistry metrics;
+  obs::ObsContext ctx;
+  ctx.metrics = &metrics;
+  std::ofstream telemetry_os;
+  std::unique_ptr<obs::JsonlObserver> observer;
+  if (!flags.telemetry_path.empty()) {
+    telemetry_os.open(flags.telemetry_path);
+    if (!telemetry_os) {
+      Diag("cli", "cannot write " + flags.telemetry_path);
+      return 1;
+    }
+    observer = std::make_unique<obs::JsonlObserver>(&telemetry_os);
+    ctx.observer = observer.get();
+  }
+
+  struct AppServing {
+    sparksim::SparkSqlApp app;
+    std::unique_ptr<sparksim::ClusterSimulator> sim;
+    std::unique_ptr<core::TuningSession> session;
+    std::unique_ptr<core::OnlineTuningService> service;
+  };
+  std::vector<AppServing> apps;
+  // Guards the services and simulators against the admin thread's
+  // /statusz snapshots.
+  std::mutex state_mu;
+
+  for (const std::string& name : app_names) {
+    AppServing s;
+    s.app = harness::MakeApp(name);
+    s.sim = std::make_unique<sparksim::ClusterSimulator>(
+        harness::MakeCluster(cluster), 21 + flags.seed);
+    if (flight != nullptr) s.sim->set_flight_recorder(flight);
+    if (flags.faults != "off") {
+      const auto spec_or =
+          sparksim::FaultSpec::FromName(flags.faults, flags.fault_seed);
+      if (!spec_or.ok()) {
+        Diag("cli", spec_or.status().ToString());
+        return 2;
+      }
+      s.sim->set_faults(*spec_or);
+    }
+    s.session = std::make_unique<core::TuningSession>(s.sim.get(), s.app);
+    core::OnlineTuningService::Options opts;
+    // Demo-sized budgets: serve is about the serving loop, not tuning
+    // quality — cold start in seconds, warm adaptation near-instant.
+    opts.tuner.n_qcsa = 8;
+    opts.tuner.n_iicp = 6;
+    opts.tuner.lhs_init = 2;
+    opts.tuner.min_iterations = 3;
+    opts.tuner.max_iterations = 5;
+    opts.tuner.warm_iterations = 3;
+    opts.tuner.candidates = 60;
+    opts.tuner.seed = 31 + flags.seed;
+    s.service =
+        std::make_unique<core::OnlineTuningService>(s.session.get(), opts);
+    s.session->SetObservability(ctx);
+    s.service->SetObservability(ctx);
+    apps.push_back(std::move(s));
+  }
+
+  auto statusz_table = [&apps, &state_mu]() {
+    std::lock_guard<std::mutex> lock(state_mu);
+    std::ostringstream os;
+    TablePrinter tp({"app", "recs", "reuse", "tunes", "fails", "sizes",
+                     "p50 (ms)", "p99 (ms)", "last conf"});
+    for (const AppServing& s : apps) {
+      const auto snap = s.service->Snapshot();
+      std::string sizes;
+      for (double ds : snap.tuned_sizes) {
+        if (!sizes.empty()) sizes += ',';
+        sizes += TablePrinter::Num(ds, 0);
+      }
+      // SparkPropertiesToString is one property per line; flatten it so
+      // the table row stays a single line.
+      std::string conf = snap.last_conf;
+      std::replace(conf.begin(), conf.end(), '\n', ' ');
+      tp.AddRow({snap.app, std::to_string(snap.recommendations),
+                 std::to_string(snap.reuses),
+                 std::to_string(snap.tuning_passes),
+                 std::to_string(snap.failed_reports), sizes,
+                 TablePrinter::Num(snap.recommend_p50_s * 1e3, 1),
+                 TablePrinter::Num(snap.recommend_p99_s * 1e3, 1),
+                 conf.substr(0, 48)});
+    }
+    tp.Print(os);
+    return os.str();
+  };
+
+  std::unique_ptr<obs::AdminServer> admin;
+  if (flags.admin_port >= 0) {
+    obs::AdminServer::Options opts;
+    opts.port = flags.admin_port;
+    opts.metrics = &metrics;
+    opts.flight = flight;
+    opts.statusz = statusz_table;
+    auto admin_or = obs::AdminServer::Start(std::move(opts));
+    if (!admin_or.ok()) {
+      Diag("cli", admin_or.status().ToString());
+      return 1;
+    }
+    admin = std::move(admin_or).value();
+    // First line of output, parseable ("admin: listening on HOST:PORT") so
+    // scripts scraping an ephemeral port can pick it up while we serve.
+    std::printf("admin: listening on 127.0.0.1:%d\n", admin->port());
+    std::fflush(stdout);
+  }
+
+  obs::Log::Global()->Info(
+      "serve", "serving started",
+      {{"apps", static_cast<double>(apps.size())},
+       {"rounds", flags.rounds},
+       {"cluster", cluster}});
+
+  // Deterministic data-size schedule. Adjacent pairs (100/120, 300/330)
+  // sit within the service's 25% reuse gap, so the loop exercises both
+  // instant reuse and warm re-tunes.
+  static const double kSizes[] = {100.0, 120.0, 300.0, 330.0, 500.0};
+  int ok_runs = 0;
+  int failed_runs = 0;
+  for (int r = 0; r < flags.rounds; ++r) {
+    if (admin != nullptr && admin->quit_requested()) break;
+    for (size_t ai = 0; ai < apps.size(); ++ai) {
+      AppServing& s = apps[ai];
+      const double ds = kSizes[(static_cast<size_t>(r) + ai) % 5];
+      std::unique_lock<std::mutex> lock(state_mu);
+      const auto conf_or = s.service->RecommendedConf(ds);
+      if (!conf_or.ok()) {
+        lock.unlock();
+        Diag("serve", conf_or.status().ToString());
+        continue;
+      }
+      const sparksim::SparkConf conf = *conf_or;
+      // The production run itself: happens anyway, reported back as a
+      // free observation (or as a failure).
+      const auto run = s.sim->RunApp(s.app, conf, ds);
+      const Status report =
+          run.failed
+              ? s.service->ReportFailedRun(ds, conf, run.total_seconds)
+              : s.service->ReportRun(ds, conf, run.total_seconds);
+      lock.unlock();
+      if (!report.ok()) Diag("serve", report.ToString());
+      if (run.failed) {
+        ++failed_runs;
+      } else {
+        ++ok_runs;
+      }
+      obs::Log::Global()->Info(
+          "serve", run.failed ? "production run failed" : "production run",
+          {{"app", s.app.name},
+           {"round", r},
+           {"datasize_gb", ds},
+           {"seconds", run.total_seconds}});
+      std::printf("round %2d %-12s @ %3.0f GB: %6.0f s%s\n", r,
+                  s.app.name.c_str(), ds, run.total_seconds,
+                  run.failed ? "  FAILED" : "");
+    }
+    std::fflush(stdout);
+  }
+
+  // Summary: one aggregate line plus the same table /statusz serves.
+  int recs = 0;
+  int reuses = 0;
+  int tunes = 0;
+  double opt_seconds = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu);
+    for (const AppServing& s : apps) {
+      const auto snap = s.service->Snapshot();
+      recs += snap.recommendations;
+      reuses += snap.reuses;
+      tunes += snap.tuning_passes;
+      opt_seconds += s.service->optimization_seconds();
+      if (ctx.observer != nullptr) {
+        obs::PhaseEvent ev;
+        ev.tuner = snap.app;
+        ev.phase = "serving";
+        ev.fields = {
+            {"recommendations", static_cast<double>(snap.recommendations)},
+            {"reuses", static_cast<double>(snap.reuses)},
+            {"tuning_passes", static_cast<double>(snap.tuning_passes)},
+            {"failed_reports", static_cast<double>(snap.failed_reports)},
+            {"recommend_p50_s", snap.recommend_p50_s},
+            {"recommend_p99_s", snap.recommend_p99_s},
+        };
+        ctx.observer->OnPhase(ev);
+      }
+    }
+  }
+  std::printf(
+      "serving: %d recommendations (%d reused, %d tuned) | %d ok runs | "
+      "%d failed runs | optimization %.1f simulated hours\n",
+      recs, reuses, tunes, ok_runs, failed_runs, opt_seconds / 3600.0);
+  std::printf("%s", statusz_table().c_str());
+  if (!flags.metrics_path.empty()) {
+    std::ofstream os(flags.metrics_path);
+    if (!os) {
+      Diag("cli", "cannot write " + flags.metrics_path);
+      return 1;
+    }
+    metrics.WritePrometheus(os);
+    std::printf("metrics: %s\n", flags.metrics_path.c_str());
+  }
+  std::fflush(stdout);
+
+  if (admin != nullptr && flags.serve_linger > 0.0 &&
+      !admin->quit_requested()) {
+    // Stay scrapeable until /quitz or the deadline — how CI scrapes a
+    // *live* process rather than a snapshot.
+    admin->WaitForQuit(flags.serve_linger);
+  }
+  if (admin != nullptr) admin->Stop();
+  obs::Log::Global()->Info("serve", "serving stopped",
+                           {{"ok_runs", ok_runs},
+                            {"failed_runs", failed_runs}});
+  return 0;
+}
+
+int CmdCheckMetrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    Diag("cli", "cannot read " + path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto status = obs::CheckPrometheusExposition(buf.str());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: ok\n", path.c_str());
   return 0;
 }
 
@@ -461,6 +812,16 @@ int CmdReport(const std::string& path) {
   bool have_summary = false;
   bool have_sim_cache = false;
   bool have_linalg = false;
+  struct ServingAgg {
+    std::string app;
+    double recommendations = 0.0;
+    double reuses = 0.0;
+    double tuning_passes = 0.0;
+    double failed_reports = 0.0;
+    double p50_s = 0.0;
+    double p99_s = 0.0;
+  };
+  std::vector<ServingAgg> serving;
   double linalg_backend_id = 0.0;
   double cache_hits = 0.0;
   double cache_misses = 0.0;
@@ -503,6 +864,16 @@ int CmdReport(const std::string& path) {
     } else if (rec.type == "phase" && rec.Str("phase") == "linalg") {
       have_linalg = true;
       linalg_backend_id = rec.Num("backend_id");
+    } else if (rec.type == "phase" && rec.Str("phase") == "serving") {
+      ServingAgg agg;
+      agg.app = rec.Str("tuner");  // serve stores the app name here
+      agg.recommendations = rec.Num("recommendations");
+      agg.reuses = rec.Num("reuses");
+      agg.tuning_passes = rec.Num("tuning_passes");
+      agg.failed_reports = rec.Num("failed_reports");
+      agg.p50_s = rec.Num("recommend_p50_s");
+      agg.p99_s = rec.Num("recommend_p99_s");
+      serving.push_back(std::move(agg));
     } else if (rec.type == "phase" && rec.Str("phase") == "sim_cache") {
       have_sim_cache = true;
       cache_hits = rec.Num("hits");
@@ -513,9 +884,21 @@ int CmdReport(const std::string& path) {
       cache_hit_rate = rec.Num("hit_rate");
     }
   }
-  if (total_events == 0) {
+  if (total_events == 0 && serving.empty()) {
     std::fprintf(stderr, "%s: no iteration events\n", path.c_str());
     return 1;
+  }
+  if (total_events == 0) {
+    // Pure serving telemetry (from `locat serve --telemetry`): no
+    // per-iteration table, just the serving summary.
+    for (const auto& s : serving) {
+      std::printf(
+          "serving: %-12s %.0f recommendations (%.0f reused, %.0f tuned) | "
+          "%.0f failed runs | recommend p50 %.1f ms / p99 %.1f ms\n",
+          s.app.c_str(), s.recommendations, s.reuses, s.tuning_passes,
+          s.failed_reports, s.p50_s * 1e3, s.p99_s * 1e3);
+    }
+    return 0;
   }
 
   if (!tuner.empty()) std::printf("tuner: %s\n", tuner.c_str());
@@ -576,6 +959,13 @@ int CmdReport(const std::string& path) {
         math::kern::BackendName(backend), kern_seconds,
         100.0 * total_fit_seconds / std::max(1e-12, kern_seconds),
         100.0 * total_acq_seconds / std::max(1e-12, kern_seconds));
+  }
+  for (const auto& s : serving) {
+    std::printf(
+        "serving: %-12s %.0f recommendations (%.0f reused, %.0f tuned) | "
+        "%.0f failed runs | recommend p50 %.1f ms / p99 %.1f ms\n",
+        s.app.c_str(), s.recommendations, s.reuses, s.tuning_passes,
+        s.failed_reports, s.p50_s * 1e3, s.p99_s * 1e3);
   }
   return 0;
 }
@@ -643,6 +1033,32 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Usage();
       flags.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--admin-port") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.admin_port = std::atoi(v);
+      if (flags.admin_port < 0 || flags.admin_port > 65535) return Usage();
+    } else if (arg == "--log-level") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.log_level = v;
+    } else if (arg == "--log-file") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.log_file = v;
+    } else if (arg == "--flight") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.flight_path = v;
+    } else if (arg == "--rounds") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.rounds = std::atoi(v);
+      if (flags.rounds < 1) return Usage();
+    } else if (arg == "--serve-linger") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.serve_linger = std::atof(v);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();
@@ -651,6 +1067,7 @@ int main(int argc, char** argv) {
     }
   }
   if (pos.empty()) return Usage();
+  obs::FlightRecorder* flight = SetupProcessObs(flags);
   const std::string& cmd = pos[0];
   if (cmd == "catalog") return CmdCatalog();
   if (cmd == "apps") return CmdApps();
@@ -666,10 +1083,18 @@ int main(int argc, char** argv) {
   }
   if (cmd == "tune" && pos.size() >= 4) {
     return CmdTune(pos[1], pos[2], std::atof(pos[3].c_str()),
-                   pos.size() >= 5 ? pos[4] : "LOCAT", flags);
+                   pos.size() >= 5 ? pos[4] : "LOCAT", flags, flight);
+  }
+  if (cmd == "serve" && pos.size() >= 2) {
+    return CmdServe(pos[1],
+                    std::vector<std::string>(pos.begin() + 2, pos.end()),
+                    flags, flight);
   }
   if (cmd == "report" && pos.size() >= 2) {
     return CmdReport(pos[1]);
+  }
+  if (cmd == "check-metrics" && pos.size() >= 2) {
+    return CmdCheckMetrics(pos[1]);
   }
   return Usage();
 }
