@@ -61,8 +61,36 @@ struct CaseResult {
   double nocache_s = std::numeric_limits<double>::infinity();
   double cached_s = std::numeric_limits<double>::infinity();
   double hit_rate = 0.0;
+  // Warm-side lookup counters split by cache level: L1 is the per-app
+  // subset memo (LookupApp/InsertApp), L2 the per-query evaluation table.
+  double l1_hits = 0.0;
+  double l1_misses = 0.0;
+  double l2_hits = 0.0;
+  double l2_misses = 0.0;
   double speedup() const { return nocache_s / cached_s; }
+  double l1_rate() const {
+    const double n = l1_hits + l1_misses;
+    return n == 0.0 ? 0.0 : l1_hits / n;
+  }
+  double l2_rate() const {
+    const double n = l2_hits + l2_misses;
+    return n == 0.0 ? 0.0 : l2_hits / n;
+  }
 };
+
+// Turns a before/after stats snapshot of the timed (warm) section into the
+// per-level counters and the combined hit rate.
+void FillLevelStats(const sparksim::EvalCacheStats& before,
+                    const sparksim::EvalCacheStats& after, CaseResult* out) {
+  out->l1_hits = static_cast<double>(after.app_hits - before.app_hits);
+  out->l1_misses = static_cast<double>(after.app_misses - before.app_misses);
+  out->l2_hits = static_cast<double>(after.hits - before.hits);
+  out->l2_misses = static_cast<double>(after.misses - before.misses);
+  const double lookups =
+      out->l1_hits + out->l1_misses + out->l2_hits + out->l2_misses;
+  out->hit_rate =
+      lookups == 0.0 ? 0.0 : (out->l1_hits + out->l2_hits) / lookups;
+}
 
 // Cold vs warm single pass: every (conf, query) evaluation of the warm
 // pass is a cache hit, so this measures the memoization ceiling.
@@ -101,13 +129,7 @@ CaseResult CaseRunAppSubset() {
         sink += sim.RunAppSubset(app, all, conf, 100.0)->total_seconds;
       }
       out.cached_s = std::min(out.cached_s, Seconds(t0, Clock::now()));
-      const sparksim::EvalCacheStats after = cache.stats();
-      const uint64_t lookups =
-          after.hits + after.misses - before.hits - before.misses;
-      out.hit_rate = lookups == 0 ? 0.0
-                                  : static_cast<double>(after.hits -
-                                                        before.hits) /
-                                        static_cast<double>(lookups);
+      FillLevelStats(before, cache.stats(), &out);
     }
   }
   if (!(sink > 0.0)) std::abort();  // keep the loops observable
@@ -151,7 +173,7 @@ CaseResult CaseQcsaPhase() {
           sink += populate.RunApp(app, conf, 100.0).total_seconds;
         }
       }
-      const uint64_t warm_before = cache.stats().hits + cache.stats().misses;
+      const sparksim::EvalCacheStats warm_before = cache.stats();
       const auto t0 = Clock::now();
       for (int pass = 0; pass < kGridPasses; ++pass) {
         sparksim::ClusterSimulator sim(cluster,
@@ -162,19 +184,15 @@ CaseResult CaseQcsaPhase() {
         }
       }
       out.cached_s = std::min(out.cached_s, Seconds(t0, Clock::now()));
-      const sparksim::EvalCacheStats stats = cache.stats();
-      const uint64_t warm_lookups = stats.hits + stats.misses - warm_before;
-      out.hit_rate = warm_lookups == 0
-                         ? 0.0
-                         : static_cast<double>(stats.hits) /
-                               static_cast<double>(warm_lookups);
+      FillLevelStats(warm_before, cache.stats(), &out);
     }
   }
   if (!(sink > 0.0)) std::abort();
   return out;
 }
 
-core::TuningResult TuneOnce(bool with_cache, double* wall_s) {
+core::TuningResult TuneOnce(bool with_cache, double* wall_s,
+                            sparksim::EvalCacheStats* stats_out) {
   sparksim::EvalCache cache;
   sparksim::ClusterSimulator sim(sparksim::ArmCluster(), 5);
   if (with_cache) sim.set_eval_cache(&cache);
@@ -189,6 +207,7 @@ core::TuningResult TuneOnce(bool with_cache, double* wall_s) {
   const auto t0 = Clock::now();
   core::TuningResult result = tuner.Tune(&session, 100.0);
   *wall_s = Seconds(t0, Clock::now());
+  if (with_cache && stats_out != nullptr) *stats_out = cache.stats();
   return result;
 }
 
@@ -212,11 +231,13 @@ CaseResult CaseTuneE2e() {
   out.name = "tune_e2e";
   core::TuningResult reference;
   bool have_reference = false;
+  sparksim::EvalCacheStats warm{};
   for (const int threads : {1, 4, 8}) {
     common::ThreadPool::SetGlobalThreads(threads);
     for (const bool with_cache : {false, true}) {
       double wall = 0.0;
-      const core::TuningResult r = TuneOnce(with_cache, &wall);
+      const core::TuningResult r =
+          TuneOnce(with_cache, &wall, with_cache ? &warm : nullptr);
       if (!have_reference) {
         reference = r;
         have_reference = true;
@@ -234,6 +255,10 @@ CaseResult CaseTuneE2e() {
     }
   }
   common::ThreadPool::SetGlobalThreads(0);  // restore default
+  // Each cached run starts from a fresh cache, so `warm` holds one full
+  // tuning pass's counters (identical across thread counts by the
+  // bit-identity guarantee just checked above).
+  FillLevelStats(sparksim::EvalCacheStats{}, warm, &out);
   return out;
 }
 
@@ -257,6 +282,12 @@ void WriteJson(const std::string& path, const std::vector<CaseResult>& cases) {
        << ", \"nocache_s\": " << c.nocache_s
        << ", \"cached_s\": " << c.cached_s
        << ", \"hit_rate\": " << c.hit_rate
+       << ", \"l1_hits\": " << c.l1_hits
+       << ", \"l1_misses\": " << c.l1_misses
+       << ", \"l1_hit_rate\": " << c.l1_rate()
+       << ", \"l2_hits\": " << c.l2_hits
+       << ", \"l2_misses\": " << c.l2_misses
+       << ", \"l2_hit_rate\": " << c.l2_rate()
        << ", \"speedup\": " << c.speedup() << "}"
        << (i + 1 < cases.size() ? "," : "") << "\n";
   }
@@ -280,11 +311,15 @@ int main(int argc, char** argv) {
   std::vector<CaseResult> cases = {CaseRunAppSubset(), CaseQcsaPhase(),
                                    CaseTuneE2e()};
   TablePrinter tp({"case", "nocache (s)", "cached (s)", "hit rate",
-                   "speedup"});
+                   "L1 h/m", "L2 h/m", "speedup"});
   for (const CaseResult& c : cases) {
     tp.AddRow({c.name, TablePrinter::Num(c.nocache_s, 4),
                TablePrinter::Num(c.cached_s, 4),
                TablePrinter::Num(100.0 * c.hit_rate, 1) + "%",
+               TablePrinter::Num(c.l1_hits, 0) + "/" +
+                   TablePrinter::Num(c.l1_misses, 0),
+               TablePrinter::Num(c.l2_hits, 0) + "/" +
+                   TablePrinter::Num(c.l2_misses, 0),
                TablePrinter::Num(c.speedup(), 2) + "x"});
   }
   tp.Print(std::cout);

@@ -1,0 +1,459 @@
+#include "sparksim/batch_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+#include "sparksim/batch_soa.h"
+#include "sparksim/eval_cache.h"
+#include "sparksim/faults.h"
+
+// Compiled with -ffp-contract=off like batch_soa.cc / simulator.cc: the
+// engines' bit-identity contract forbids fusing any multiply-add the
+// scalar model performed as two roundings.
+
+namespace locat::sparksim {
+namespace {
+
+/// Initial engine from LOCAT_SIM_ENGINE. Runs once, thread-safe via the
+/// function-local static in EngineSlot() (same pattern as kern.cc's
+/// LOCAT_SIMD backend slot).
+SimEngine InitialEngine() {
+  const char* env = std::getenv("LOCAT_SIM_ENGINE");
+  if (env == nullptr || *env == '\0') return SimEngine::kAuto;
+  const std::string v(env);
+  if (v == "seq") return SimEngine::kSeq;
+  if (v == "batch") return SimEngine::kBatch;
+  if (v != "auto") {
+    std::fprintf(stderr,
+                 "locat: ignoring invalid LOCAT_SIM_ENGINE=%s "
+                 "(expected seq|batch|auto); using auto\n",
+                 env);
+  }
+  return SimEngine::kAuto;
+}
+
+std::atomic<SimEngine>& EngineSlot() {
+  static std::atomic<SimEngine> slot(InitialEngine());
+  return slot;
+}
+
+// Mirror of simulator.cc's SimLaneNs (1 simulated second = 1 ms of trace
+// time): one multiply and a truncating cast, bit-identical by construction.
+uint64_t SimLaneNs(double seconds) {
+  return static_cast<uint64_t>(std::max(0.0, seconds) * 1e6);
+}
+
+}  // namespace
+
+SimEngine ActiveSimEngine() {
+  return EngineSlot().load(std::memory_order_acquire);
+}
+
+void SetSimEngine(SimEngine e) {
+  EngineSlot().store(e, std::memory_order_release);
+}
+
+Status SetSimEngineByName(std::string_view name) {
+  if (name == "seq") {
+    SetSimEngine(SimEngine::kSeq);
+    return Status::OK();
+  }
+  if (name == "batch") {
+    SetSimEngine(SimEngine::kBatch);
+    return Status::OK();
+  }
+  if (name == "auto") {
+    SetSimEngine(SimEngine::kAuto);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown sim engine '" + std::string(name) +
+                                 "' (expected seq|batch|auto)");
+}
+
+const char* SimEngineName(SimEngine e) {
+  switch (e) {
+    case SimEngine::kSeq:
+      return "seq";
+    case SimEngine::kBatch:
+      return "batch";
+    case SimEngine::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+const char* ActiveSimEngineName() { return SimEngineName(ActiveSimEngine()); }
+
+StatusOr<std::vector<AppRunResult>> BatchEngine::Run(
+    const SparkSqlApp& app, const std::vector<int>& query_indices,
+    const std::vector<SparkConf>& confs, double datasize_gb) {
+  ClusterSimulator& S = *sim_;
+  const size_t nq = query_indices.size();
+  const size_t nruns = confs.size();
+  obs::ScopedSpan batch_span(S.tracer_, "sim/app_batch", "sim");
+
+  // ---- Phase 1: pre-draw the stochastic streams in sequential order.
+  // Noise is conf-major (the order a RunAppSubset-per-conf sequence, and
+  // the sequential batch, consume the noise RNG); fault draws are
+  // run-major with a fixed count per run from the independent fault RNG.
+  const bool noisy = S.params_.noise_sigma > 0.0;
+  std::vector<double> noises;
+  if (noisy) {
+    noises.resize(nruns * nq);
+    for (size_t k = 0; k < nruns; ++k) {
+      for (size_t i = 0; i < nq; ++i) {
+        ++S.runs_performed_;
+        noises[k * nq + i] = S.noise_rng_.LognormalNoise(S.params_.noise_sigma);
+      }
+    }
+  } else {
+    S.runs_performed_ += static_cast<int64_t>(nruns * nq);
+  }
+  const bool faults_on = S.faults_.enabled();
+  const size_t draw_stride = FaultDrawCount(nq);
+  std::vector<double> fault_draws;
+  if (faults_on) {
+    fault_draws.resize(nruns * draw_stride);
+    for (size_t k = 0; k < nruns; ++k) {
+      DrawRunFaults(&S.fault_rng_, nq, fault_draws.data() + k * draw_stride);
+    }
+  }
+
+  // ---- Phase 2: whole-app cache peel, serial lane order. A lane is
+  // `served` (L1 hit), a `primary` (first lane of its conf), or a `dup`
+  // of an earlier primary — dup lanes reuse the primary's computed cells
+  // instead of burning compute lanes on identical arithmetic.
+  EvalCache* cache = S.eval_cache_;
+  const bool cache_on = cache != nullptr && nq > 0;
+  enum : uint8_t { kCompute = 0, kServed = 1, kDup = 2 };
+  std::vector<uint8_t> state(nruns, kCompute);
+  std::vector<int> dup_primary(nruns, -1);
+  std::vector<uint64_t> conf_fps;
+  std::vector<uint64_t> app_keys;
+  uint64_t subset_fp = 0;
+  const bool need_aos = cache != nullptr || faults_on || S.tracer_ != nullptr;
+  std::vector<QueryMetrics> aos;
+  if (need_aos) aos.resize(nruns * nq);
+  if (cache_on) {
+    conf_fps.resize(nruns);
+    app_keys.resize(nruns);
+    for (size_t k = 0; k < nruns; ++k) {
+      conf_fps[k] = FingerprintConf(confs[k]);
+    }
+    subset_fp = CombineSubsetFingerprint(S.AppFingerprint(app),
+                                         query_indices.data(), nq);
+    std::unordered_map<uint64_t, int> first_lane;
+    first_lane.reserve(nruns);
+    for (size_t k = 0; k < nruns; ++k) {
+      app_keys[k] = CombineEvalFingerprint(conf_fps[k], S.eval_env_fp_,
+                                           subset_fp, datasize_gb);
+      if (cache->LookupApp(app_keys[k], confs[k], datasize_gb, subset_fp,
+                           S.eval_env_fp_, nq, aos.data() + k * nq)) {
+        state[k] = kServed;
+        continue;
+      }
+      const auto [it, inserted] =
+          first_lane.emplace(conf_fps[k], static_cast<int>(k));
+      if (!inserted &&
+          confs[static_cast<size_t>(it->second)] == confs[k]) {
+        state[k] = kDup;
+        dup_primary[k] = it->second;
+      }
+    }
+  }
+
+  // ---- Phase 3: pack compute lanes and peel the per-query cache level
+  // (lookups only; insertion is gated on the fault outcome in phase 6).
+  std::vector<uint32_t> lanes;
+  std::vector<uint32_t> packed_of(nruns, 0);
+  lanes.reserve(nruns);
+  for (size_t k = 0; k < nruns; ++k) {
+    if (state[k] == kCompute) {
+      packed_of[k] = static_cast<uint32_t>(lanes.size());
+      lanes.push_back(static_cast<uint32_t>(k));
+    }
+  }
+  const size_t nc = lanes.size();
+  std::vector<uint8_t> cell_hit;
+  if (cache_on && nc > 0) {
+    cell_hit.assign(nc * nq, 0);
+  }
+
+  // ---- Phase 4: lower the batch into SoA planes and hoist the per-query
+  // environment.
+  const batch::ModelTables tables =
+      batch::ModelTables::Build(S.cluster_, S.params_);
+  std::vector<batch::QueryEnv> envs;
+  batch::BuildQueryEnvs(app, query_indices, datasize_gb, tables,
+                        /*want_fingerprints=*/cache_on, &envs);
+  common::ThreadPool* pool = common::ThreadPool::Global();
+  if (cache_on && nc > 0) {
+    pool->ParallelForEach(nc * nq, [&](size_t j) {
+      const size_t p = j / nq;
+      const size_t i = j % nq;
+      const size_t k = lanes[p];
+      const uint64_t fp = CombineEvalFingerprint(
+          conf_fps[k], S.eval_env_fp_, envs[i].qfp, datasize_gb);
+      if (cache->Lookup(fp, confs[k], datasize_gb, envs[i].qfp,
+                        S.eval_env_fp_, &aos[k * nq + i])) {
+        cell_hit[i * nc + p] = 1;
+      }
+    });
+  }
+  batch::LoweredBatch lowered;
+  lowered.Resize(nc);
+
+  // ---- Phase 5: advance the whole batch through the model, one
+  // contiguous conf block per worker, missed cells only. Only the
+  // general (cache/fault/tracer) path materializes the global
+  // query-major planes; the lean path in phase 7 fuses lowering,
+  // evaluation, and materialization per conf block instead.
+  batch::CellPlanes planes;
+  const uint8_t* hit_ptr = cell_hit.empty() ? nullptr : cell_hit.data();
+  if (need_aos && nc > 0) {
+    pool->ParallelForEach(nc, [&](size_t p) {
+      batch::LowerConf(confs[lanes[p]], tables, p, &lowered);
+    });
+    planes.Resize(nc * nq);
+    pool->ParallelFor(nc, [&](size_t b0, size_t b1) {
+      batch::EvalBlock(tables, envs, lowered, b0, b1, hit_ptr, &planes,
+                       /*out_p0=*/0, /*out_stride=*/nc);
+    });
+    pool->ParallelForEach(nc, [&](size_t p) {
+      const size_t k = lanes[p];
+      for (size_t i = 0; i < nq; ++i) {
+        if (hit_ptr != nullptr && hit_ptr[i * nc + p] != 0) continue;
+        batch::MetricsFromPlanes(planes, i * nc + p, envs[i],
+                                 &aos[k * nq + i]);
+      }
+    });
+  }
+
+  // ---- Phase 6: cache resolution, serial lane order. Killed runs never
+  // insert at either level (same gate as the sequential deferred-insert
+  // path); dup lanes replay the lookup sequence the reference engine
+  // would have performed, copying values from their primary.
+  std::vector<int> kill_at(faults_on ? nruns : 0, -1);
+  if (cache_on) {
+    std::vector<uint8_t> dup_missed;
+    for (size_t k = 0; k < nruns; ++k) {
+      if (state[k] == kServed) continue;
+      QueryMetrics* row = aos.data() + k * nq;
+      if (state[k] == kCompute) {
+        const size_t p = packed_of[k];
+        if (faults_on) {
+          kill_at[k] = FaultKillIndex(S.faults_,
+                                      fault_draws.data() + k * draw_stride,
+                                      row, nq);
+          if (kill_at[k] >= 0) continue;
+        }
+        for (size_t i = 0; i < nq; ++i) {
+          if (cell_hit[i * nc + p] != 0) continue;
+          const uint64_t fp = CombineEvalFingerprint(
+              conf_fps[k], S.eval_env_fp_, envs[i].qfp, datasize_gb);
+          cache->Insert(fp, confs[k], datasize_gb, envs[i].qfp,
+                        S.eval_env_fp_, row[i]);
+        }
+        cache->InsertApp(app_keys[k], confs[k], datasize_gb, subset_fp,
+                         S.eval_env_fp_, row, nq);
+        continue;
+      }
+      // kDup.
+      const size_t pk = static_cast<size_t>(dup_primary[k]);
+      if (faults_on) {
+        // Sequential shape: this lane's whole-app lookup runs after the
+        // primary's insert, so it hits unless the primary was killed.
+        if (cache->LookupApp(app_keys[k], confs[k], datasize_gb, subset_fp,
+                             S.eval_env_fp_, nq, row)) {
+          continue;
+        }
+        dup_missed.assign(nq, 0);
+        for (size_t i = 0; i < nq; ++i) {
+          const uint64_t fp = CombineEvalFingerprint(
+              conf_fps[k], S.eval_env_fp_, envs[i].qfp, datasize_gb);
+          if (!cache->Lookup(fp, confs[k], datasize_gb, envs[i].qfp,
+                             S.eval_env_fp_, &row[i])) {
+            row[i] = aos[pk * nq + i];
+            dup_missed[i] = 1;
+          }
+        }
+        kill_at[k] = FaultKillIndex(S.faults_,
+                                    fault_draws.data() + k * draw_stride,
+                                    row, nq);
+        if (kill_at[k] >= 0) continue;
+        for (size_t i = 0; i < nq; ++i) {
+          if (dup_missed[i] == 0) continue;
+          const uint64_t fp = CombineEvalFingerprint(
+              conf_fps[k], S.eval_env_fp_, envs[i].qfp, datasize_gb);
+          cache->Insert(fp, confs[k], datasize_gb, envs[i].qfp,
+                        S.eval_env_fp_, row[i]);
+        }
+        cache->InsertApp(app_keys[k], confs[k], datasize_gb, subset_fp,
+                         S.eval_env_fp_, row, nq);
+        continue;
+      }
+      // Flat-fan-out shape: every cell goes through the per-query level
+      // (hitting the entries the primary just inserted), then the app
+      // entry is inserted — the counters the reference engine's
+      // single-thread schedule would produce.
+      for (size_t i = 0; i < nq; ++i) {
+        const uint64_t fp = CombineEvalFingerprint(
+            conf_fps[k], S.eval_env_fp_, envs[i].qfp, datasize_gb);
+        if (!cache->Lookup(fp, confs[k], datasize_gb, envs[i].qfp,
+                           S.eval_env_fp_, &row[i])) {
+          row[i] = aos[pk * nq + i];
+          cache->Insert(fp, confs[k], datasize_gb, envs[i].qfp,
+                        S.eval_env_fp_, row[i]);
+        }
+      }
+      cache->InsertApp(app_keys[k], confs[k], datasize_gb, subset_fp,
+                       S.eval_env_fp_, row, nq);
+    }
+  }
+
+  // ---- Phase 7: noise, faults, materialization.
+  std::vector<AppRunResult> results(nruns);
+  if (!need_aos) {
+    // Lean path (no cache, no faults, no tracer): packed == raw lanes.
+    // One fused pass per contiguous conf block — each worker lowers its
+    // own lanes, evaluates 64-lane sub-chunks into a small thread-local
+    // plane block, and materializes results while those planes are still
+    // cache-hot. No cross-phase barriers and no nruns*nq global plane
+    // allocation. Noise is the same single per-cell multiply ApplyNoise
+    // (and the sequential engine) performs.
+    std::vector<uint64_t> lane_ns(nruns, 0);
+    constexpr size_t kChunk = 64;
+    pool->ParallelFor(nc, [&](size_t b0, size_t b1) {
+      for (size_t p = b0; p < b1; ++p) {
+        batch::LowerConf(confs[p], tables, p, &lowered);
+      }
+      static thread_local batch::CellPlanes block_planes;
+      for (size_t s0 = b0; s0 < b1; s0 += kChunk) {
+        const size_t s1 = std::min(b1, s0 + kChunk);
+        const size_t sn = s1 - s0;
+        block_planes.Resize(sn * nq);
+        batch::EvalBlock(tables, envs, lowered, s0, s1, /*cell_hit=*/nullptr,
+                         &block_planes, /*out_p0=*/s0, /*out_stride=*/sn);
+        for (size_t k = s0; k < s1; ++k) {
+          AppRunResult& r = results[k];
+          r.per_query.resize(nq);
+          const double driver_relief =
+              std::min(1.0, confs[k].Get(kDriverMemory) / 16.0) *
+              std::min(1.0, confs[k].Get(kDriverCores) / 4.0);
+          const double submit =
+              S.params_.app_submit_overhead_s * (1.2 - 0.2 * driver_relief);
+          uint64_t ns = SimLaneNs(submit);
+          r.total_seconds = submit;
+          for (size_t i = 0; i < nq; ++i) {
+            QueryMetrics& qm = r.per_query[i];
+            batch::MetricsFromPlanes(block_planes, i * sn + (k - s0), envs[i],
+                                     &qm);
+            if (noisy) ClusterSimulator::ApplyNoise(&qm, noises[k * nq + i]);
+            r.total_seconds += qm.exec_seconds;
+            r.gc_seconds += qm.gc_seconds;
+            r.shuffle_gb += qm.shuffle_gb;
+            r.any_oom = r.any_oom || qm.oom;
+            ns += SimLaneNs(qm.exec_seconds);
+          }
+          lane_ns[k] = ns;
+        }
+      }
+    });
+    for (size_t k = 0; k < nruns; ++k) S.sim_lane_cursor_ns_ += lane_ns[k];
+  } else {
+    std::vector<FaultOutcome> outcomes(faults_on ? nruns : 0);
+    std::vector<size_t> run_counts(nruns, nq);
+    pool->ParallelForEach(nruns, [&](size_t k) {
+      QueryMetrics* row = aos.data() + k * nq;
+      if (noisy) {
+        for (size_t i = 0; i < nq; ++i) {
+          ClusterSimulator::ApplyNoise(&row[i], noises[k * nq + i]);
+        }
+      }
+      if (faults_on) {
+        outcomes[k] = ApplyRunFaults(
+            S.faults_, fault_draws.data() + k * draw_stride,
+            std::max(1, confs[k].GetInt(kExecutorInstances)), row, nq);
+        run_counts[k] = outcomes[k].queries_run;
+      }
+    });
+    if (faults_on) {
+      for (size_t k = 0; k < nruns; ++k) {
+        const FaultOutcome& o = outcomes[k];
+        S.fault_stats_.executor_losses += o.executor_losses;
+        S.fault_stats_.stragglers += o.stragglers;
+        S.fault_stats_.fetch_failures += o.fetch_failures;
+        if (o.killed) {
+          S.fault_stats_.app_kills += 1;
+          S.fault_stats_.failed_runs += 1;
+          if (S.flight_ != nullptr) {
+            char msg[96];
+            std::snprintf(msg, sizeof(msg), "oom_kill app=%s ds=%g at_query=%d",
+                          app.name.c_str(), datasize_gb, o.killed_at);
+            S.flight_->Record("fault", "warn", "sparksim", msg,
+                              static_cast<double>(o.killed_at));
+          }
+        }
+      }
+    }
+    if (S.tracer_ != nullptr) {
+      // Trace emission must interleave with the simulated-time lane, so
+      // materialization stays serial (the reference tail per run).
+      for (size_t k = 0; k < nruns; ++k) {
+        results[k] = S.FinishAppRun(app, confs[k], datasize_gb,
+                                    aos.data() + k * nq, run_counts[k],
+                                    nullptr);
+      }
+    } else {
+      std::vector<uint64_t> lane_ns(nruns, 0);
+      pool->ParallelForEach(nruns, [&](size_t k) {
+        AppRunResult& r = results[k];
+        const size_t count = run_counts[k];
+        r.per_query.reserve(count);
+        const double driver_relief =
+            std::min(1.0, confs[k].Get(kDriverMemory) / 16.0) *
+            std::min(1.0, confs[k].Get(kDriverCores) / 4.0);
+        const double submit =
+            S.params_.app_submit_overhead_s * (1.2 - 0.2 * driver_relief);
+        uint64_t ns = SimLaneNs(submit);
+        r.total_seconds = submit;
+        QueryMetrics* row = aos.data() + k * nq;
+        for (size_t i = 0; i < count; ++i) {
+          QueryMetrics qm = std::move(row[i]);
+          r.total_seconds += qm.exec_seconds;
+          r.gc_seconds += qm.gc_seconds;
+          r.shuffle_gb += qm.shuffle_gb;
+          r.any_oom = r.any_oom || qm.oom;
+          ns += SimLaneNs(qm.exec_seconds);
+          r.per_query.push_back(std::move(qm));
+        }
+        lane_ns[k] = ns;
+      });
+      for (size_t k = 0; k < nruns; ++k) S.sim_lane_cursor_ns_ += lane_ns[k];
+    }
+    if (faults_on) {
+      for (size_t k = 0; k < nruns; ++k) {
+        const FaultOutcome& o = outcomes[k];
+        results[k].failed = o.killed;
+        results[k].failed_at_query = o.killed_at;
+        results[k].retries = o.retries;
+        results[k].lost_executors = o.lost_executors;
+        if (o.killed) results[k].fail_reason = "oom_kill";
+      }
+    }
+  }
+
+  batch_span.Arg("runs", static_cast<double>(nruns));
+  batch_span.Arg("queries", static_cast<double>(nq));
+  return results;
+}
+
+}  // namespace locat::sparksim

@@ -1,0 +1,80 @@
+#ifndef LOCAT_SPARKSIM_BATCH_ENGINE_H_
+#define LOCAT_SPARKSIM_BATCH_ENGINE_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sparksim/simulator.h"
+
+namespace locat::sparksim {
+
+/// Which implementation serves ClusterSimulator::RunAppBatch.
+///
+/// `kSeq` is the reference engine in simulator.cc: a per-conf sequential
+/// loop under faults, a flat (conf x query) fan-out otherwise, every cell
+/// through the scalar SimulateQuery. `kBatch` is the structure-of-arrays
+/// engine in this file: the conf batch is lowered once into contiguous
+/// per-knob planes (batch_soa.h) and advanced stage-phase by stage-phase,
+/// with math::kern elementwise kernels on the memory-demand planes and
+/// ThreadPool::ParallelFor splitting conf blocks deterministically.
+/// `kAuto` (the default) picks kBatch whenever the batch has at least
+/// kBatchEngineMinConfs configurations.
+///
+/// Determinism contract: both engines produce bit-identical results,
+/// RNG streams, cache contents and runs_performed_ for any thread count,
+/// cache state, SIMD backend and fault plan — the batch engine hoists
+/// common subexpressions of the scalar model without reordering or fusing
+/// any IEEE-754 operation, pre-draws noise conf-major and fault draws
+/// run-major in the sequential consumption order, and peels cache lookups
+/// in serial lane order before lowering. Only wall-lane trace spans and
+/// (for duplicate confs within one batch) cache hit/miss counter
+/// attribution may differ; cached *values* never do.
+enum class SimEngine {
+  kSeq = 0,
+  kBatch = 1,
+  kAuto = 2,
+};
+
+/// Batches smaller than this stay on the sequential engine under kAuto
+/// (one conf has no lanes to amortize the lowering over).
+inline constexpr size_t kBatchEngineMinConfs = 2;
+
+/// The engine RunAppBatch currently dispatches to. Lazily initialized
+/// from the LOCAT_SIM_ENGINE environment variable on first use: "seq",
+/// "batch", or "auto" (the default when unset). Invalid values warn once
+/// on stderr and fall back to auto.
+SimEngine ActiveSimEngine();
+
+/// Forces the dispatch. Thread-safe; callers switch between, not during,
+/// batch evaluations.
+void SetSimEngine(SimEngine e);
+
+/// Parses "seq" | "batch" | "auto" (the LOCAT_SIM_ENGINE / --sim-engine
+/// values) and switches the dispatch.
+Status SetSimEngineByName(std::string_view name);
+
+const char* SimEngineName(SimEngine e);
+const char* ActiveSimEngineName();
+
+/// Structure-of-arrays batch evaluator behind RunAppBatch. Stateless
+/// apart from the simulator it drives; constructed per batch.
+class BatchEngine {
+ public:
+  explicit BatchEngine(ClusterSimulator* sim) : sim_(sim) {}
+
+  /// Evaluates the (confs x query_indices) grid. Caller (RunAppBatch) has
+  /// already validated datasize and indices and handled the empty batch.
+  StatusOr<std::vector<AppRunResult>> Run(const SparkSqlApp& app,
+                                          const std::vector<int>& query_indices,
+                                          const std::vector<SparkConf>& confs,
+                                          double datasize_gb);
+
+ private:
+  ClusterSimulator* sim_;
+};
+
+}  // namespace locat::sparksim
+
+#endif  // LOCAT_SPARKSIM_BATCH_ENGINE_H_

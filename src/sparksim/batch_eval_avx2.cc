@@ -1,0 +1,384 @@
+// AVX2 lane-pass evaluator behind batch::EvalBlock. This TU alone is
+// compiled with -mavx2 -fno-trapping-math (plus the library-wide
+// -ffp-contract=off); the dispatcher in batch_soa.cc only calls it when
+// the math::kern backend resolved to kAvx2, so the rest of the binary
+// stays runnable on older x86.
+//
+// The cost model here is the same IEEE-754 op sequence as the scalar
+// EvalCell, restructured from one branchy per-cell function into
+// vectorizable passes over contiguous lane arrays:
+//   - every data-dependent branch becomes a select (ternary on a lane
+//     value), which preserves the taken branch's value bit for bit;
+//   - guarded divisions are speculated across all lanes (hence
+//     -fno-trapping-math) and the garbage lanes blended away — the
+//     selected lane's quotient is the same single correctly-rounded
+//     division the scalar code performs;
+//   - std::log2 / std::pow stay scalar libm calls in dedicated fix-up
+//     loops over the (usually few) lanes whose spill/OOM/GC-pressure
+//     condition fired, so no vector-libm approximation ever leaks in.
+// Associativity is transcribed exactly (C++ left-assoc, explicit parens
+// where the scalar code grouped differently), per-query constant folds
+// reuse the identical multiply the scalar code performs per cell, and
+// std::min/std::max are written as the (a < b) selections libstdc++
+// defines them as. The bit-identity gates in tests/batch_engine_test.cc
+// and bench/micro_simgrid compare this evaluator against the scalar one
+// and the sequential engine on every change.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sparksim/batch_soa.h"
+
+namespace locat::sparksim::batch {
+
+namespace {
+// Lanes per temp-array sub-block: big enough that the pass loops
+// amortize, small enough that ~20 spill arrays stay in L1/L2.
+constexpr size_t kLanes = 256;
+}  // namespace
+
+void EvalBlockAvx2(const ModelTables& t, const std::vector<QueryEnv>& envs,
+                   const LoweredBatch& L, size_t p0, size_t p1,
+                   CellPlanes* out, size_t out_p0, size_t out_stride) {
+  const size_t nq = envs.size();
+  alignas(64) double empt[kLanes];
+  alignas(64) double scan_waves[kLanes];
+  alignas(64) double map_t[kLanes];
+  alignas(64) double net_t[kLanes];
+  alignas(64) double demand[kLanes];
+  alignas(64) double avail[kLanes];
+  alignas(64) double rcpu[kLanes];
+  alignas(64) double press[kLanes];
+  alignas(64) double bcast[kLanes];
+  alignas(64) double spill_t[kLanes];
+  alignas(64) double oom_mult[kLanes];
+  alignas(64) double ape_a[kLanes];
+  alignas(64) double fgc_a[kLanes];
+  alignas(64) double thrash[kLanes];
+  // Double-typed shadows of the narrow planes used by the scan/shuffle
+  // vector passes: GCC if-converts and vectorizes pure-double bodies,
+  // but gives up when uint8/int32 loads feed double selects there. The
+  // widening is exact (flags become 0.0/1.0, int32 fits a double), so
+  // the selects pick identical values.
+  alignas(64) double ones[kLanes];
+  for (size_t l = 0; l < kLanes; ++l) ones[l] = 1.0;
+  alignas(64) double maxf_d[kLanes];
+  alignas(64) double prun_d[kLanes];
+  alignas(64) double psmj_d[kLanes];
+  alignas(64) double bysort_d[kLanes];
+  alignas(64) double radix_d[kLanes];
+  alignas(64) double agg2_d[kLanes];
+  alignas(64) double retain_d[kLanes];
+  alignas(64) double scomp_d[kLanes];
+  alignas(64) double bcomp_d[kLanes];
+
+  for (size_t s0 = p0; s0 < p1; s0 += kLanes) {
+    const size_t sn = std::min(kLanes, p1 - s0);
+    // Lane-array views of the lowered planes for this sub-block.
+    const double* __restrict pool = L.pool.data() + s0;
+    const double* __restrict pool_sf = L.pool_sf.data() + s0;
+    const double* __restrict cores = L.cores_d.data() + s0;
+    const double* __restrict slots = L.slots_d.data() + s0;
+    const double* __restrict execs = L.executors_d.data() + s0;
+    const double* __restrict ediv = L.exec_div.data() + s0;
+    const double* __restrict offh = L.offheap_per_task.data() + s0;
+    const double* __restrict sp = L.speed.data() + s0;
+    const double* __restrict spwt = L.speed_wt.data() + s0;
+    const double* __restrict ccpu_cache = L.cache_cpu.data() + s0;
+    const double* __restrict rddt = L.rdd_tasks.data() + s0;
+    const double* __restrict rddw = L.rdd_waves.data() + s0;
+    const double* __restrict parts = L.partitions.data() + s0;
+    const double* __restrict rawp = L.raw_partitions.data() + s0;
+    const double* __restrict redw = L.red_waves.data() + s0;
+    const double* __restrict bth = L.bcast_threshold.data() + s0;
+    const double* __restrict blk = L.block_mb.data() + s0;
+    const double* __restrict kryo = L.kryo_factor.data() + s0;
+    const double* __restrict cart = L.cartesian_factor.data() + s0;
+    const double* __restrict cratio = L.comp_ratio.data() + s0;
+    const double* __restrict ccpu = L.comp_cpu.data() + s0;
+    const double* __restrict zbuf = L.zbuf_factor.data() + s0;
+    const double* __restrict ff = L.file_factor.data() + s0;
+    const double* __restrict ndenom = L.net_denom.data() + s0;
+    const double* __restrict infl = L.inflight_factor.data() + s0;
+    const double* __restrict eff = L.eff_threshold.data() + s0;
+    const double* __restrict ombase = L.oom_mult_base.data() + s0;
+    const double* __restrict goff = L.gc_off_factor.data() + s0;
+    const double* __restrict ut = L.user_thrash.data() + s0;
+    const double* __restrict up6 = L.up6.data() + s0;
+    const double* __restrict den1 = L.gc_den1.data() + s0;
+    const double* __restrict den2 = L.gc_den2.data() + s0;
+    const double* __restrict pause = L.pause.data() + s0;
+    const double* __restrict rev = L.revive_term.data() + s0;
+    const double* __restrict lw12 = L.lw12.data() + s0;
+    const double* __restrict mmap = L.mmap_term.data() + s0;
+    const int32_t* __restrict maxf = L.maxfields.data() + s0;
+    const uint8_t* __restrict pruning = L.pruning.data() + s0;
+    const uint8_t* __restrict psmj = L.prefer_smj.data() + s0;
+    const uint8_t* __restrict bysort = L.bypass_sort.data() + s0;
+    const uint8_t* __restrict radix = L.radix.data() + s0;
+    const uint8_t* __restrict agg2 = L.agg2.data() + s0;
+    const uint8_t* __restrict retain = L.retain.data() + s0;
+    const uint8_t* __restrict scomp = L.shuffle_compress.data() + s0;
+    const uint8_t* __restrict spcomp = L.spill_compress.data() + s0;
+    const uint8_t* __restrict bcomp = L.bcast_compress.data() + s0;
+    const uint8_t* __restrict rddc = L.rdd_compress.data() + s0;
+    const uint8_t* __restrict hoff = L.has_offheap.data() + s0;
+    const uint8_t* __restrict oomb = L.oom_flag_base.data() + s0;
+
+    for (size_t l = 0; l < sn; ++l) {
+      maxf_d[l] = static_cast<double>(maxf[l]);
+      prun_d[l] = pruning[l] != 0 ? 1.0 : 0.0;
+      psmj_d[l] = psmj[l] != 0 ? 1.0 : 0.0;
+      bysort_d[l] = bysort[l] != 0 ? 1.0 : 0.0;
+      radix_d[l] = radix[l] != 0 ? 1.0 : 0.0;
+      agg2_d[l] = agg2[l] != 0 ? 1.0 : 0.0;
+      retain_d[l] = retain[l] != 0 ? 1.0 : 0.0;
+      scomp_d[l] = scomp[l] != 0 ? 1.0 : 0.0;
+      bcomp_d[l] = bcomp[l] != 0 ? 1.0 : 0.0;
+    }
+
+    for (size_t qi = 0; qi < nq; ++qi) {
+      const QueryEnv& e = envs[qi];
+      const size_t row0 = qi * out_stride + (s0 - out_p0);
+      double* __restrict o_exec = out->exec.data() + row0;
+      double* __restrict o_gc = out->gc.data() + row0;
+      double* __restrict o_scan = out->scan.data() + row0;
+      double* __restrict o_sh = out->shuffle_s.data() + row0;
+      double* __restrict o_sgb = out->shuffle_gb.data() + row0;
+      double* __restrict o_spill = out->spill_gb.data() + row0;
+      double* __restrict o_waves = out->waves.data() + row0;
+      double* __restrict o_sev = out->severity.data() + row0;
+      uint8_t* __restrict o_oom = out->oom.data() + row0;
+
+      // Per-query constant folds. Each is a product of two query-only
+      // values the scalar code multiplies per cell — the same two
+      // operands in the same order, so the lanes that select them get
+      // the identical bits.
+      const double sc_base = e.scanned_gb * e.cpu_per_gb;
+      const double sc_cg = e.scanned_gb * (e.cpu_per_gb * 1.12);
+      const double rg07 = e.rescan_gb_base * 0.7;
+      const double sb_av = e.shuffle_base * e.one_minus_avoid;
+      const double mptf16 = e.mem_per_task_factor * 1.6;
+      const double msc08 = t.p.map_sort_cpu * 0.8;
+      const double skew_m = std::max(1.0, e.skew);
+      // Query-invariant branch conditions folded into selectable values
+      // so the vector passes stay straight-line (GCC only if-converts
+      // branch-free bodies). Each fold is bit-preserving: rgA/rgB pick
+      // the rescan operand (0 * positive == +0 when has_rescan is off),
+      // nss_inf makes `raw/slots` compare false on every lane when nss
+      // == 0, and the *1.0 identity multiplies below leave lanes whose
+      // scalar path skipped the multiply untouched bitwise.
+      const double rgA = e.has_rescan ? rg07 : 0.0;
+      const double rgB = e.has_rescan ? e.rescan_gb_base : 0.0;
+      // xw_gate multiplies the extra-wave term by 1.0 or 0.0: xw is a
+      // non-negative ceil, so xw * 1.0 == xw and xw * 0.0 == +0.0 — the
+      // exact operand the scalar ternary adds. A select on an invariant
+      // bool would keep GCC from if-converting the loop.
+      const double xw_gate = e.nss > 0 ? 1.0 : 0.0;
+      const double bc_lhs = e.has_bcast
+                                ? e.bcast_mb1024
+                                : std::numeric_limits<double>::infinity();
+      const double cgf_d = static_cast<double>(e.codegen_fields);
+      const double cj_sel = e.is_join ? 0.0 : 2.0;  // psmj is 0/1, never 2
+      const double msel = e.is_agg ? msc08 : t.p.map_sort_cpu;
+      const double f088 = e.is_agg ? 0.88 : 1.0;
+      const double f102 = e.is_agg ? 1.02 : 1.0;
+      // Pointer select instead of a per-lane invariant-bool ternary:
+      // non-cartesian queries multiply by 1.0, which leaves mc bitwise
+      // untouched, exactly like the skipped scalar multiply.
+      const double* __restrict cart_sel = e.cartesian ? cart : ones;
+
+      // ---- memory-demand plane phase (DeriveResources' query split).
+      for (size_t l = 0; l < sn; ++l) {
+        const double storage_pool = e.storage_need * pool_sf[l];
+        const double d = (pool[l] - storage_pool) - 0.0;
+        const double ea = (0.05 < d) ? d : 0.05;
+        empt[l] = ea / cores[l];
+      }
+
+      // ---- scan + totals-latency pass. The omp simd pragmas assert
+      // the (true) absence of lane dependences: without them GCC's
+      // vectorizer loses track of these unit-stride loops inside the
+      // chunk x query nest and leaves them scalar.
+#pragma omp simd
+      for (size_t l = 0; l < sn; ++l) {
+        const double sl = slots[l];
+        const double sw = std::ceil(e.scan_tasks / sl);
+        const double rescan = (prun_d[l] != 0.0 ? rgA : rgB) * ccpu_cache[l];
+        const double scs = (cgf_d > maxf_d[l] ? sc_cg : sc_base) + rescan;
+        const double cs1 = scs * (1.0 - 0.2);
+        const double w1f = (cs1 / e.scan_tasks / spwt[l]) * ((sw - 1.0) + 1.1);
+        const double w1 = cs1 > 0.0 ? w1f : 0.0;
+        const double cs2 = scs * 0.2;
+        const double w2f = (cs2 / rddt[l] / spwt[l]) * ((rddw[l] - 1.0) + 1.1);
+        const double w2 = cs2 > 0.0 ? w2f : 0.0;
+        const double sct = w1 + w2;
+        o_scan[l] = ((sct < e.io_floor) ? e.io_floor : sct) + e.scan_overhead;
+        scan_waves[l] = sw;
+        const double xw = std::ceil(rawp[l] / sl);
+        const double tw = sw + xw * xw_gate;
+        o_waves[l] = tw;
+        // latency parked in o_exec until the final combine pass.
+        o_exec[l] = ((t.p.query_latency_s + rev[l] * tw) +
+                     (lw12[l] * e.one_nss) * 0.3) +
+                    mmap[l];
+      }
+
+      if (e.has_shuffle) {
+        // ---- shuffle pass 1: map side, wire, memory pressure.
+#pragma omp simd
+        for (size_t l = 0; l < sn; ++l) {
+          // bc_lhs is +inf when the query has no broadcast, so bc is
+          // false on every lane and the speculated broadcast math (all
+          // operands 0, all divisors positive) is blended away.
+          const bool bc = bc_lhs <= bth[l];
+          const double sg = bc ? sb_av : e.shuffle_base;
+          const double bg = bcomp_d[l] != 0.0 ? e.bcast_gb_c : e.bcast_gb;
+          const double bcpu = bcomp_d[l] != 0.0 ? e.bcast_cpu_c : 0.0;
+          const double piece = (e.bcast_mb / blk[l]) * 0.002;
+          const double full = ((((bg * execs[l]) / t.network_gbps) /
+                                t.worker_nodes) +
+                               bcpu / sp[l]) +
+                              piece;
+          const double bct = bc ? full : 0.0;
+          double mc = (sg * 1.2) * kryo[l];
+          const bool cj = psmj_d[l] == cj_sel;
+          const double mdf = cj ? mptf16 : e.mem_per_task_factor;
+          const double scpu = radix_d[l] != 0.0 ? msel : t.p.map_sort_cpu;
+          mc = (!cj && bysort_d[l] == 0.0) ? mc + sg * scpu : mc;
+          mc = agg2_d[l] != 0.0 ? mc * f088 : mc;
+          mc = retain_d[l] != 0.0 ? mc * f102 : mc;
+          mc = mc * cart_sel[l];
+          const double wire = scomp_d[l] != 0.0 ? sg * cratio[l] : sg;
+          mc = scomp_d[l] != 0.0 ? mc + (sg * ccpu[l]) * zbuf[l] : mc;
+          mc = mc + (sg * 0.35) * ff[l];
+          const double sw = scan_waves[l];
+          const double mtf = (mc / e.scan_tasks / spwt[l]) * ((sw - 1.0) + 1.15);
+          const double mt = (mc > 0.0 ? mtf : 0.0) + wire / t.disk_bw;
+          const double nt = (wire / ndenom[l]) * infl[l];
+          const double dg = (sg / parts[l]) * mdf;
+          const double ag = empt[l] + offh[l];
+          double rc = sg * e.shuffle_cpu_per_gb;
+          rc = scomp_d[l] != 0.0 ? rc + sg * t.p.decompression_cpu : rc;
+          const double pr = dg / ((1e-3 < ag) ? ag : 1e-3);
+          o_sgb[l] = sg;
+          bcast[l] = bct;
+          map_t[l] = mt;
+          net_t[l] = nt;
+          demand[l] = dg;
+          avail[l] = ag;
+          rcpu[l] = rc;
+          press[l] = pr;
+          o_sev[l] = pr / eff[l];
+        }
+
+        // ---- shuffle pass 2 (scalar): spill merge passes and the OOM
+        // penalty — the two log2 sites, entered per lane only when the
+        // scalar code would enter them.
+        for (size_t l = 0; l < sn; ++l) {
+          const double sg = o_sgb[l];
+          double sp_gb = 0.0;
+          double sp_time = 0.0;
+          double rc = rcpu[l];
+          if (demand[l] > avail[l]) {
+            const double spill_ratio = 1.0 - avail[l] / demand[l];
+            const double merge_passes =
+                1.0 + std::log2(std::max(1.0, demand[l] / avail[l]));
+            sp_gb = sg * spill_ratio * (1.0 + merge_passes);
+            double spill_disk_gb = sp_gb;
+            if (spcomp[l] != 0) {
+              rc += sp_gb * ccpu[l] * 0.8;
+              spill_disk_gb *= cratio[l];
+            }
+            rc += sp_gb * t.p.spill_cpu_per_gb;
+            sp_time = spill_disk_gb / t.disk_bw;
+          }
+          double om = ombase[l];
+          bool oflag = oomb[l] != 0;
+          if (press[l] > eff[l]) {
+            om = std::min(t.p.oom_penalty_cap,
+                          om + t.p.oom_penalty * std::log2(o_sev[l]));
+            oflag = true;
+          }
+          o_spill[l] = sp_gb;
+          spill_t[l] = sp_time;
+          rcpu[l] = rc;
+          oom_mult[l] = om;
+          o_oom[l] = oflag ? 1 : 0;
+        }
+
+        // ---- shuffle pass 3: reduce side and the shuffle total.
+        for (size_t l = 0; l < sn; ++l) {
+          const double rc = rcpu[l];
+          const double w =
+              rc > 0.0
+                  ? (rc / parts[l] / spwt[l]) * ((redw[l] - 1.0) + skew_m)
+                  : 0.0;
+          const double a = parts[l] * e.scan_tasks;
+          const double b = o_sgb[l] / 6.4e-5;
+          const double m = (b < a) ? b : a;
+          const double rt = (((w + net_t[l]) + spill_t[l]) +
+                             (parts[l] * e.stages_d) * t.p.task_overhead_s) +
+                            (m * e.stages_d) * 1.0e-5;
+          o_sh[l] = (map_t[l] + rt) * oom_mult[l] + bcast[l] + e.st015;
+        }
+      } else {
+        for (size_t l = 0; l < sn; ++l) {
+          o_sgb[l] = 0.0;
+          o_spill[l] = 0.0;
+          o_sev[l] = 0.0;
+          o_sh[l] = 0.0;
+          o_oom[l] = 0;
+        }
+      }
+
+      // ---- GC pass 1: allocation picture and occupancy.
+      for (size_t l = 0; l < sn; ++l) {
+        double ag = e.alloc35 + o_sgb[l] * 1.2 + o_spill[l] * 0.5;
+        ag = rddc[l] != 0 ? ag * 0.92 : ag;
+        ag = hoff[l] != 0 ? ag * goff[l] : ag;
+        const double ape = ag / ediv[l];
+        const double inner = e.mem_per_task_factor * o_sgb[l] / parts[l];
+        const double e15 = empt[l] * 1.5;
+        const double cd = cores[l] * ((e15 < inner) ? e15 : inner);
+        const double oy_raw = (cd / pool[l] + e.rf03) + 0.15;
+        const double oy = (oy_raw < 1.5) ? oy_raw : 1.5;
+        const double ob = oy - 0.6;
+        thrash[l] = (0.0 < ob) ? ob : 0.0;
+        ape_a[l] = ape;
+        fgc_a[l] = std::ceil(ape / den1[l]) + up6[l] * ape / den2[l];
+      }
+
+      // ---- GC pass 2 (scalar): the pressure pow. pow(0, 2) is exactly
+      // +0, so unpressured lanes skip the libm call without changing a
+      // bit.
+      for (size_t l = 0; l < sn; ++l) {
+        const double ob = thrash[l];
+        const double pw = ob == 0.0 ? 0.0 : std::pow(ob, 2.0);
+        thrash[l] = 1.0 + t.p.gc_pressure_coeff * pw;
+      }
+
+      // ---- GC pass 3 + final combine.
+#pragma omp simd
+      for (size_t l = 0; l < sn; ++l) {
+        const double ape = ape_a[l];
+        const double r = ape / pool[l];
+        const double min1 = (r < 1.0) ? r : 1.0;
+        const double gc =
+            ape * t.p.gc_base_s_per_gb * thrash[l] * ut[l] +
+            fgc_a[l] * pause[l] * min1;
+        o_gc[l] = gc;
+        o_exec[l] = o_scan[l] + o_sh[l] + gc + o_exec[l];
+      }
+    }
+  }
+}
+
+}  // namespace locat::sparksim::batch
+
+#endif  // x86-64

@@ -1,0 +1,522 @@
+#include "sparksim/batch_soa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include "math/kern/kern.h"
+#include "sparksim/eval_cache.h"
+
+// This translation unit must execute the exact IEEE-754 operation
+// sequence of simulator.cc, so it is compiled with -ffp-contract=off
+// (see src/sparksim/CMakeLists.txt): a fused multiply-add the scalar
+// model did not perform would change bits on FMA-capable targets.
+
+namespace locat::sparksim::batch {
+namespace {
+
+// Mirror of simulator.cc's CodegenFields (same std::hash, same range).
+int CodegenFields(const std::string& name) {
+  const size_t h = std::hash<std::string>{}(name);
+  return 50 + static_cast<int>(h % 150);
+}
+
+}  // namespace
+
+ModelTables ModelTables::Build(const ClusterSpec& cluster,
+                               const SimParams& params) {
+  ModelTables t;
+  t.p = params;
+  t.core_speed = cluster.core_speed;
+  t.network_gbps = cluster.network_gbps;
+  t.disk_bw = cluster.disk_gbps * cluster.worker_nodes;
+  t.total_memory_gb = cluster.total_memory_gb();
+  t.total_cores = cluster.total_cores();
+  t.container_max_cores = cluster.container_max_cores;
+  t.worker_nodes = cluster.worker_nodes;
+  for (int z = 1; z <= 5; ++z) {
+    t.comp_ratio[z] = params.compression_ratio_l1 *
+                      std::pow(params.compression_level_gain, z - 1);
+    t.comp_cpu[z] = params.compression_cpu_l1 *
+                    std::pow(params.compression_level_cpu, z - 1);
+  }
+  return t;
+}
+
+void BuildQueryEnvs(const SparkSqlApp& app, const std::vector<int>& valid,
+                    double datasize_gb, const ModelTables& t,
+                    bool want_fingerprints, std::vector<QueryEnv>* out) {
+  out->clear();
+  out->reserve(valid.size());
+  // Hoisted once: every query's bcast_mb uses the same sqrt argument.
+  const double ds_sqrt = std::sqrt(datasize_gb / 100.0);
+  for (int idx : valid) {
+    const QueryProfile& q = app.queries[static_cast<size_t>(idx)];
+    QueryEnv e;
+    e.name = &q.name;
+    if (want_fingerprints) e.qfp = FingerprintQuery(q);
+    e.scanned_gb = datasize_gb * q.input_frac;
+    e.scan_tasks = std::max(1.0, std::ceil(e.scanned_gb / t.p.split_gb));
+    e.scan_overhead = e.scan_tasks * t.p.task_overhead_s;
+    e.io_floor = e.scanned_gb / t.disk_bw;
+    e.cpu_per_gb = q.cpu_per_gb;
+    e.codegen_fields = CodegenFields(q.name);
+    e.has_rescan = q.rescan_frac > 0.0;
+    e.rescan_gb_base = e.scanned_gb * q.rescan_frac;
+    e.storage_need = 0.25 + 0.65 * std::min(1.0, q.rescan_frac * 4.0);
+    e.rf03 = q.rescan_frac * 0.3;
+    e.has_shuffle = q.num_shuffle_stages > 0 && q.shuffle_ratio > 0.0;
+    if (e.has_shuffle) {
+      e.shuffle_base = e.scanned_gb * q.shuffle_ratio *
+                       std::pow(datasize_gb / 100.0, q.ds_exponent);
+    }
+    e.stages_d = std::max(1, q.num_shuffle_stages);
+    e.st015 = e.stages_d * 0.15;
+    e.nss = q.num_shuffle_stages;
+    e.one_nss = 1.0 + q.num_shuffle_stages;
+    e.has_bcast = q.broadcastable_mb > 0.0;
+    if (e.has_bcast) {
+      e.bcast_mb = q.broadcastable_mb * ds_sqrt;
+      e.bcast_mb1024 = e.bcast_mb * 1024.0;
+      e.bcast_gb = e.bcast_mb / 1024.0;
+      e.bcast_cpu_c = e.bcast_gb * t.p.compression_cpu_l1;
+      e.bcast_gb_c = e.bcast_gb * t.p.compression_ratio_l1;
+      e.one_minus_avoid = 1.0 - q.broadcast_avoid_frac;
+    }
+    e.is_join = q.category == QueryCategory::kJoin;
+    e.is_agg = q.category == QueryCategory::kAggregation;
+    e.cartesian = q.has_cartesian;
+    e.mem_per_task_factor = q.mem_per_task_factor;
+    e.shuffle_cpu_per_gb = q.shuffle_cpu_per_gb;
+    e.skew = q.skew;
+    e.alloc35 = e.scanned_gb * 0.35;
+    out->push_back(e);
+  }
+}
+
+void LoweredBatch::Resize(size_t n) {
+  for (std::vector<double>* v :
+       {&heap, &pool, &pool_sf, &cores_d, &slots_d, &executors_d, &exec_div,
+        &offheap_per_task, &speed, &speed_wt, &cache_cpu, &rdd_tasks,
+        &rdd_waves, &partitions, &raw_partitions, &red_waves, &bcast_threshold,
+        &block_mb, &kryo_factor, &cartesian_factor, &comp_ratio, &comp_cpu,
+        &zbuf_factor, &file_factor, &net_denom, &inflight_factor,
+        &eff_threshold, &oom_mult_base, &gc_off_factor, &user_thrash, &up6,
+        &gc_den1, &gc_den2, &pause, &revive_term, &lw12, &mmap_term}) {
+    v->resize(n);
+  }
+  maxfields.resize(n);
+  for (std::vector<uint8_t>* v :
+       {&pruning, &prefer_smj, &bypass_sort, &radix, &agg2, &retain,
+        &shuffle_compress, &spill_compress, &bcast_compress, &rdd_compress,
+        &has_offheap, &oom_flag_base}) {
+    v->resize(n);
+  }
+}
+
+void LowerConf(const SparkConf& conf, const ModelTables& t, size_t p,
+               LoweredBatch* L) {
+  // ---- DeriveResources (query-independent part). The query-dependent
+  // storage split is finished per query by EvalBlock's plane phase.
+  const int cores =
+      std::clamp(conf.GetInt(kExecutorCores), 1, t.container_max_cores);
+  const double heap = std::max(1.0, conf.Get(kExecutorMemory));
+  const double overhead =
+      std::max(0.384, conf.Get(kExecutorMemoryOverhead) / 1024.0);
+  const bool offheap_on = conf.GetBool(kMemoryOffHeapEnabled);
+  const double offheap_gb =
+      offheap_on ? conf.Get(kMemoryOffHeapSize) / 1024.0 : 0.0;
+  const double per_exec_mem = heap + overhead + offheap_gb;
+  const int requested = std::max(1, conf.GetInt(kExecutorInstances));
+  const int max_by_mem =
+      std::max(1, static_cast<int>(t.total_memory_gb / per_exec_mem));
+  const int max_by_cores = std::max(1, t.total_cores / cores);
+  const int executors = std::min({requested, max_by_mem, max_by_cores});
+  const int slots = executors * cores;
+  const double pool = std::max(0.1, (heap - 0.3) * conf.Get(kMemoryFraction));
+  const double offheap_per_task = offheap_gb / cores;
+
+  L->heap[p] = heap;
+  L->pool[p] = pool;
+  L->pool_sf[p] = pool * conf.Get(kMemoryStorageFraction);
+  L->cores_d[p] = cores;
+  L->slots_d[p] = slots;
+  L->executors_d[p] = executors;
+  L->exec_div[p] = std::max(1, executors);
+  L->offheap_per_task[p] = offheap_per_task;
+
+  const double contention =
+      1.0 + t.p.core_contention *
+                std::max(0, cores - t.p.contention_free_cores);
+  const double speed = t.core_speed / contention;
+  L->speed[p] = speed;
+  L->speed_wt[p] = std::max(0.05, speed);
+
+  // ---- scan factors.
+  L->maxfields[p] = conf.GetInt(kSqlCodegenMaxFields);
+  L->pruning[p] = conf.GetBool(kSqlInMemoryColumnarPruning) ? 1 : 0;
+  {
+    double cache_cpu = 2.0;
+    if (!conf.GetBool(kSqlInMemoryColumnarCompressed)) cache_cpu *= 0.9;
+    const double batch = conf.Get(kSqlInMemoryColumnarBatchSize);
+    cache_cpu *= 1.0 + 0.05 * (10000.0 / std::max(2500.0, batch) - 1.0);
+    L->cache_cpu[p] = cache_cpu;
+  }
+  const double rdd_tasks = std::max(8.0, conf.Get(kDefaultParallelism));
+  L->rdd_tasks[p] = rdd_tasks;
+  // WaveTime's slots clamp: slots >= 1 already, so ceil(tasks / slots_d)
+  // is the wave count every WaveTime call below computes.
+  L->rdd_waves[p] = std::ceil(rdd_tasks / L->slots_d[p]);
+
+  // ---- shuffle factors.
+  const double partitions = std::max(8.0, conf.Get(kSqlShufflePartitions));
+  L->partitions[p] = partitions;
+  L->raw_partitions[p] = conf.Get(kSqlShufflePartitions);
+  L->red_waves[p] = std::ceil(partitions / L->slots_d[p]);
+  L->bcast_threshold[p] = conf.Get(kSqlAutoBroadcastJoinThreshold);
+  L->bcast_compress[p] = conf.GetBool(kBroadcastCompress) ? 1 : 0;
+  L->block_mb[p] = std::max(1.0, conf.Get(kBroadcastBlockSize));
+  {
+    const double kryo_max = std::max(16.0, conf.Get(kKryoBufferMax));
+    const double kryo_buf = std::max(16.0, conf.Get(kKryoBuffer));
+    L->kryo_factor[p] = 1.0 + 0.08 * std::max(0.0, 64.0 / kryo_max - 0.5) +
+                        0.04 * std::max(0.0, 64.0 / kryo_buf - 0.5);
+  }
+  L->prefer_smj[p] = conf.GetBool(kSqlPreferSortMergeJoin) ? 1 : 0;
+  L->bypass_sort[p] =
+      partitions <= conf.Get(kShuffleSortBypassMergeThreshold) ? 1 : 0;
+  L->radix[p] = conf.GetBool(kSqlSortEnableRadixSort) ? 1 : 0;
+  L->agg2[p] = conf.GetBool(kSqlCodegenAggTwoLevel) ? 1 : 0;
+  L->retain[p] = conf.GetBool(kSqlRetainGroupColumns) ? 1 : 0;
+  L->cartesian_factor[p] =
+      1.0 + 0.3 * (4096.0 /
+                       std::max(512.0, conf.Get(kSqlCartesianProductThreshold)) -
+                   0.5);
+  const int zlevel = std::clamp(conf.GetInt(kZstdLevel), 1, 5);
+  L->comp_ratio[p] = t.comp_ratio[zlevel];
+  L->comp_cpu[p] = t.comp_cpu[zlevel];
+  L->shuffle_compress[p] = conf.GetBool(kShuffleCompress) ? 1 : 0;
+  {
+    const double zbuf = std::max(8.0, conf.Get(kZstdBufferSize));
+    L->zbuf_factor[p] = 1.0 + 0.05 * (32.0 / zbuf - 0.33);
+  }
+  {
+    const double file_buffer = std::max(8.0, conf.Get(kShuffleFileBuffer));
+    L->file_factor[p] = 32.0 / file_buffer;
+  }
+  {
+    const double conn_factor =
+        std::min(1.0, 0.7 + 0.06 * conf.Get(kShuffleIoNumConnections));
+    L->net_denom[p] = t.network_gbps * conn_factor;
+  }
+  L->inflight_factor[p] =
+      0.9 + 0.1 * (48.0 / std::max(12.0, conf.Get(kReducerMaxSizeInFlight)));
+  L->spill_compress[p] = conf.GetBool(kShuffleSpillCompress) ? 1 : 0;
+  {
+    const double overhead_need =
+        0.07 * heap + 0.3 +
+        0.004 * conf.Get(kReducerMaxSizeInFlight) * cores;
+    const double overhead_adequacy = std::min(1.0, overhead / overhead_need);
+    L->eff_threshold[p] =
+        t.p.oom_threshold * (0.45 + 0.55 * overhead_adequacy);
+    const double kill_risk = std::max(0.0, 1.0 - overhead_adequacy);
+    L->oom_mult_base[p] = 1.0 + 1.2 * kill_risk * kill_risk;
+    L->oom_flag_base[p] = kill_risk > 0.5 ? 1 : 0;
+  }
+
+  // ---- GC / latency factors.
+  L->rdd_compress[p] = conf.GetBool(kRddCompress) ? 1 : 0;
+  L->has_offheap[p] = offheap_per_task > 0.0 ? 1 : 0;
+  if (offheap_per_task > 0.0) {
+    const double offheap_total = offheap_per_task * cores;
+    L->gc_off_factor[p] = 1.0 - 0.5 * offheap_total / (offheap_total + pool);
+  } else {
+    L->gc_off_factor[p] = 1.0;
+  }
+  {
+    const double user_mem =
+        std::max(0.02, (heap - 0.3) * (1.0 - conf.Get(kMemoryFraction)));
+    const double user_need =
+        t.p.user_mem_base_gb + t.p.user_mem_per_core_gb * cores;
+    const double user_pressure = std::max(0.0, user_need / user_mem - 1.0);
+    L->user_thrash[p] = 1.0 + 3.0 * user_pressure;
+    L->up6[p] = user_pressure * 6.0;
+  }
+  L->gc_den1[p] = std::max(0.4, pool * 0.8);
+  L->gc_den2[p] = std::max(0.5, heap);
+  L->pause[p] = t.p.gc_pause_s_per_gb * std::pow(heap, 1.1);
+  L->revive_term[p] = 0.03 * (conf.Get(kSchedulerReviveInterval) - 1.0);
+  L->lw12[p] = 0.12 * conf.Get(kLocalityWait);
+  L->mmap_term[p] =
+      0.02 * (10.0 - conf.Get(kStorageMemoryMapThreshold)) / 10.0;
+}
+
+void CellPlanes::Resize(size_t cells) {
+  for (std::vector<double>* v : {&exec, &gc, &scan, &shuffle_s, &shuffle_gb,
+                                 &spill_gb, &waves, &severity}) {
+    v->resize(cells);
+  }
+  oom.resize(cells);
+}
+
+namespace {
+
+// One (configuration, query) cell: the scan/shuffle/GC/totals phases of
+// SimulateQuery with every conf-only and query-only subexpression already
+// hoisted. `empt` is exec_mem_per_task_gb from the plane phase.
+void EvalCell(const ModelTables& t, const QueryEnv& e, const LoweredBatch& L,
+              size_t p, double empt, size_t c, CellPlanes* out) {
+  const double slots = L.slots_d[p];
+  const double speed_wt = L.speed_wt[p];
+
+  // ---------------------------------------------------------------- scan
+  double scan_cpu_per_gb = e.cpu_per_gb;
+  if (e.codegen_fields > L.maxfields[p]) scan_cpu_per_gb *= 1.12;
+  double rescan_cost = 0.0;
+  if (e.has_rescan) {
+    double rescan_gb = e.rescan_gb_base;
+    if (L.pruning[p]) rescan_gb *= 0.7;
+    rescan_cost = rescan_gb * L.cache_cpu[p];
+  }
+  const double scan_core_seconds =
+      e.scanned_gb * scan_cpu_per_gb + rescan_cost;
+  const double scan_waves = std::ceil(e.scan_tasks / slots);
+  const double rdd_share = 0.2;
+  double scan_cpu_time;
+  {
+    double w1 = 0.0;
+    const double cs1 = scan_core_seconds * (1.0 - rdd_share);
+    if (cs1 > 0.0) {
+      const double per_task = cs1 / e.scan_tasks / speed_wt;
+      w1 = per_task * (scan_waves - 1.0 + std::max(1.0, 1.1));
+    }
+    double w2 = 0.0;
+    const double cs2 = scan_core_seconds * rdd_share;
+    if (cs2 > 0.0) {
+      const double per_task = cs2 / L.rdd_tasks[p] / speed_wt;
+      w2 = per_task * (L.rdd_waves[p] - 1.0 + std::max(1.0, 1.1));
+    }
+    scan_cpu_time = w1 + w2;
+  }
+  const double scan_seconds =
+      std::max(scan_cpu_time, e.io_floor) + e.scan_overhead;
+
+  // ------------------------------------------------------------- shuffle
+  double shuffle_time = 0.0;
+  double spill_gb = 0.0;
+  double shuffle_gb = 0.0;
+  double severity = 0.0;
+  bool oom = false;
+  if (e.has_shuffle) {
+    shuffle_gb = e.shuffle_base;
+    double broadcast_time = 0.0;
+    if (e.has_bcast && e.bcast_mb1024 <= L.bcast_threshold[p]) {
+      shuffle_gb *= e.one_minus_avoid;
+      double bcast_gb = e.bcast_gb;
+      double bcast_cpu = 0.0;
+      if (L.bcast_compress[p]) {
+        bcast_cpu = e.bcast_cpu_c;
+        bcast_gb = e.bcast_gb_c;
+      }
+      const double piece_overhead = (e.bcast_mb / L.block_mb[p]) * 0.002;
+      broadcast_time = bcast_gb * L.executors_d[p] / t.network_gbps /
+                           t.worker_nodes +
+                       bcast_cpu / L.speed[p] + piece_overhead;
+    }
+
+    const double partitions = L.partitions[p];
+    const double stages = e.stages_d;
+
+    double map_cpu = shuffle_gb * 1.2;
+    map_cpu *= L.kryo_factor[p];
+    double mem_demand_factor = e.mem_per_task_factor;
+    if (e.is_join && !L.prefer_smj[p]) {
+      mem_demand_factor *= 1.6;
+    } else if (!L.bypass_sort[p]) {
+      double sort_cpu = t.p.map_sort_cpu;
+      if (e.is_agg && L.radix[p]) sort_cpu *= 0.8;
+      map_cpu += shuffle_gb * sort_cpu;
+    }
+    if (e.is_agg) {
+      if (L.agg2[p]) map_cpu *= 0.88;
+      if (L.retain[p]) map_cpu *= 1.02;
+    }
+    if (e.cartesian) map_cpu *= L.cartesian_factor[p];
+
+    double wire_gb = shuffle_gb;
+    if (L.shuffle_compress[p]) {
+      map_cpu += shuffle_gb * L.comp_cpu[p] * L.zbuf_factor[p];
+      wire_gb = shuffle_gb * L.comp_ratio[p];
+    }
+    map_cpu += shuffle_gb * 0.35 * L.file_factor[p];
+
+    double map_time;
+    {
+      double w = 0.0;
+      if (map_cpu > 0.0) {
+        const double per_task = map_cpu / e.scan_tasks / speed_wt;
+        w = per_task * (scan_waves - 1.0 + std::max(1.0, 1.15));
+      }
+      map_time = w + wire_gb / t.disk_bw;
+    }
+
+    const double net_time =
+        wire_gb / L.net_denom[p] * L.inflight_factor[p];
+
+    const double partition_gb = shuffle_gb / partitions;
+    const double demand_gb = partition_gb * mem_demand_factor;
+    const double avail_gb = empt + L.offheap_per_task[p];
+
+    double reduce_cpu = shuffle_gb * e.shuffle_cpu_per_gb;
+    if (L.shuffle_compress[p]) {
+      reduce_cpu += shuffle_gb * t.p.decompression_cpu;
+    }
+
+    double spill_time = 0.0;
+    if (demand_gb > avail_gb) {
+      const double spill_ratio = 1.0 - avail_gb / demand_gb;
+      const double merge_passes =
+          1.0 + std::log2(std::max(1.0, demand_gb / avail_gb));
+      spill_gb = shuffle_gb * spill_ratio * (1.0 + merge_passes);
+      double spill_disk_gb = spill_gb;
+      if (L.spill_compress[p]) {
+        reduce_cpu += spill_gb * L.comp_cpu[p] * 0.8;
+        spill_disk_gb *= L.comp_ratio[p];
+      }
+      reduce_cpu += spill_gb * t.p.spill_cpu_per_gb;
+      spill_time = spill_disk_gb / t.disk_bw;
+    }
+
+    double oom_multiplier = L.oom_mult_base[p];
+    oom = L.oom_flag_base[p] != 0;
+    const double pressure_ratio = demand_gb / std::max(1e-3, avail_gb);
+    severity = pressure_ratio / L.eff_threshold[p];
+    if (pressure_ratio > L.eff_threshold[p]) {
+      oom_multiplier =
+          std::min(t.p.oom_penalty_cap,
+                   oom_multiplier + t.p.oom_penalty * std::log2(severity));
+      oom = true;
+    }
+
+    double reduce_time;
+    {
+      double w = 0.0;
+      if (reduce_cpu > 0.0) {
+        const double per_task = reduce_cpu / partitions / speed_wt;
+        w = per_task * (L.red_waves[p] - 1.0 + std::max(1.0, e.skew));
+      }
+      reduce_time = w + net_time + spill_time +
+                    partitions * stages * t.p.task_overhead_s +
+                    std::min(partitions * e.scan_tasks, shuffle_gb / 6.4e-5) *
+                        stages * 1.0e-5;
+    }
+
+    shuffle_time = (map_time + reduce_time) * oom_multiplier +
+                   broadcast_time + e.st015;
+  }
+
+  // ------------------------------------------------------------------ GC
+  double alloc_gb = e.alloc35 + shuffle_gb * 1.2 + spill_gb * 0.5;
+  if (L.rdd_compress[p]) alloc_gb *= 0.92;
+  const double pool = L.pool[p];
+  if (L.has_offheap[p]) alloc_gb *= L.gc_off_factor[p];
+  const double alloc_per_exec = alloc_gb / L.exec_div[p];
+  const double concurrent_demand =
+      L.cores_d[p] * std::min(e.mem_per_task_factor * shuffle_gb /
+                                  L.partitions[p],
+                              empt * 1.5);
+  const double occupancy =
+      std::min(1.5, concurrent_demand / pool + e.rf03 + 0.15);
+  const double thrash =
+      1.0 + t.p.gc_pressure_coeff *
+                std::pow(std::max(0.0, occupancy - 0.6), 2.0);
+  const double full_gc_count =
+      std::ceil(alloc_per_exec / L.gc_den1[p]) +
+      L.up6[p] * alloc_per_exec / L.gc_den2[p];
+  const double gc_seconds =
+      alloc_per_exec * t.p.gc_base_s_per_gb * thrash * L.user_thrash[p] +
+      full_gc_count * L.pause[p] * std::min(1.0, alloc_per_exec / pool);
+
+  // -------------------------------------------------------------- totals
+  const double total_waves =
+      scan_waves +
+      (e.nss > 0 ? std::ceil(L.raw_partitions[p] / slots) : 0.0);
+  double latency = t.p.query_latency_s;
+  latency += L.revive_term[p] * total_waves;
+  latency += L.lw12[p] * e.one_nss * 0.3;
+  latency += L.mmap_term[p];
+
+  out->scan[c] = scan_seconds;
+  out->shuffle_s[c] = shuffle_time;
+  out->shuffle_gb[c] = shuffle_gb;
+  out->spill_gb[c] = spill_gb;
+  out->gc[c] = gc_seconds;
+  out->severity[c] = severity;
+  out->oom[c] = oom ? 1 : 0;
+  out->waves[c] = total_waves;
+  out->exec[c] = scan_seconds + shuffle_time + gc_seconds + latency;
+}
+
+}  // namespace
+
+void EvalBlock(const ModelTables& t, const std::vector<QueryEnv>& envs,
+               const LoweredBatch& L, size_t p0, size_t p1,
+               const uint8_t* cell_hit, CellPlanes* out, size_t out_p0,
+               size_t out_stride) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (math::kern::ActiveBackend() == math::kern::Backend::kAvx2) {
+    EvalBlockAvx2(t, envs, L, p0, p1, out, out_p0, out_stride);
+    return;
+  }
+#endif
+  constexpr size_t kSub = 256;
+  alignas(64) double storage_pool[kSub];
+  alignas(64) double exec_avail[kSub];
+  alignas(64) double empt[kSub];
+  const size_t nq = envs.size();
+  for (size_t s0 = p0; s0 < p1; s0 += kSub) {
+    const size_t sn = std::min(kSub, p1 - s0);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      const QueryEnv& e = envs[qi];
+      // Memory-demand plane phase: finish DeriveResources' query-dependent
+      // storage split for all lanes of the sub-block at once. Same op
+      // sequence as the scalar code: storage_pool = (pool * sf) *
+      // storage_need, exec_avail = max(0.05, pool - storage_pool),
+      // exec_mem_per_task = exec_avail / cores.
+      math::kern::MulScalar(e.storage_need, L.pool_sf.data() + s0,
+                            storage_pool, sn);
+      math::kern::SubtractShift(L.pool.data() + s0, storage_pool, 0.0,
+                                exec_avail, sn);
+      math::kern::MaxScalar(0.05, exec_avail, exec_avail, sn);
+      for (size_t l = 0; l < sn; ++l) {
+        empt[l] = exec_avail[l] / L.cores_d[s0 + l];
+      }
+      for (size_t l = 0; l < sn; ++l) {
+        const size_t p = s0 + l;
+        const size_t c = qi * out_stride + (p - out_p0);
+        if (cell_hit != nullptr && cell_hit[c] != 0) continue;
+        EvalCell(t, e, L, p, empt[l], c, out);
+      }
+    }
+  }
+}
+
+void MetricsFromPlanes(const CellPlanes& planes, size_t c, const QueryEnv& env,
+                       QueryMetrics* out) {
+  out->name = *env.name;
+  out->exec_seconds = planes.exec[c];
+  out->gc_seconds = planes.gc[c];
+  out->scan_seconds = planes.scan[c];
+  out->shuffle_seconds = planes.shuffle_s[c];
+  out->shuffle_gb = planes.shuffle_gb[c];
+  out->spill_gb = planes.spill_gb[c];
+  out->scan_tasks = env.scan_tasks;
+  out->task_waves = planes.waves[c];
+  out->oom = planes.oom[c] != 0;
+  out->oom_severity = planes.severity[c];
+  out->failed = false;
+  out->retries = 0;
+}
+
+}  // namespace locat::sparksim::batch

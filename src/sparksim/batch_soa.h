@@ -1,0 +1,152 @@
+#ifndef LOCAT_SPARKSIM_BATCH_SOA_H_
+#define LOCAT_SPARKSIM_BATCH_SOA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparksim/cluster.h"
+#include "sparksim/config.h"
+#include "sparksim/query_profile.h"
+#include "sparksim/simulator.h"
+
+// Structure-of-arrays lowering of the analytical cost model (the batch
+// engine's data plane). The scalar model in simulator.cc is the single
+// source of truth; everything here is a common-subexpression hoist of that
+// code — per-simulator constants into ModelTables, per-(query, datasize)
+// terms into QueryEnv, per-configuration derived knobs into LoweredBatch
+// planes — with the *identical* IEEE-754 operation sequence and
+// associativity, so a batch cell is bit-identical to the corresponding
+// SimulateQuery call. Any edit to simulator.cc's arithmetic must be
+// mirrored here (the BatchEngine property tests catch divergence).
+
+namespace locat::sparksim::batch {
+
+/// Per-simulator constants: SimParams, cluster-derived scalars, and the
+/// zstd level tables (one std::pow per level instead of two per cell).
+struct ModelTables {
+  SimParams p;
+  double core_speed = 1.0;
+  double network_gbps = 1.0;
+  double disk_bw = 1.0;  // disk_gbps * worker_nodes
+  double total_memory_gb = 1.0;
+  int total_cores = 1;
+  int container_max_cores = 1;
+  int worker_nodes = 1;
+  double comp_ratio[6] = {0};  // index by zlevel in [1, 5]
+  double comp_cpu[6] = {0};
+
+  static ModelTables Build(const ClusterSpec& cluster, const SimParams& params);
+};
+
+/// Per-(query, datasize) environment, hoisted once per batch.
+struct QueryEnv {
+  const std::string* name = nullptr;
+  uint64_t qfp = 0;  // FingerprintQuery, when an eval cache is wired
+  double scanned_gb = 0.0;
+  double scan_tasks = 1.0;
+  double scan_overhead = 0.0;  // scan_tasks * task_overhead_s
+  double io_floor = 0.0;
+  double cpu_per_gb = 0.0;
+  int codegen_fields = 0;
+  bool has_rescan = false;
+  double rescan_gb_base = 0.0;
+  double storage_need = 0.0;
+  double rf03 = 0.0;  // rescan_frac * 0.3
+  bool has_shuffle = false;
+  double shuffle_base = 0.0;  // scanned * ratio * (ds/100)^ds_exp
+  double stages_d = 1.0;      // max(1, num_shuffle_stages)
+  double st015 = 0.0;         // stages_d * 0.15
+  int nss = 0;                // raw num_shuffle_stages
+  double one_nss = 1.0;       // 1.0 + num_shuffle_stages
+  bool has_bcast = false;
+  double bcast_mb = 0.0;
+  double bcast_mb1024 = 0.0;
+  double bcast_gb = 0.0;
+  double bcast_cpu_c = 0.0;  // bcast_gb * compression_cpu_l1
+  double bcast_gb_c = 0.0;   // bcast_gb * compression_ratio_l1
+  double one_minus_avoid = 1.0;
+  bool is_join = false;
+  bool is_agg = false;
+  bool cartesian = false;
+  double mem_per_task_factor = 1.0;
+  double shuffle_cpu_per_gb = 0.0;
+  double skew = 1.0;
+  double alloc35 = 0.0;  // scanned_gb * 0.35
+};
+
+void BuildQueryEnvs(const SparkSqlApp& app, const std::vector<int>& valid,
+                    double datasize_gb, const ModelTables& tables,
+                    bool want_fingerprints, std::vector<QueryEnv>* out);
+
+/// Per-configuration derived-knob planes (one contiguous array per knob,
+/// indexed by packed compute-lane position).
+struct LoweredBatch {
+  // Resource picture.
+  std::vector<double> heap, pool, pool_sf, cores_d, slots_d, executors_d,
+      exec_div, offheap_per_task, speed, speed_wt;
+  // Scan / shuffle factors.
+  std::vector<double> cache_cpu, rdd_tasks, rdd_waves, partitions,
+      raw_partitions, red_waves, bcast_threshold, block_mb, kryo_factor,
+      cartesian_factor, comp_ratio, comp_cpu, zbuf_factor, file_factor,
+      net_denom, inflight_factor, eff_threshold, oom_mult_base;
+  // GC / latency factors.
+  std::vector<double> gc_off_factor, user_thrash, up6, gc_den1, gc_den2,
+      pause, revive_term, lw12, mmap_term;
+  std::vector<int32_t> maxfields;
+  std::vector<uint8_t> pruning, prefer_smj, bypass_sort, radix, agg2, retain,
+      shuffle_compress, spill_compress, bcast_compress, rdd_compress,
+      has_offheap, oom_flag_base;
+
+  void Resize(size_t n);
+};
+
+/// Lowers one configuration into lane `p` of the planes. Mirrors
+/// DeriveResources plus every conf-only subexpression of SimulateQuery.
+void LowerConf(const SparkConf& conf, const ModelTables& tables, size_t p,
+               LoweredBatch* out);
+
+/// Noise-free model output planes. Query-major: the cell for (lane p,
+/// query qi) lives at `qi * lane_stride + (p - lane_base)`, so one
+/// query's row across all lanes is contiguous and the evaluator's stores
+/// vectorize. The engine's global planes use lane_base = 0, lane_stride =
+/// packed-lane count; the fused fast path uses small block-local planes.
+struct CellPlanes {
+  std::vector<double> exec, gc, scan, shuffle_s, shuffle_gb, spill_gb, waves,
+      severity;
+  std::vector<uint8_t> oom;
+
+  void Resize(size_t cells);
+};
+
+/// Evaluates every (lane, query) cell for packed lanes [p0, p1): a
+/// memory-demand plane phase followed by the scan/shuffle/GC/totals
+/// phases over contiguous conf lanes. Output cell (p, qi) goes to
+/// `qi * out_stride + (p - out_p0)`. Cells whose `cell_hit` slot (same
+/// indexing) is set were served from the eval cache; pass nullptr when no
+/// cache is wired. Dispatches to the AVX2 pass evaluator when the
+/// math::kern backend is kAvx2 (bit-identical by the determinism
+/// contract — the gate in tests/batch_engine_test.cc and
+/// bench/micro_simgrid checks it), to the scalar per-cell evaluator
+/// otherwise.
+void EvalBlock(const ModelTables& tables, const std::vector<QueryEnv>& envs,
+               const LoweredBatch& lowered, size_t p0, size_t p1,
+               const uint8_t* cell_hit, CellPlanes* out, size_t out_p0,
+               size_t out_stride);
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// The AVX2 lane-pass evaluator (batch_eval_avx2.cc, compiled with
+/// -mavx2 -ffp-contract=off): same cell values as the scalar evaluator,
+/// computed as vectorizable passes over the lane arrays. Ignores
+/// cell_hit (it recomputes hit cells; their planes are never read).
+void EvalBlockAvx2(const ModelTables& tables, const std::vector<QueryEnv>& envs,
+                   const LoweredBatch& lowered, size_t p0, size_t p1,
+                   CellPlanes* out, size_t out_p0, size_t out_stride);
+#endif
+
+/// Copies cell `c` of the planes into an AoS QueryMetrics.
+void MetricsFromPlanes(const CellPlanes& planes, size_t c, const QueryEnv& env,
+                       QueryMetrics* out);
+
+}  // namespace locat::sparksim::batch
+
+#endif  // LOCAT_SPARKSIM_BATCH_SOA_H_

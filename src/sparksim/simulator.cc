@@ -1,12 +1,14 @@
 #include "sparksim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <functional>
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "sparksim/batch_engine.h"
 #include "sparksim/eval_cache.h"
 
 namespace locat::sparksim {
@@ -639,6 +641,28 @@ StatusOr<std::vector<AppRunResult>> ClusterSimulator::RunAppBatch(
   std::vector<AppRunResult> results;
   results.reserve(confs.size());
   if (confs.empty()) return results;
+
+  // Engine dispatch: the SoA batch engine computes bit-identical results
+  // (see batch_engine.h for the contract); `auto` keeps single-conf
+  // batches on the sequential engine, where lowering has nothing to
+  // amortize over.
+  const SimEngine engine = ActiveSimEngine();
+  if (engine == SimEngine::kBatch ||
+      (engine == SimEngine::kAuto && confs.size() >= kBatchEngineMinConfs)) {
+    const auto start = std::chrono::steady_clock::now();
+    BatchEngine batch_engine(this);
+    StatusOr<std::vector<AppRunResult>> out =
+        batch_engine.Run(app, query_indices, confs, datasize_gb);
+    engine_stats_.batch_batches += 1;
+    engine_stats_.batch_lanes += confs.size();
+    engine_stats_.batch_cells += confs.size() * query_indices.size();
+    engine_stats_.batch_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return out;
+  }
+  engine_stats_.seq_batches += 1;
+  engine_stats_.seq_lanes += confs.size();
 
   if (faults_.enabled()) {
     // Sequential per-conf path: the fault stream is consumed run by run

@@ -115,6 +115,18 @@ struct AppRunResult {
   std::string fail_reason;   // empty when !failed
 };
 
+/// Dispatch counters of the simulator's two evaluation engines (see
+/// batch_engine.h). Purely observational; exposed so the CLI can print a
+/// `sim_engine:` line and emit a telemetry phase event.
+struct SimEngineStats {
+  uint64_t batch_batches = 0;  // RunAppBatch calls served by the SoA engine
+  uint64_t batch_lanes = 0;    // configurations across those calls
+  uint64_t batch_cells = 0;    // (conf, query) cells across those calls
+  uint64_t seq_batches = 0;    // RunAppBatch calls served sequentially
+  uint64_t seq_lanes = 0;
+  double batch_seconds = 0.0;  // wall time inside the SoA engine
+};
+
 /// Deterministic analytical simulator of a Spark SQL cluster. Replaces the
 /// paper's physical ARM/x86 clusters (see DESIGN.md, Substitutions).
 ///
@@ -164,11 +176,21 @@ class ClusterSimulator {
   /// RunAppSubset once per configuration, in order, for any thread
   /// count. The wall-lane trace differs (one "sim/app_batch" span instead
   /// of per-run "sim/app" spans); the simulated-time lane is identical.
-  /// Same error contract as RunAppSubset; with faults enabled the batch
-  /// degrades to the sequential per-conf path (bit-identical results).
+  /// Same error contract as RunAppSubset.
+  ///
+  /// Two engines implement this contract and compute bit-identical
+  /// results: the sequential engine in this file (per-conf loop under
+  /// faults, flat fan-out otherwise) and the structure-of-arrays
+  /// BatchEngine (batch_engine.h), which lowers the whole conf batch into
+  /// contiguous per-knob planes and advances it phase by phase. Selection
+  /// comes from --sim-engine / LOCAT_SIM_ENGINE (default `auto`: batch
+  /// for multi-conf batches, sequential otherwise).
   StatusOr<std::vector<AppRunResult>> RunAppBatch(
       const SparkSqlApp& app, const std::vector<int>& query_indices,
       const std::vector<SparkConf>& confs, double datasize_gb);
+
+  /// Engine dispatch counters for this simulator (observational).
+  const SimEngineStats& engine_stats() const { return engine_stats_; }
 
   const ClusterSpec& cluster() const { return cluster_; }
   const SimParams& params() const { return params_; }
@@ -214,6 +236,12 @@ class ClusterSimulator {
   }
 
  private:
+  /// The SoA batch engine is a friend rather than a public seam: it is an
+  /// alternative implementation of RunAppBatch over the same private
+  /// state (noise/fault RNG streams, eval cache, scratch, lane cursor),
+  /// not a new capability.
+  friend class BatchEngine;
+
   /// Resource picture derived from a configuration.
   struct Resources {
     int executors = 1;        // actually launched (Yarn may grant fewer)
@@ -302,6 +330,8 @@ class ClusterSimulator {
   /// runs are appended back-to-back so the exported timeline reads as one
   /// continuous cluster schedule.
   uint64_t sim_lane_cursor_ns_ = 0;
+  /// Engine dispatch counters (see engine_stats()).
+  SimEngineStats engine_stats_;
 };
 
 }  // namespace locat::sparksim

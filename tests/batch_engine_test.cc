@@ -1,0 +1,277 @@
+// Batch/sequential engine equivalence: the SoA BatchEngine promises
+// bit-identical results, RNG streams, run counters and cache values for
+// any thread count, cache state, SIMD backend and fault plan
+// (batch_engine.h). These tests sweep that whole matrix on a seeded
+// random grid and byte-compare every field, then check the dispatch
+// plumbing (auto threshold, name parsing) and an end-to-end tune.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/locat_tuner.h"
+#include "core/tuning.h"
+#include "math/kern/kern.h"
+#include "sparksim/batch_engine.h"
+#include "sparksim/cluster.h"
+#include "sparksim/config.h"
+#include "sparksim/eval_cache.h"
+#include "sparksim/faults.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace locat::sparksim {
+namespace {
+
+// Every test in this file pokes process-global dispatch state; restore
+// the defaults so test order cannot matter.
+class BatchEngineTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetSimEngine(SimEngine::kAuto);
+    math::kern::SetBackend(math::kern::BestBackend());
+    common::ThreadPool::SetGlobalThreads(0);  // restore default
+  }
+};
+
+std::vector<int> AllQueries(const SparkSqlApp& app) {
+  std::vector<int> all(static_cast<size_t>(app.num_queries()));
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return all;
+}
+
+std::vector<SparkConf> RandomConfs(const ConfigSpace& space, int n,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SparkConf> confs;
+  confs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) confs.push_back(space.RandomValid(&rng));
+  return confs;
+}
+
+// EXPECT_EQ on doubles is the point: the contract is bitwise, not
+// approximate.
+void ExpectSameMetrics(const QueryMetrics& a, const QueryMetrics& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.exec_seconds, b.exec_seconds);
+  EXPECT_EQ(a.gc_seconds, b.gc_seconds);
+  EXPECT_EQ(a.scan_seconds, b.scan_seconds);
+  EXPECT_EQ(a.shuffle_seconds, b.shuffle_seconds);
+  EXPECT_EQ(a.shuffle_gb, b.shuffle_gb);
+  EXPECT_EQ(a.spill_gb, b.spill_gb);
+  EXPECT_EQ(a.scan_tasks, b.scan_tasks);
+  EXPECT_EQ(a.task_waves, b.task_waves);
+  EXPECT_EQ(a.oom, b.oom);
+  EXPECT_EQ(a.oom_severity, b.oom_severity);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.retries, b.retries);
+}
+
+void ExpectSameResult(const AppRunResult& a, const AppRunResult& b) {
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.gc_seconds, b.gc_seconds);
+  EXPECT_EQ(a.shuffle_gb, b.shuffle_gb);
+  EXPECT_EQ(a.any_oom, b.any_oom);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.failed_at_query, b.failed_at_query);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.lost_executors, b.lost_executors);
+  EXPECT_EQ(a.fail_reason, b.fail_reason);
+  ASSERT_EQ(a.per_query.size(), b.per_query.size());
+  for (size_t q = 0; q < a.per_query.size(); ++q) {
+    SCOPED_TRACE("q" + std::to_string(q));
+    ExpectSameMetrics(a.per_query[q], b.per_query[q]);
+  }
+}
+
+struct SweepOutput {
+  std::vector<AppRunResult> results;
+  int64_t runs_performed = 0;
+  FaultStats fault_stats;
+  SimEngineStats engine_stats;
+};
+
+// One grid sweep under `engine` on a fresh simulator (fixed seed, so both
+// engines see the same RNG state and default-sigma noise stream).
+void RunSweep(SimEngine engine, const SparkSqlApp& app,
+              const std::vector<int>& queries,
+              const std::vector<SparkConf>& confs, bool with_faults,
+              EvalCache* cache, SweepOutput* out) {
+  SetSimEngine(engine);
+  ClusterSimulator sim(X86Cluster(), /*seed=*/5);
+  if (with_faults) sim.set_faults(FaultSpec::Heavy(/*seed=*/9));
+  if (cache != nullptr) sim.set_eval_cache(cache);
+  auto results = sim.RunAppBatch(app, queries, confs, /*datasize_gb=*/200.0);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  out->results = std::move(results).value();
+  out->runs_performed = sim.runs_performed();
+  out->fault_stats = sim.fault_stats();
+  out->engine_stats = sim.engine_stats();
+}
+
+void ExpectSameSweep(const SweepOutput& a, const SweepOutput& b) {
+  EXPECT_EQ(a.runs_performed, b.runs_performed);
+  EXPECT_EQ(a.fault_stats.executor_losses, b.fault_stats.executor_losses);
+  EXPECT_EQ(a.fault_stats.stragglers, b.fault_stats.stragglers);
+  EXPECT_EQ(a.fault_stats.fetch_failures, b.fault_stats.fetch_failures);
+  EXPECT_EQ(a.fault_stats.app_kills, b.fault_stats.app_kills);
+  EXPECT_EQ(a.fault_stats.failed_runs, b.fault_stats.failed_runs);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    SCOPED_TRACE("conf " + std::to_string(i));
+    ExpectSameResult(a.results[i], b.results[i]);
+  }
+}
+
+// The headline property: sweep threads x cache x faults x simd (the
+// --threads / --sim-cache on|off / --faults off|heavy / --simd off|native
+// axes) and require the batch engine's output byte-equal to the
+// sequential reference in every cell, along with the run counter and the
+// fault counters. For the cached combos a warm re-read through the
+// *other* engine's cache must also match: the two engines may attribute
+// hit/miss counters differently for duplicate lanes, but the cached
+// values themselves are part of the contract.
+TEST_F(BatchEngineTest, MatrixBitIdenticalToSequential) {
+  const auto app = workloads::TpcH();
+  const std::vector<int> queries = AllQueries(app);
+  ConfigSpace space(X86Cluster());
+  const auto confs = RandomConfs(space, 48, /*seed=*/42);
+
+  for (int threads : {1, 4, 8}) {
+    common::ThreadPool::SetGlobalThreads(threads);
+    for (bool with_cache : {false, true}) {
+      for (bool with_faults : {false, true}) {
+        for (const char* simd : {"off", "native"}) {
+          ASSERT_TRUE(math::kern::SetBackendByName(simd).ok());
+          SCOPED_TRACE(std::string("threads=") + std::to_string(threads) +
+                       " cache=" + (with_cache ? "on" : "off") +
+                       " faults=" + (with_faults ? "heavy" : "off") +
+                       " simd=" + simd);
+          EvalCache seq_cache, batch_cache;
+          SweepOutput seq, batch;
+          RunSweep(SimEngine::kSeq, app, queries, confs, with_faults,
+                   with_cache ? &seq_cache : nullptr, &seq);
+          RunSweep(SimEngine::kBatch, app, queries, confs, with_faults,
+                   with_cache ? &batch_cache : nullptr, &batch);
+          ExpectSameSweep(seq, batch);
+          if (with_cache) {
+            EXPECT_EQ(seq_cache.size(), batch_cache.size());
+            // Warm passes swap the caches between engines; any divergence
+            // in a cached value would surface here as a result diff.
+            SweepOutput warm_seq, warm_batch;
+            RunSweep(SimEngine::kSeq, app, queries, confs, with_faults,
+                     &batch_cache, &warm_seq);
+            RunSweep(SimEngine::kBatch, app, queries, confs, with_faults,
+                     &seq_cache, &warm_batch);
+            ExpectSameSweep(seq, warm_seq);
+            ExpectSameSweep(seq, warm_batch);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Duplicate configurations inside one batch share lowered lanes and (with
+// a cache) race for the same fingerprint; the results must still match
+// the sequential loop bit for bit.
+TEST_F(BatchEngineTest, DuplicateConfsBitIdentical) {
+  const auto app = workloads::TpcH();
+  const std::vector<int> queries = AllQueries(app);
+  ConfigSpace space(X86Cluster());
+  const auto unique = RandomConfs(space, 7, /*seed=*/77);
+  std::vector<SparkConf> confs;
+  for (int rep = 0; rep < 3; ++rep) {
+    confs.insert(confs.end(), unique.begin(), unique.end());
+  }
+  EvalCache seq_cache, batch_cache;
+  SweepOutput seq, batch;
+  RunSweep(SimEngine::kSeq, app, queries, confs, /*with_faults=*/false,
+           &seq_cache, &seq);
+  RunSweep(SimEngine::kBatch, app, queries, confs, /*with_faults=*/false,
+           &batch_cache, &batch);
+  ExpectSameSweep(seq, batch);
+  EXPECT_EQ(seq_cache.size(), batch_cache.size());
+}
+
+// kAuto routes batches below kBatchEngineMinConfs to the sequential
+// engine (nothing to amortize the lowering over) and everything else to
+// the SoA engine; engine_stats() records the dispatch.
+TEST_F(BatchEngineTest, AutoDispatchThreshold) {
+  const auto app = workloads::TpcH();
+  const std::vector<int> queries = AllQueries(app);
+  ConfigSpace space(X86Cluster());
+  const auto confs = RandomConfs(space, 4, /*seed=*/3);
+
+  SweepOutput single;
+  RunSweep(SimEngine::kAuto, app, queries, {confs[0]}, false, nullptr,
+           &single);
+  EXPECT_EQ(single.engine_stats.seq_batches, 1u);
+  EXPECT_EQ(single.engine_stats.batch_batches, 0u);
+
+  SweepOutput batched;
+  RunSweep(SimEngine::kAuto, app, queries, confs, false, nullptr, &batched);
+  EXPECT_EQ(batched.engine_stats.batch_batches, 1u);
+  EXPECT_EQ(batched.engine_stats.batch_lanes, confs.size());
+  EXPECT_EQ(batched.engine_stats.batch_cells, confs.size() * queries.size());
+  EXPECT_EQ(batched.engine_stats.seq_batches, 0u);
+}
+
+TEST_F(BatchEngineTest, SetSimEngineByNameParses) {
+  ASSERT_TRUE(SetSimEngineByName("seq").ok());
+  EXPECT_STREQ(ActiveSimEngineName(), "seq");
+  ASSERT_TRUE(SetSimEngineByName("batch").ok());
+  EXPECT_STREQ(ActiveSimEngineName(), "batch");
+  ASSERT_TRUE(SetSimEngineByName("auto").ok());
+  EXPECT_STREQ(ActiveSimEngineName(), "auto");
+  // Invalid names are rejected and leave the dispatch untouched.
+  EXPECT_FALSE(SetSimEngineByName("vector").ok());
+  EXPECT_STREQ(ActiveSimEngineName(), "auto");
+}
+
+// The FaultSpec::FromName plumbing the CLI / RunSweep-style callers use.
+TEST_F(BatchEngineTest, FaultSpecFromNameHeavy) {
+  auto spec = FaultSpec::FromName("heavy", 9);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(FingerprintFaultSpec(spec.value()),
+            FingerprintFaultSpec(FaultSpec::Heavy(9)));
+}
+
+// End-to-end: a full LOCAT tune driven through each engine lands on the
+// same configuration with the same meter readings and trajectory — the
+// in-process version of the CI byte-diff smoke.
+TEST_F(BatchEngineTest, EndToEndTuneBitIdentical) {
+  const auto app = workloads::TpcH();
+  core::LocatTuner::Options opts;
+  opts.n_qcsa = 12;
+  opts.n_iicp = 10;
+  opts.lhs_init = 3;
+  opts.min_iterations = 5;
+  opts.max_iterations = 8;
+  opts.candidates = 120;
+  opts.seed = 11;
+
+  core::TuningResult results[2];
+  const SimEngine engines[2] = {SimEngine::kSeq, SimEngine::kBatch};
+  for (int e = 0; e < 2; ++e) {
+    SetSimEngine(engines[e]);
+    ClusterSimulator sim(X86Cluster(), /*seed=*/500);
+    core::TuningSession session(&sim, app);
+    core::LocatTuner tuner(opts);
+    results[e] = tuner.Tune(&session, /*datasize_gb=*/100.0);
+  }
+  EXPECT_TRUE(results[0].best_conf == results[1].best_conf);
+  EXPECT_EQ(results[0].best_observed_seconds,
+            results[1].best_observed_seconds);
+  EXPECT_EQ(results[0].optimization_seconds,
+            results[1].optimization_seconds);
+  EXPECT_EQ(results[0].evaluations, results[1].evaluations);
+  EXPECT_EQ(results[0].trajectory, results[1].trajectory);
+}
+
+}  // namespace
+}  // namespace locat::sparksim
