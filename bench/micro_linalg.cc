@@ -38,7 +38,9 @@
 #include "math/kern/kern.h"
 #include "math/matrix.h"
 #include "ml/ei_mcmc.h"
+#include "ml/gp.h"
 #include "ml/kernels.h"
+#include "ml/sparse_gp.h"
 
 namespace {
 
@@ -210,7 +212,155 @@ CaseResult RunCase(int n) {
   return out;
 }
 
-void WriteJson(const std::string& path, const std::vector<CaseResult>& cases) {
+// ------------------------------------------------------------------
+// Incremental & sparse surrogate cases (rank-1 appends, inducing subsets)
+// ------------------------------------------------------------------
+
+constexpr int kAppendTail = 16;  // observations appended per timing run
+
+struct IncTimes {
+  double append_s = 0.0;      // one rank-1 AppendFit at history size ~n
+  double refit_s = 0.0;       // full fixed-hyperparameter GP::Fit at n
+  double sparse_fit_s = 0.0;  // subset selection + EI-MCMC fit on m points
+};
+
+struct IncCaseResult {
+  int n = 0;
+  int m = 0;  // inducing-subset size used by the sparse case
+  IncTimes scalar;
+  IncTimes native;
+  double append_vs_refit() const { return native.append_s / native.refit_s; }
+  double append_speedup() const { return scalar.append_s / native.append_s; }
+  double sparse_fit_speedup() const {
+    return scalar.sparse_fit_s / native.sparse_fit_s;
+  }
+};
+
+/// Fits at n, then times kAppendTail successive AppendFits. Returns the
+/// appended factor (lower triangle valid) via `factor_out` for the
+/// cross-backend and update-vs-refit gates.
+IncTimes RunIncBackend(int n, int m, const math::Matrix& x,
+                       const math::Vector& y, const ml::GpHyperparams& hp,
+                       math::Matrix* factor_out) {
+  IncTimes out;
+  const size_t un = static_cast<size_t>(n);
+  math::Matrix x0(un, kDim);
+  math::Vector y0(un);
+  for (size_t i = 0; i < un; ++i) {
+    x0.SetRow(i, x.Row(i));
+    y0[i] = y[i];
+  }
+
+  // Full fixed-hyperparameter refit at n: the cost a non-incremental
+  // surrogate pays per new observation once the MCMC is frozen.
+  {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      ml::GaussianProcess gp;
+      const auto t0 = Clock::now();
+      if (!gp.Fit(x0, y0, hp).ok()) std::abort();
+      const auto t1 = Clock::now();
+      best = std::min(best, Seconds(t0, t1));
+    }
+    out.refit_s = best;
+  }
+  // Rank-1 appends: fit once, then absorb kAppendTail observations one at
+  // a time. Per-append cost is the minimum over the tail (history size
+  // stays within kAppendTail of n).
+  {
+    ml::GaussianProcess gp;
+    if (!gp.Fit(x0, y0, hp).ok()) std::abort();
+    double best = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < kAppendTail; ++k) {
+      const size_t i = un + static_cast<size_t>(k);
+      const auto t0 = Clock::now();
+      if (!gp.AppendFit(x.Row(i), y[i]).ok()) std::abort();
+      const auto t1 = Clock::now();
+      best = std::min(best, Seconds(t0, t1));
+    }
+    out.append_s = best;
+    if (gp.applied_jitter() != 0.0) std::abort();  // well-conditioned setup
+    *factor_out = gp.factor();
+
+    // Update-vs-refit equality gate: the appended factor must match a
+    // from-scratch factorization of the full history to rounding.
+    ml::GaussianProcess full;
+    if (!full.Fit(x, y, hp).ok()) std::abort();
+    const math::Matrix& ref = full.factor();
+    for (size_t i = 0; i < ref.rows(); ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        const double tol = 1e-8 * std::max(1.0, std::abs(ref(i, j)));
+        if (!(std::abs((*factor_out)(i, j) - ref(i, j)) <= tol)) {
+          std::fprintf(stderr,
+                       "append/refit factor mismatch at n=%d L(%zu,%zu)\n", n,
+                       i, j);
+          std::abort();
+        }
+      }
+    }
+  }
+  // Sparse mode: greedy max-min subset selection (seeded at the incumbent)
+  // plus an EI-MCMC fast-path fit on the m inducing points — the whole
+  // cost of a sparse refit, timed end to end.
+  {
+    size_t seed = 0;
+    for (size_t i = 1; i < un; ++i) {
+      if (y0[i] < y0[seed]) seed = i;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      ml::EiMcmc::Options opts;
+      opts.fast_path = true;
+      ml::EiMcmc model(opts);
+      Rng rng(7);
+      const auto t0 = Clock::now();
+      const std::vector<size_t> idx =
+          ml::GreedyMaxMinSubset(x0, static_cast<size_t>(m), seed);
+      math::Matrix xs(idx.size(), kDim);
+      math::Vector ys(idx.size());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        xs.SetRow(i, x0.Row(idx[i]));
+        ys[i] = y0[idx[i]];
+      }
+      if (!model.Fit(xs, ys, &rng).ok()) std::abort();
+      const auto t1 = Clock::now();
+      best = std::min(best, Seconds(t0, t1));
+    }
+    out.sparse_fit_s = best;
+  }
+  return out;
+}
+
+IncCaseResult RunIncCase(int n, int m) {
+  IncCaseResult out;
+  out.n = n;
+  out.m = m;
+  math::Matrix x;
+  math::Vector y;
+  MakeDataset(n + kAppendTail, &x, &y);
+  const ml::GpHyperparams hp = ml::GpHyperparams::Default(kDim);
+  math::Matrix factor_scalar;
+  math::Matrix factor_native;
+  math::kern::SetBackend(math::kern::Backend::kScalar);
+  out.scalar = RunIncBackend(n, m, x, y, hp, &factor_scalar);
+  math::kern::SetBackend(math::kern::BestBackend());
+  out.native = RunIncBackend(n, m, x, y, hp, &factor_native);
+  // Determinism gate: the appended factor must agree bit-for-bit across
+  // backends (lower triangle; the strict upper part is unspecified).
+  for (size_t i = 0; i < factor_scalar.rows(); ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      if (std::memcmp(&factor_scalar(i, j), &factor_native(i, j), 8) != 0) {
+        std::fprintf(stderr, "append backend mismatch at n=%d (%zu,%zu)\n", n,
+                     i, j);
+        std::abort();
+      }
+    }
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, const std::vector<CaseResult>& cases,
+               const std::vector<IncCaseResult>& inc_cases) {
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -243,6 +393,22 @@ void WriteJson(const std::string& path, const std::vector<CaseResult>& cases) {
        << ", \"gram_speedup\": " << c.gram_speedup()
        << ", \"fit_speedup\": " << c.fit_speedup() << "}"
        << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"incremental_cases\": [\n";
+  for (size_t i = 0; i < inc_cases.size(); ++i) {
+    const IncCaseResult& c = inc_cases[i];
+    os << "    {\"n\": " << c.n << ", \"m\": " << c.m
+       << ", \"append_scalar_s\": " << c.scalar.append_s
+       << ", \"append_native_s\": " << c.native.append_s
+       << ", \"refit_scalar_s\": " << c.scalar.refit_s
+       << ", \"refit_native_s\": " << c.native.refit_s
+       << ", \"sparse_fit_scalar_s\": " << c.scalar.sparse_fit_s
+       << ", \"sparse_fit_native_s\": " << c.native.sparse_fit_s
+       << ", \"append_vs_refit\": " << c.append_vs_refit()
+       << ", \"append_speedup\": " << c.append_speedup()
+       << ", \"sparse_fit_speedup\": " << c.sparse_fit_speedup() << "}"
+       << (i + 1 < inc_cases.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   std::printf("wrote %s\n", path.c_str());
@@ -277,6 +443,29 @@ int main(int argc, char** argv) {
                TablePrinter::Num(c.fit_speedup(), 2) + "x"});
   }
   tp.Print(std::cout);
-  WriteJson(out_path, cases);
+
+  // Incremental & sparse surrogate cases. m = threshold - threshold/6 with
+  // the default switch threshold 240, matching Dagp's sparse default.
+  std::vector<IncCaseResult> inc_cases;
+  TablePrinter itp({"n", "m", "append", "refit", "append/refit", "sparse fit"});
+  for (int n : {240, 480, 960}) {
+    const IncCaseResult c = RunIncCase(n, 200);
+    inc_cases.push_back(c);
+    itp.AddRow({std::to_string(c.n), std::to_string(c.m),
+                TablePrinter::Num(c.native.append_s * 1e3, 3) + "ms",
+                TablePrinter::Num(c.native.refit_s * 1e3, 3) + "ms",
+                TablePrinter::Num(c.append_vs_refit(), 3),
+                TablePrinter::Num(c.native.sparse_fit_s * 1e3, 3) + "ms"});
+  }
+  itp.Print(std::cout);
+  // Acceptance gate: a rank-1 append at n=240 must cost at most 15% of a
+  // full fixed-hyperparameter refit at the same size.
+  if (inc_cases.front().append_vs_refit() > 0.15) {
+    std::fprintf(stderr, "append/refit ratio %.3f exceeds 0.15 at n=240\n",
+                 inc_cases.front().append_vs_refit());
+    return 1;
+  }
+
+  WriteJson(out_path, cases, inc_cases);
   return 0;
 }

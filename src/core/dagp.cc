@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/sparse_gp.h"
+
 namespace locat::core {
 
 math::Vector Dagp::Assemble(const math::Vector& encoded_conf,
@@ -24,6 +26,9 @@ void Dagp::Clear() {
   x_.clear();
   y_.clear();
   model_ = ml::EiMcmc(options_.ei);
+  fitted_n_ = 0;
+  last_full_fit_n_ = 0;
+  last_refit_kind_ = RefitKind::kNone;
 }
 
 void Dagp::SetObservability(obs::Tracer* tracer,
@@ -38,30 +43,38 @@ void Dagp::SetObservability(obs::Tracer* tracer,
     refit_seconds_hist_ = metrics->GetHistogram(
         "locat_dagp_refit_seconds", "Wall-clock seconds per DAGP refit",
         {0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0});
+    appends_counter_ = metrics->GetCounter(
+        "locat_dagp_appends_total",
+        "Observations absorbed by rank-1 ensemble appends (incremental "
+        "mode) instead of full refits");
+    sparse_refits_counter_ = metrics->GetCounter(
+        "locat_dagp_sparse_refits_total",
+        "Refits performed on a greedy max-min subset (sparse mode)");
   } else {
     refits_counter_ = nullptr;
     mcmc_evals_counter_ = nullptr;
     refit_seconds_hist_ = nullptr;
+    appends_counter_ = nullptr;
+    sparse_refits_counter_ = nullptr;
   }
 }
 
-Status Dagp::Refit(Rng* rng) {
-  if (y_.size() < 2) {
-    return Status::FailedPrecondition("DAGP needs >= 2 observations");
-  }
+Status Dagp::FullRefit(const std::vector<size_t>* idx, Rng* rng) {
   obs::ScopedSpan span(tracer_, "dagp/refit", "model");
   const size_t dim = x_.front().size();
-  math::Matrix x(y_.size(), dim);
-  math::Vector y(y_.size());
-  for (size_t i = 0; i < y_.size(); ++i) {
-    x.SetRow(i, x_[i]);
-    y[i] = y_[i];
+  const size_t rows = idx != nullptr ? idx->size() : y_.size();
+  math::Matrix x(rows, dim);
+  math::Vector y(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t r = idx != nullptr ? (*idx)[i] : i;
+    x.SetRow(i, x_[r]);
+    y[i] = y_[r];
   }
   model_ = ml::EiMcmc(options_.ei);
   const Status status = model_.Fit(x, y, rng);
   if (status.ok()) {
     const ml::EiMcmc::FitStats& stats = model_.last_fit_stats();
-    span.Arg("n", static_cast<double>(y_.size()));
+    span.Arg("n", static_cast<double>(rows));
     span.Arg("dim", static_cast<double>(dim));
     span.Arg("ensemble", stats.ensemble_size);
     span.Arg("density_evals",
@@ -74,6 +87,88 @@ Status Dagp::Refit(Rng* rng) {
     if (refit_seconds_hist_ != nullptr) {
       refit_seconds_hist_->Observe(stats.wall_seconds);
     }
+  }
+  return status;
+}
+
+Status Dagp::Refit(Rng* rng) {
+  const size_t n = y_.size();
+  if (n < 2) {
+    return Status::FailedPrecondition("DAGP needs >= 2 observations");
+  }
+  const ml::GpMode mode = options_.gp_mode.value_or(ml::ActiveGpMode());
+  const size_t threshold = options_.gp_switch_threshold != 0
+                               ? options_.gp_switch_threshold
+                               : ml::GpSwitchThreshold();
+
+  if (mode == ml::GpMode::kIncremental && model_.fitted() &&
+      fitted_n_ >= threshold && fitted_n_ <= n) {
+    const bool refresh_due =
+        options_.incremental_refresh_factor > 1.0 &&
+        static_cast<double>(n) >= options_.incremental_refresh_factor *
+                                      static_cast<double>(last_full_fit_n_);
+    if (!refresh_due) {
+      // Absorb the new observations by rank-1 ensemble appends: O(n^2)
+      // per observation, hyperparameters frozen, no RNG consumed. A
+      // failed append (near-singular extension in every member) falls
+      // back to the full path below.
+      obs::ScopedSpan span(tracer_, "dagp/append", "model");
+      bool ok = true;
+      size_t appended = 0;
+      for (size_t i = fitted_n_; i < n; ++i) {
+        if (!model_.AppendObservation(x_[i], y_[i]).ok()) {
+          ok = false;
+          break;
+        }
+        ++appended;
+      }
+      if (ok) {
+        fitted_n_ = n;
+        last_refit_kind_ = RefitKind::kAppend;
+        span.Arg("n", static_cast<double>(n));
+        span.Arg("appended", static_cast<double>(appended));
+        if (appends_counter_ != nullptr && appended > 0) {
+          appends_counter_->Increment(static_cast<double>(appended));
+        }
+        return Status::OK();
+      }
+      // Partial appends are fine to keep: the full refit below rebuilds
+      // the model from the authoritative history anyway.
+    }
+  }
+
+  if (mode == ml::GpMode::kSparse && n > threshold) {
+    // Refit on a greedy max-min subset seeded at the incumbent, so the
+    // best observation is always in the active set and the rest spread
+    // over the design space. O(m^3) regardless of history length.
+    size_t m = options_.sparse_inducing != 0 ? options_.sparse_inducing
+                                             : threshold - threshold / 6;
+    m = std::max<size_t>(2, std::min(m, n));
+    size_t seed = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (y_[i] < y_[seed]) seed = i;
+    }
+    const size_t dim = x_.front().size();
+    math::Matrix all(n, dim);
+    for (size_t i = 0; i < n; ++i) all.SetRow(i, x_[i]);
+    const std::vector<size_t> idx = ml::GreedyMaxMinSubset(all, m, seed);
+    const Status status = FullRefit(&idx, rng);
+    if (status.ok()) {
+      fitted_n_ = n;
+      last_full_fit_n_ = n;
+      last_refit_kind_ = RefitKind::kSparse;
+      if (sparse_refits_counter_ != nullptr) {
+        sparse_refits_counter_->Increment();
+      }
+    }
+    return status;
+  }
+
+  const Status status = FullRefit(nullptr, rng);
+  if (status.ok()) {
+    fitted_n_ = n;
+    last_full_fit_n_ = n;
+    last_refit_kind_ = RefitKind::kFull;
   }
   return status;
 }

@@ -1,12 +1,14 @@
 #ifndef LOCAT_CORE_DAGP_H_
 #define LOCAT_CORE_DAGP_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "math/matrix.h"
 #include "ml/ei_mcmc.h"
+#include "ml/gp_mode.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -31,8 +33,34 @@ class Dagp {
     /// Data sizes are normalized by this many GB before entering the GP.
     double datasize_scale_gb = 1000.0;
     ml::EiMcmc::Options ei;
+    /// Surrogate scaling mode. Unset (the default) follows the
+    /// process-wide dispatch (`--gp-mode` / `LOCAT_GP_MODE`). All modes
+    /// are bit-identical full refits at or below the switch threshold.
+    std::optional<ml::GpMode> gp_mode;
+    /// Observation count above which incremental/sparse modes engage.
+    /// 0 (the default) follows the process-wide threshold
+    /// (`LOCAT_GP_THRESHOLD`, default 240).
+    size_t gp_switch_threshold = 0;
+    /// Inducing-set size for sparse mode. 0 (the default) uses 5/6 of the
+    /// switch threshold, so a sparse refit stays comfortably cheaper than
+    /// the largest exact refit ever performed.
+    size_t sparse_inducing = 0;
+    /// Incremental mode: once the history grows past this factor of the
+    /// last full fit's size, run one full MCMC refit to unfreeze the
+    /// hyperparameters (e.g. 2.0 = refresh each time n doubles). 0 (the
+    /// default) never refreshes.
+    double incremental_refresh_factor = 0.0;
 
     Options() {}
+  };
+
+  /// How the most recent successful Refit() updated the model — exposed
+  /// for the numerical-contract tests and telemetry.
+  enum class RefitKind {
+    kNone = 0,    // no successful refit yet
+    kFull = 1,    // full EI-MCMC refit on the whole history
+    kAppend = 2,  // rank-1 appends onto the frozen ensemble
+    kSparse = 3,  // full EI-MCMC refit on a greedy max-min subset
   };
 
   explicit Dagp(Options options = Options()) : options_(options) {}
@@ -46,7 +74,14 @@ class Dagp {
   /// IICP; callers re-add re-encoded history).
   void Clear();
 
-  /// Refits the EI-MCMC ensemble on the current observations (>= 2).
+  /// Refits the surrogate on the current observations (>= 2). The path
+  /// taken depends on the effective gp mode (see Options::gp_mode):
+  /// exact always refits the full history; incremental switches to O(n^2)
+  /// rank-1 appends (no RNG consumed) once the fitted history exceeds the
+  /// switch threshold; sparse refits on a greedy max-min subset once the
+  /// history exceeds the threshold. At or below the threshold every mode
+  /// runs the identical full refit (same RNG draws), so recommendations
+  /// are bit-exact across modes there.
   Status Refit(Rng* rng);
 
   /// Expected improvement of a candidate at a data size (log-space EI,
@@ -98,17 +133,40 @@ class Dagp {
     return model_.last_fit_stats();
   }
 
+  /// The path the most recent successful Refit() took.
+  RefitKind last_refit_kind() const { return last_refit_kind_; }
+
+  /// The underlying EI-MCMC ensemble (read-only; for the
+  /// numerical-contract tests).
+  const ml::EiMcmc& model() const { return model_; }
+
+  /// Observations the fitted model currently incorporates (== the subset
+  /// size in sparse mode, == num_observations() otherwise after a
+  /// successful Refit).
+  size_t model_observations() const {
+    return model_.fitted() ? model_.ensemble().front().num_points() : 0;
+  }
+
  private:
   math::Vector Assemble(const math::Vector& encoded_conf,
                         double datasize_gb) const;
+
+  /// Full EI-MCMC refit on rows `idx` of the history (all rows when
+  /// `idx` is null).
+  Status FullRefit(const std::vector<size_t>* idx, Rng* rng);
 
   Options options_;
   std::vector<math::Vector> x_;  // encoded conf + normalized ds
   std::vector<double> y_;        // log(seconds)
   ml::EiMcmc model_{};
+  size_t fitted_n_ = 0;       // history size the model has incorporated
+  size_t last_full_fit_n_ = 0;  // history size at the last full MCMC fit
+  RefitKind last_refit_kind_ = RefitKind::kNone;
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* refits_counter_ = nullptr;
   obs::Counter* mcmc_evals_counter_ = nullptr;
+  obs::Counter* appends_counter_ = nullptr;
+  obs::Counter* sparse_refits_counter_ = nullptr;
   obs::Histogram* refit_seconds_hist_ = nullptr;
 };
 

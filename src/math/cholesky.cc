@@ -106,4 +106,65 @@ double Cholesky::LogDeterminant() const {
   return 2.0 * s;
 }
 
+Status Cholesky::AppendRow(const Vector& cross, double diag) {
+  const size_t n = l_.rows();
+  if (cross.size() != n) {
+    return Status::InvalidArgument("AppendRow cross size mismatch");
+  }
+  // Build the extended storage first so the existing factor stays intact
+  // when the completion rejects the append.
+  Matrix grown(n + 1, n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = l_.RowData(i);
+    double* dst = grown.RowData(i);
+    for (size_t j = 0; j <= i; ++j) dst[j] = src[j];
+  }
+  double* row = grown.RowData(n);
+  for (size_t j = 0; j < n; ++j) row[j] = cross[j];
+  const double d =
+      n == 0 ? diag + jitter_
+             : kern::CholUpdateAppendRow(grown.RowData(0), n, n + 1, row,
+                                         diag + jitter_);
+  if (!(d > 0.0) || !std::isfinite(d)) {
+    return Status::FailedPrecondition(
+        "appended row makes the matrix indefinite (completion " +
+        std::to_string(d) + ")");
+  }
+  row[n] = std::sqrt(d);
+  l_ = std::move(grown);
+  return Status::OK();
+}
+
+Status Cholesky::RankOneUpdate(const Vector& v) {
+  const size_t n = l_.rows();
+  if (v.size() != n) {
+    return Status::InvalidArgument("RankOneUpdate size mismatch");
+  }
+  if (n == 0) return Status::OK();
+  Vector work = v;
+  kern::CholRank1Update(l_.RowData(0), n, n, work.data().data());
+  return Status::OK();
+}
+
+Status Cholesky::RankOneDowndate(const Vector& v) {
+  const size_t n = l_.rows();
+  if (v.size() != n) {
+    return Status::InvalidArgument("RankOneDowndate size mismatch");
+  }
+  if (n == 0) return Status::OK();
+  // The hyperbolic sweep modifies columns as it goes, so run it on a copy
+  // and only commit on success.
+  Matrix candidate = l_;
+  Vector work = v;
+  const ptrdiff_t bad =
+      kern::CholRank1Downdate(candidate.RowData(0), n, n, work.data().data());
+  if (bad >= 0) {
+    return Status::FailedPrecondition(
+        "downdated matrix is not positive definite (column " +
+        std::to_string(bad) + ")");
+  }
+  l_ = std::move(candidate);
+  return Status::OK();
+}
+
 }  // namespace locat::math

@@ -47,6 +47,26 @@ class Cholesky {
   /// likelihood.
   double LogDeterminant() const;
 
+  /// Grows the factor by one row/column in O(n^2): after the call this is
+  /// the factor of [[A + jI, cross], [cross^T, diag + j]] where A + jI is
+  /// the matrix currently factored and j is `jitter()`. The stored jitter
+  /// is applied to the new diagonal entry internally — that is the jitter
+  /// contract: appended rows always see the same regularization the
+  /// original factorization actually used, so callers never re-derive it.
+  /// Returns FailedPrecondition (factor unchanged) when the Schur
+  /// completion is not a positive finite pivot; callers then fall back to
+  /// a full refactorization.
+  Status AppendRow(const Vector& cross, double diag);
+
+  /// Rank-1 update: this becomes the factor of A + v v^T (+ the same
+  /// jitter as before). O(n^2), cannot fail for a valid factor.
+  Status RankOneUpdate(const Vector& v);
+
+  /// Rank-1 downdate: this becomes the factor of A - v v^T. Returns
+  /// FailedPrecondition (factor unchanged) when the downdated matrix is
+  /// not positive definite.
+  Status RankOneDowndate(const Vector& v);
+
   /// The lower-triangular factor.
   const Matrix& L() const { return l_; }
 

@@ -234,4 +234,17 @@ void SolveLowerMatrixInPlace(const double* l, size_t n, double* y, size_t m) {
   Ops().solve_lower_multi(l, n, y, m);
 }
 
+double CholUpdateAppendRow(const double* l, size_t n, size_t stride,
+                           double* row, double diag) {
+  return Ops().chol_append_row(l, n, stride, row, diag);
+}
+
+void CholRank1Update(double* l, size_t n, size_t stride, double* v) {
+  Ops().chol_rank1_update(l, n, stride, v);
+}
+
+ptrdiff_t CholRank1Downdate(double* l, size_t n, size_t stride, double* v) {
+  return Ops().chol_rank1_downdate(l, n, stride, v);
+}
+
 }  // namespace locat::math::kern

@@ -166,6 +166,32 @@ ptrdiff_t CholeskyFactorInPlace(double* a, size_t n);
 /// (row-major n x n): blocked forward substitution streaming whole rows.
 void SolveLowerMatrixInPlace(const double* l, size_t n, double* y, size_t m);
 
+// ---------------------------------------------------------------------------
+// Rank-1 Cholesky maintenance (O(n^2) factor updates).
+
+/// Bordered append. `l` is the factor of the leading n x n block of a
+/// row-major matrix with row stride `stride` (>= n + 1 so the new row
+/// fits the same storage). On entry row[0..n) holds the cross column k of
+/// the bordered matrix [[A, k], [k^T, diag]]; on exit it holds the new
+/// factor row w = L^-1 k (one canonical Dot per entry — same reduction
+/// tree as the blocked factorization). Returns the Schur completion
+/// d = diag - w.w; the append is valid iff d is a positive finite pivot,
+/// in which case the new diagonal entry is sqrt(d). Bit-identical across
+/// backends.
+double CholUpdateAppendRow(const double* l, size_t n, size_t stride,
+                           double* row, double diag);
+
+/// In-place rank-1 update L -> chol(L L^T + v v^T) (LINPACK dchud Givens
+/// sweep; column-sequential, explicit std::fma — bit-identical across
+/// backends). `v` (length n) is clobbered. Cannot fail for an SPD input.
+void CholRank1Update(double* l, size_t n, size_t stride, double* v);
+
+/// In-place rank-1 downdate L -> chol(L L^T - v v^T) (LINPACK dchdd
+/// hyperbolic sweep). `v` is clobbered. Returns -1 on success, else the
+/// first column where positive definiteness is lost — the factor is left
+/// partially modified and must be discarded by the caller.
+ptrdiff_t CholRank1Downdate(double* l, size_t n, size_t stride, double* v);
+
 }  // namespace locat::math::kern
 
 #endif  // LOCAT_MATH_KERN_KERN_H_

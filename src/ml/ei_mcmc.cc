@@ -124,6 +124,43 @@ Status EiMcmc::Fit(const math::Matrix& x, const math::Vector& y, Rng* rng) {
   return Status::OK();
 }
 
+Status EiMcmc::AppendObservation(const math::Vector& x, double y) {
+  if (ensemble_.empty()) {
+    return Status::FailedPrecondition(
+        "AppendObservation requires a fitted model");
+  }
+  if (x.size() != ensemble_.front().input_dim()) {
+    return Status::InvalidArgument("AppendObservation dimension mismatch");
+  }
+  // Members extend independently (each owns its factor), one slot per
+  // member — the surviving set and its order are thread-count invariant.
+  const size_t members = ensemble_.size();
+  std::vector<char> ok(members, 0);
+  common::ThreadPool::Global()->ParallelForEach(members, [&](size_t k) {
+    ok[k] = ensemble_[k].AppendFit(x, y).ok() ? 1 : 0;
+  });
+  size_t failed = 0;
+  for (size_t k = 0; k < members; ++k) {
+    if (!ok[k]) ++failed;
+  }
+  if (failed == members) {
+    // AppendFit rolls back on failure, so every member still holds the
+    // pre-append fit — leave the model usable and let the caller refit.
+    return Status::FailedPrecondition(
+        "every ensemble member failed to extend its factorization");
+  }
+  size_t kept = 0;
+  for (size_t k = 0; k < members; ++k) {
+    if (!ok[k]) continue;
+    if (kept != k) ensemble_[kept] = std::move(ensemble_[k]);
+    ++kept;
+  }
+  ensemble_.resize(kept);
+  best_observed_ = std::min(best_observed_, y);
+  last_fit_stats_.ensemble_size = static_cast<int>(kept);
+  return Status::OK();
+}
+
 double EiMcmc::AcquisitionValue(const math::Vector& x) const {
   assert(fitted());
   double total = 0.0;

@@ -76,6 +76,15 @@ class EiMcmc {
   /// with n >= 2. Deterministic given `rng`'s state.
   Status Fit(const math::Matrix& x, const math::Vector& y, Rng* rng);
 
+  /// Extends a fitted model by one observation in O(n^2) per ensemble
+  /// member (rank-1 bordered Cholesky append; hyperparameters stay frozen
+  /// at the last Fit's posterior samples, no RNG consumed). Members whose
+  /// factor cannot be extended even through the jitter fallback are
+  /// dropped in order — deterministic for any thread count. When every
+  /// member fails, the pre-append model is kept intact and an error is
+  /// returned so the caller can fall back to a full refit.
+  Status AppendObservation(const math::Vector& x, double y);
+
   /// Average Expected Improvement (for minimization) of a candidate over
   /// the posterior GP ensemble.
   double AcquisitionValue(const math::Vector& x) const;

@@ -98,7 +98,7 @@ GpHyperparams GpHyperparams::Unflatten(const math::Vector& flat) {
 }
 
 GpKernelCache::GpKernelCache(const math::Matrix& x, const math::Vector& y)
-    : x_(x) {
+    : x_(x), y_raw_(y) {
   Standardize(y, &ys_, &y_mean_, &y_std_);
   const size_t n = x_.rows();
   const size_t d = x_.cols();
@@ -173,6 +173,58 @@ double GpKernelCache::LogMarginalLikelihood(const GpHyperparams& hp) {
   return lml;
 }
 
+void GpKernelCache::AppendObservation(const math::Vector& x_new,
+                                      double y_new) {
+  const size_t n = x_.rows();
+  const size_t d = x_.cols();
+  assert(x_new.size() == d);
+
+  // Extend the memoized factorization before touching x_: the cross row
+  // must be built against the n points the memo was factored over.
+  if (memo_.has_value()) {
+    const GpHyperparams hp = GpHyperparams::Unflatten(memo_key_);
+    const math::Vector w = KernelWeights(hp);
+    const double sv = std::exp(hp.log_signal_variance);
+    math::Vector cross(n);
+    math::kern::WeightedSquaredDistanceRows(x_.RowData(0), n, d, d,
+                                            x_new.data().data(),
+                                            w.data().data(),
+                                            cross.data().data());
+    math::kern::ExpScaled(cross.data().data(), n, -0.5, sv);
+    const double diag = sv + std::exp(hp.log_noise_variance) + 1e-10;
+    if (!memo_->chol.AppendRow(cross, diag).ok()) memo_.reset();
+  }
+
+  // New pair squared-diffs: pairs (n, j) for j < n sit contiguously at the
+  // end of the (i, j<i) enumeration, so growing the array preserves every
+  // existing pair index.
+  pair_sqdiff_.resize((n + 1) * n / 2 * d);
+  double* out = pair_sqdiff_.data() + n * (n - 1) / 2 * d;
+  for (size_t j = 0; j < n; ++j) {
+    math::kern::SubSquare(x_new.data().data(), x_.RowData(j), out, d);
+    out += d;
+  }
+
+  math::Matrix grown(n + 1, d);
+  for (size_t i = 0; i < n; ++i) grown.SetRow(i, x_.Row(i));
+  grown.SetRow(n, x_new);
+  x_ = std::move(grown);
+
+  math::Vector y_grown(n + 1);
+  for (size_t i = 0; i < n; ++i) y_grown[i] = y_raw_[i];
+  y_grown[n] = y_new;
+  y_raw_ = std::move(y_grown);
+  Standardize(y_raw_, &ys_, &y_mean_, &y_std_);
+
+  // Finish the extended memo with the restandardized targets.
+  if (memo_.has_value()) {
+    memo_->alpha = memo_->chol.Solve(ys_);
+    memo_->log_marginal_likelihood =
+        -0.5 * ys_.Dot(memo_->alpha) - 0.5 * memo_->chol.LogDeterminant() -
+        static_cast<double>(n + 1) * kHalfLog2Pi;
+  }
+}
+
 std::optional<GpKernelCache::Factorization> GpKernelCache::TakeMemoized(
     const math::Vector& flat) {
   if (!memo_.has_value() || memo_key_.size() != flat.size()) {
@@ -195,6 +247,7 @@ Status GaussianProcess::Fit(const math::Matrix& x, const math::Vector& y,
     return Status::InvalidArgument("lengthscale dimension mismatch");
   }
   x_ = x;
+  y_raw_ = y;
   hp_ = hp;
 
   math::Vector ys;
@@ -219,6 +272,7 @@ Status GaussianProcess::Fit(const GpKernelCache& cache,
     return Status::InvalidArgument("lengthscale dimension mismatch");
   }
   x_ = cache.x();
+  y_raw_ = cache.raw_y();
   hp_ = hp;
   y_mean_ = cache.y_mean();
   y_std_ = cache.y_std();
@@ -243,6 +297,7 @@ Status GaussianProcess::AdoptFit(const GpKernelCache& cache,
     return Status::InvalidArgument("lengthscale dimension mismatch");
   }
   x_ = cache.x();
+  y_raw_ = cache.raw_y();
   hp_ = hp;
   y_mean_ = cache.y_mean();
   y_std_ = cache.y_std();
@@ -250,6 +305,62 @@ Status GaussianProcess::AdoptFit(const GpKernelCache& cache,
   alpha_ = std::move(factorization.alpha);
   log_marginal_likelihood_ = factorization.log_marginal_likelihood;
   FinishFit();
+  return Status::OK();
+}
+
+Status GaussianProcess::AppendFit(const math::Vector& x_new, double y_new) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("AppendFit requires a fitted GP");
+  }
+  if (x_new.size() != x_.cols()) {
+    return Status::InvalidArgument("AppendFit dimension mismatch");
+  }
+  const size_t n = x_.rows();
+  const size_t d = x_.cols();
+
+  // Cross kernel row against the existing inputs, built with the exact
+  // batched kernels BuildKernelMatrix uses for off-diagonal entries, so an
+  // appended factor and a refit factor see bit-identical kernel values.
+  math::Vector cross(n);
+  math::kern::WeightedSquaredDistanceRows(x_.RowData(0), n, d, d,
+                                          x_new.data().data(),
+                                          inv_sq_lengthscales_.data().data(),
+                                          cross.data().data());
+  math::kern::ExpScaled(cross.data().data(), n, -0.5, signal_variance_);
+  const double diag =
+      signal_variance_ + std::exp(hp_.log_noise_variance) + 1e-10;
+
+  // Stage the extended inputs; nothing is committed until the factor
+  // extension succeeded.
+  math::Matrix x_ext(n + 1, d);
+  for (size_t i = 0; i < n; ++i) x_ext.SetRow(i, x_.Row(i));
+  x_ext.SetRow(n, x_new);
+
+  // AppendRow stages into fresh storage and leaves the factor untouched on
+  // failure, so attempting in place is rollback-safe.
+  if (!chol_->AppendRow(cross, diag).ok()) {
+    // Schur completion went non-positive: the extension needs more
+    // regularization than the stored jitter. Full O(n^3) fallback with the
+    // escalating-jitter path on the extended kernel.
+    auto refactored =
+        math::Cholesky::FactorWithJitter(BuildKernelMatrix(x_ext, hp_));
+    if (!refactored.ok()) return refactored.status();
+    chol_ = std::move(refactored).value();
+  }
+
+  math::Vector y_ext(n + 1);
+  for (size_t i = 0; i < n; ++i) y_ext[i] = y_raw_[i];
+  y_ext[n] = y_new;
+
+  x_ = std::move(x_ext);
+  y_raw_ = std::move(y_ext);
+
+  math::Vector ys;
+  Standardize(y_raw_, &ys, &y_mean_, &y_std_);
+  alpha_ = chol_->Solve(ys);
+  log_marginal_likelihood_ = -0.5 * ys.Dot(alpha_) -
+                             0.5 * chol_->LogDeterminant() -
+                             static_cast<double>(n + 1) * kHalfLog2Pi;
   return Status::OK();
 }
 

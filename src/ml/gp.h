@@ -57,6 +57,8 @@ class GpKernelCache {
   const math::Matrix& x() const { return x_; }
   /// Targets standardized to zero mean / unit variance.
   const math::Vector& standardized_y() const { return ys_; }
+  /// Targets in their original units (what the constructor received).
+  const math::Vector& raw_y() const { return y_raw_; }
   double y_mean() const { return y_mean_; }
   double y_std() const { return y_std_; }
 
@@ -84,9 +86,19 @@ class GpKernelCache {
   /// only on a hit.
   std::optional<Factorization> TakeMemoized(const math::Vector& flat);
 
+  /// Grows the cached dataset by one observation in O(n d + n^2): appends
+  /// the new point's pair squared-diffs (they land contiguously at the end
+  /// of the pair array — pair enumeration order is preserved), restandardizes
+  /// the targets over the full history, and *extends* the memoized
+  /// factorization via a rank-1 bordered append instead of discarding it.
+  /// If the append completion fails (near-singular extension), only the
+  /// memo is dropped; the cache itself stays consistent.
+  void AppendObservation(const math::Vector& x_new, double y_new);
+
  private:
   math::Matrix x_;
   math::Vector ys_;
+  math::Vector y_raw_;
   double y_mean_ = 0.0;
   double y_std_ = 1.0;
   // Row p holds the d squared differences of pair p, pairs enumerated as
@@ -127,6 +139,17 @@ class GaussianProcess {
   /// instead of O(n^2 d) kernel build + O(n^3) factorization.
   Status AdoptFit(const GpKernelCache& cache, const GpHyperparams& hp,
                   GpKernelCache::Factorization factorization);
+
+  /// Adds one observation to an already-fitted GP in O(n^2) via a rank-1
+  /// bordered Cholesky append (hyperparameters stay fixed): one cross
+  /// kernel row (built with the same batched kernels Fit uses, so the
+  /// entries are bit-identical to a full kernel rebuild), one triangular
+  /// solve, a scalar Schur completion, then a restandardization of the
+  /// full target history and one O(n^2) re-solve for the weights. When
+  /// the completion rejects the append (near-singular extension) the
+  /// implementation falls back to a full jittered refactorization of the
+  /// extended kernel. On any error the GP is left unchanged.
+  Status AppendFit(const math::Vector& x_new, double y_new);
 
   struct Prediction {
     double mean = 0.0;
@@ -174,12 +197,23 @@ class GaussianProcess {
   size_t input_dim() const { return x_.cols(); }
   const GpHyperparams& hyperparams() const { return hp_; }
 
+  /// The diagonal jitter the fitted factorization actually applied (0
+  /// unless the factorization had to regularize). `AppendFit` reuses
+  /// exactly this value for appended diagonal entries — see the jitter
+  /// contract on `math::Cholesky::AppendRow`.
+  double applied_jitter() const { return chol_ ? chol_->jitter() : 0.0; }
+
+  /// The lower-triangular factor of the fitted (jittered) kernel matrix.
+  /// Exposed for the numerical-contract tests.
+  const math::Matrix& factor() const { return chol_->L(); }
+
  private:
   /// Derives the cached kernel weights from hp_ and flips fitted_.
   void FinishFit();
 
   bool fitted_ = false;
   math::Matrix x_;
+  math::Vector y_raw_;  // original-unit targets; AppendFit restandardizes
   GpHyperparams hp_;
   // exp(-2 * log_lengthscale_d) per dimension and exp(log_signal_variance),
   // derived once at Fit so predictions never re-exponentiate.

@@ -1,0 +1,54 @@
+#include "ml/sparse_gp.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "math/kern/kern.h"
+
+namespace locat::ml {
+
+std::vector<size_t> GreedyMaxMinSubset(const math::Matrix& x, size_t m,
+                                       size_t seed_index) {
+  const size_t n = x.rows();
+  assert(seed_index < n);
+  std::vector<size_t> out;
+  if (m >= n) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  if (m == 0) return out;
+
+  const size_t d = x.cols();
+  // dist2[i] = squared distance of point i to its nearest selected point.
+  std::vector<double> dist2(n);
+  std::vector<double> cand(n);
+  std::vector<char> selected(n, 0);
+  math::kern::SquaredDistanceRows(x.RowData(0), n, d, d,
+                                  x.RowData(seed_index), dist2.data());
+  selected[seed_index] = 1;
+  out.push_back(seed_index);
+
+  while (out.size() < m) {
+    // Farthest unselected point; strict > keeps the lowest index on ties
+    // (including the all-duplicates case where every distance is 0).
+    size_t best = n;
+    double best_d = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (selected[i]) continue;
+      if (best == n || dist2[i] > best_d) {
+        best = i;
+        best_d = dist2[i];
+      }
+    }
+    selected[best] = 1;
+    out.push_back(best);
+    math::kern::SquaredDistanceRows(x.RowData(0), n, d, d, x.RowData(best),
+                                    cand.data());
+    math::kern::Min(dist2.data(), cand.data(), dist2.data(), n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace locat::ml

@@ -1,0 +1,28 @@
+#ifndef LOCAT_ML_SPARSE_GP_H_
+#define LOCAT_ML_SPARSE_GP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.h"
+
+namespace locat::ml {
+
+/// Greedy max-min (farthest-point) inducing-set selection: starting from
+/// `seed_index`, repeatedly adds the point with the largest squared
+/// Euclidean distance to its nearest already-selected point, until `m`
+/// points are chosen. This is the standard k-center greedy — a 2-approx
+/// of the optimal covering radius — so the subset spreads over the whole
+/// design space instead of clustering where the tuner happened to sample.
+///
+/// Deterministic: ties pick the lowest index (strict > comparison over a
+/// fixed ascending scan), distances come from the kern:: reduction
+/// kernels (bit-identical across SIMD backends), and the result is sorted
+/// ascending so downstream kernel builds are order-independent of the
+/// selection history. m >= n returns all indices. O(n m d) total.
+std::vector<size_t> GreedyMaxMinSubset(const math::Matrix& x, size_t m,
+                                       size_t seed_index);
+
+}  // namespace locat::ml
+
+#endif  // LOCAT_ML_SPARSE_GP_H_

@@ -41,6 +41,7 @@
 #include "core/tuning.h"
 #include "harness/experiments.h"
 #include "math/kern/kern.h"
+#include "ml/gp_mode.h"
 #include "obs/admin_server.h"
 #include "obs/flight_recorder.h"
 #include "obs/labels.h"
@@ -91,6 +92,15 @@ int Usage() {
       "                      batch or seq; results are bit-identical for\n"
       "                      any mode. Overrides the LOCAT_SIM_ENGINE\n"
       "                      environment variable\n"
+      "  --gp-mode MODE      surrogate scaling: exact (default; full\n"
+      "                      EI-MCMC refit every iteration), incremental\n"
+      "                      (rank-1 Cholesky appends above the switch\n"
+      "                      threshold) or sparse (greedy max-min subset\n"
+      "                      refits above it); below the threshold all\n"
+      "                      modes are bit-identical. Overrides the\n"
+      "                      LOCAT_GP_MODE environment variable; the\n"
+      "                      threshold comes from LOCAT_GP_THRESHOLD\n"
+      "                      (default 240)\n"
       "  --trace FILE        write a Chrome trace_event JSON timeline\n"
       "                      (chrome://tracing, Perfetto); includes the\n"
       "                      simulated-time lane of the cluster simulator\n"
@@ -505,6 +515,8 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
     if (ctx.metrics != nullptr) sim_cache->ExportMetrics(ctx.metrics);
   }
   std::printf("linalg: %s dispatch\n", math::kern::ActiveBackendName());
+  std::printf("gp_mode: %s dispatch (switch threshold %zu)\n",
+              ml::ActiveGpModeName(), ml::GpSwitchThreshold());
   if (ctx.observer != nullptr) {
     obs::PhaseEvent ev;
     ev.tuner = tuner->name();
@@ -1070,6 +1082,14 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Usage();
       const auto status = locat::sparksim::SetSimEngineByName(v);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return Usage();
+      }
+    } else if (arg == "--gp-mode") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      const auto status = locat::ml::SetGpModeByName(v);
       if (!status.ok()) {
         std::fprintf(stderr, "%s\n", status.ToString().c_str());
         return Usage();

@@ -2,6 +2,7 @@
 // the kernel-computation cache, and end-to-end thread-count invariance
 // of the tuner. The contract under test is "fast, but bit-for-bit the
 // same answer" — every optimization here must be invisible in results.
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -9,12 +10,15 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/dagp.h"
 #include "core/locat_tuner.h"
 #include "core/tuning.h"
 #include "math/cholesky.h"
 #include "math/matrix.h"
 #include "ml/ei_mcmc.h"
 #include "ml/gp.h"
+#include "ml/gp_mode.h"
+#include "ml/sparse_gp.h"
 #include "sparksim/simulator.h"
 #include "workloads/workloads.h"
 
@@ -353,6 +357,404 @@ TEST(EiMcmcBatchTest, LegacyPathStillWorks) {
   EXPECT_GE(legacy.AcquisitionValue(q), 0.0);
 }
 
+// ------------------------------------------ incremental surrogate layer
+
+TEST(AppendFitTest, RepeatedAppendMatchesOneFit) {
+  const size_t n = 48, d = 6, n0 = 20;
+  Matrix x;
+  Vector y;
+  MakeDataset(n, d, &x, &y);
+  const GpHyperparams hp = MakeHyperparams(d);
+
+  Matrix x0(n0, d);
+  Vector y0(n0);
+  for (size_t i = 0; i < n0; ++i) {
+    x0.SetRow(i, x.Row(i));
+    y0[i] = y[i];
+  }
+  GaussianProcess incremental;
+  ASSERT_TRUE(incremental.Fit(x0, y0, hp).ok());
+  for (size_t i = n0; i < n; ++i) {
+    ASSERT_TRUE(incremental.AppendFit(x.Row(i), y[i]).ok()) << "append " << i;
+  }
+  ASSERT_EQ(incremental.num_points(), n);
+
+  GaussianProcess full;
+  ASSERT_TRUE(full.Fit(x, y, hp).ok());
+
+  EXPECT_NEAR(incremental.LogMarginalLikelihood(), full.LogMarginalLikelihood(),
+              1e-7 * std::abs(full.LogMarginalLikelihood()));
+  Rng rng(77);
+  for (int t = 0; t < 40; ++t) {
+    Vector q(d);
+    for (size_t j = 0; j < d; ++j) q[j] = rng.NextDouble();
+    const auto a = incremental.Predict(q);
+    const auto b = full.Predict(q);
+    EXPECT_NEAR(a.mean, b.mean, 1e-8 * std::max(1.0, std::abs(b.mean)));
+    EXPECT_NEAR(a.variance, b.variance,
+                1e-8 * std::max(1.0, std::abs(b.variance)));
+  }
+}
+
+TEST(AppendFitTest, AppendAfterJitterRetryMatchesConsistentlyJitteredRefit) {
+  // Regression for the jitter contract: a fit that needed the jitter-retry
+  // path must append with the SAME jitter on the new diagonal, so the
+  // extended factor equals a from-scratch factor of the extended kernel
+  // with that jitter applied. (Before the contract the appended diagonal
+  // re-derived nothing and silently dropped the regularization.)
+  const size_t n = 12, d = 2;
+  Matrix x(n, d);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Duplicate inputs + near-zero noise: the kernel matrix is singular and
+    // FactorWithJitter must escalate.
+    x(i, 0) = 0.5;
+    x(i, 1) = 0.5;
+    y[i] = 1.0 + 0.01 * static_cast<double>(i);
+  }
+  GpHyperparams hp = GpHyperparams::Default(d);
+  hp.log_noise_variance = -40.0;
+  // Large signal variance pushes the kernel builder's 1e-10 diagonal floor
+  // below one ulp of the diagonal, so the rank-1 duplicate matrix really is
+  // numerically singular and the factorization must retry with jitter.
+  hp.log_signal_variance = 20.0;
+
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y, hp).ok());
+  const double jitter = gp.applied_jitter();
+  ASSERT_GT(jitter, 0.0) << "test requires the jitter-retry path";
+
+  Vector x_new(d);
+  x_new[0] = 0.52;
+  x_new[1] = 0.48;
+  const double y_new = 1.2;
+  ASSERT_TRUE(gp.AppendFit(x_new, y_new).ok());
+  EXPECT_EQ(gp.applied_jitter(), jitter);  // appends never change the jitter
+
+  // Reference: the extended kernel with exactly the same jitter, factored
+  // from scratch.
+  Matrix x_ext(n + 1, d);
+  Vector y_ext(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    x_ext.SetRow(i, x.Row(i));
+    y_ext[i] = y[i];
+  }
+  x_ext.SetRow(n, x_new);
+  y_ext[n] = y_new;
+  GpKernelCache ext_cache(x_ext, y_ext);
+  Matrix k_ext = ext_cache.BuildKernel(hp);
+  k_ext.AddToDiagonal(jitter);
+  auto ref_chol = math::Cholesky::Factor(k_ext);
+  ASSERT_TRUE(ref_chol.ok())
+      << "extended kernel must be SPD under the original jitter";
+
+  // The factors agree to rounding at the matrix's scale. (The jittered
+  // system is deliberately near-singular — conditioning ~ diag/jitter —
+  // so sub-pivot entries carry cancellation noise; the meaningful
+  // tolerance is relative to the column scale sqrt(diag), not to the
+  // entry itself. Tight equality under good conditioning is covered by
+  // RepeatedAppendMatchesOneFit.)
+  const Matrix& appended_l = gp.factor();
+  ASSERT_EQ(appended_l.rows(), n + 1);
+  const double col_scale = std::sqrt(k_ext(0, 0));
+  for (size_t i = 0; i <= n; ++i)
+    for (size_t j = 0; j <= i; ++j)
+      EXPECT_NEAR(appended_l(i, j), ref_chol->L()(i, j), 1e-7 * col_scale)
+          << "L(" << i << "," << j << ")";
+
+  // The posterior stays sane: predicting at the duplicated input recovers
+  // (approximately) the mean of the duplicated targets, with a finite
+  // non-negative variance.
+  Vector q(d);
+  q[0] = 0.5;
+  q[1] = 0.5;
+  const auto pred = gp.Predict(q);
+  double y_bar = 0.0;
+  for (size_t i = 0; i < n; ++i) y_bar += y[i] / static_cast<double>(n);
+  EXPECT_TRUE(std::isfinite(pred.mean));
+  EXPECT_NEAR(pred.mean, y_bar, 0.2);
+  EXPECT_GE(pred.variance, 0.0);
+  EXPECT_TRUE(std::isfinite(pred.variance));
+}
+
+TEST(AppendFitTest, CacheAppendExtendsMemoizedFactorization) {
+  const size_t n = 30, d = 5;
+  Matrix x;
+  Vector y;
+  MakeDataset(n + 2, d, &x, &y);
+  Matrix x0(n, d);
+  Vector y0(n);
+  for (size_t i = 0; i < n; ++i) {
+    x0.SetRow(i, x.Row(i));
+    y0[i] = y[i];
+  }
+  const GpHyperparams hp = MakeHyperparams(d);
+
+  GpKernelCache cache(x0, y0);
+  ASSERT_TRUE(std::isfinite(cache.LogMarginalLikelihood(hp)));  // memoize
+  cache.AppendObservation(x.Row(n), y[n]);
+  cache.AppendObservation(x.Row(n + 1), y[n + 1]);
+  ASSERT_EQ(cache.num_points(), n + 2);
+
+  // The grown cache must be indistinguishable from one built on the full
+  // data: identical pair structure (bit-exact kernel) ...
+  GpKernelCache fresh(x, y);
+  const Matrix grown_k = cache.BuildKernel(hp);
+  const Matrix fresh_k = fresh.BuildKernel(hp);
+  EXPECT_EQ(grown_k.MaxAbsDiff(fresh_k), 0.0);
+  EXPECT_EQ(cache.standardized_y().size(), fresh.standardized_y().size());
+  for (size_t i = 0; i < n + 2; ++i) {
+    EXPECT_EQ(cache.standardized_y()[i], fresh.standardized_y()[i]);
+  }
+
+  // ... and the memoized factorization was EXTENDED, not discarded: it
+  // answers for the original hyperparameters with the extended-data
+  // likelihood.
+  const double grown_lml = cache.LogMarginalLikelihood(hp);
+  const double fresh_lml = fresh.LogMarginalLikelihood(hp);
+  EXPECT_NEAR(grown_lml, fresh_lml, 1e-7 * std::abs(fresh_lml));
+
+  auto fact = cache.TakeMemoized(hp.Flatten());
+  ASSERT_TRUE(fact.has_value()) << "append must keep the memo key valid";
+  GaussianProcess adopted;
+  ASSERT_TRUE(adopted.AdoptFit(cache, hp, std::move(*fact)).ok());
+  GaussianProcess direct;
+  ASSERT_TRUE(direct.Fit(fresh, hp).ok());
+  Rng rng(91);
+  for (int t = 0; t < 20; ++t) {
+    Vector q(d);
+    for (size_t j = 0; j < d; ++j) q[j] = rng.NextDouble();
+    const auto a = adopted.Predict(q);
+    const auto b = direct.Predict(q);
+    EXPECT_NEAR(a.mean, b.mean, 1e-8 * std::max(1.0, std::abs(b.mean)));
+    EXPECT_NEAR(a.variance, b.variance,
+                1e-8 * std::max(1.0, std::abs(b.variance)));
+  }
+}
+
+TEST(AppendFitTest, EiMcmcAppendMatchesPerMemberAppendAndThreadCounts) {
+  Matrix x;
+  Vector y;
+  MakeDataset(26, 5, &x, &y);
+  Matrix x0(24, 5);
+  Vector y0(24);
+  for (size_t i = 0; i < 24; ++i) {
+    x0.SetRow(i, x.Row(i));
+    y0[i] = y[i];
+  }
+  ml::EiMcmc::Options opts;
+  opts.num_hyper_samples = 4;
+  opts.burn_in = 4;
+
+  auto fit_and_append = [&](int threads) {
+    common::ThreadPool::SetGlobalThreads(threads);
+    ml::EiMcmc model(opts);
+    Rng rng(52);
+    EXPECT_TRUE(model.Fit(x0, y0, &rng).ok());
+    EXPECT_TRUE(model.AppendObservation(x.Row(24), y[24]).ok());
+    EXPECT_TRUE(model.AppendObservation(x.Row(25), y[25]).ok());
+    return model;
+  };
+  const ml::EiMcmc one = fit_and_append(1);
+  const ml::EiMcmc eight = fit_and_append(8);
+  common::ThreadPool::SetGlobalThreads(0);  // restore default
+
+  ASSERT_EQ(one.ensemble().size(), eight.ensemble().size());
+  // Appending consumed no RNG and ran per-member: each member equals a
+  // manual AppendFit at the same hyperparameters, and the whole model is
+  // bit-identical across thread counts.
+  for (size_t k = 0; k < one.ensemble().size(); ++k) {
+    ASSERT_EQ(one.ensemble()[k].num_points(), 26u);
+    GaussianProcess manual;
+    ASSERT_TRUE(manual.Fit(x0, y0, one.ensemble()[k].hyperparams()).ok());
+    ASSERT_TRUE(manual.AppendFit(x.Row(24), y[24]).ok());
+    ASSERT_TRUE(manual.AppendFit(x.Row(25), y[25]).ok());
+    Rng rng(53);
+    for (int t = 0; t < 10; ++t) {
+      Vector q(5);
+      for (size_t j = 0; j < 5; ++j) q[j] = rng.NextDouble();
+      const auto a = one.ensemble()[k].Predict(q);
+      const auto b = eight.ensemble()[k].Predict(q);
+      EXPECT_EQ(a.mean, b.mean) << "member " << k;
+      EXPECT_EQ(a.variance, b.variance) << "member " << k;
+      const auto m = manual.Predict(q);
+      EXPECT_NEAR(a.mean, m.mean, 1e-10 * std::max(1.0, std::abs(m.mean)));
+      EXPECT_NEAR(a.variance, m.variance,
+                  1e-10 * std::max(1.0, std::abs(m.variance)));
+    }
+  }
+}
+
+// Synthetic DAGP observation stream shared by the mode tests below.
+void FeedObservations(core::Dagp* dagp, size_t count, size_t dim,
+                      uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    Vector conf(dim);
+    double s = 0.0;
+    for (size_t j = 0; j < dim; ++j) {
+      conf[j] = rng.NextDouble();
+      s += std::sin(2.5 * conf[j] + static_cast<double>(j));
+    }
+    const double ds = 80.0 + 40.0 * rng.NextDouble();
+    const double seconds = 60.0 + 25.0 * s * s + 2.0 * rng.NextDouble();
+    dagp->AddObservation(conf, ds, seconds);
+  }
+}
+
+TEST(AppendFitTest, DagpIncrementalBitIdenticalToExactBelowThreshold) {
+  // Below the switch threshold the incremental mode must run the exact
+  // full-refit path, consuming identical RNG draws — recommendations are
+  // bit-exact, not merely close.
+  auto run = [&](ml::GpMode mode) {
+    core::Dagp::Options opts;
+    opts.gp_mode = mode;
+    opts.gp_switch_threshold = 100;  // history stays below
+    opts.ei.num_hyper_samples = 3;
+    opts.ei.burn_in = 4;
+    core::Dagp dagp(opts);
+    FeedObservations(&dagp, 30, 4, 1234);
+    Rng rng(55);
+    EXPECT_TRUE(dagp.Refit(&rng).ok());
+    EXPECT_EQ(dagp.last_refit_kind(), core::Dagp::RefitKind::kFull);
+    Vector probe(4, 0.3);
+    return std::pair<double, double>(dagp.ExpectedImprovement(probe, 100.0),
+                                     dagp.Predict(probe, 100.0).seconds);
+  };
+  const auto exact = run(ml::GpMode::kExact);
+  const auto incremental = run(ml::GpMode::kIncremental);
+  const auto sparse = run(ml::GpMode::kSparse);
+  EXPECT_EQ(exact.first, incremental.first);
+  EXPECT_EQ(exact.second, incremental.second);
+  EXPECT_EQ(exact.first, sparse.first);
+  EXPECT_EQ(exact.second, sparse.second);
+}
+
+TEST(AppendFitTest, DagpIncrementalAppendsAboveThresholdMatchFrozenRefit) {
+  core::Dagp::Options opts;
+  opts.gp_mode = ml::GpMode::kIncremental;
+  opts.gp_switch_threshold = 16;
+  opts.ei.num_hyper_samples = 3;
+  opts.ei.burn_in = 4;
+  core::Dagp dagp(opts);
+  FeedObservations(&dagp, 16, 3, 99);
+  Rng rng(56);
+  ASSERT_TRUE(dagp.Refit(&rng).ok());
+  ASSERT_EQ(dagp.last_refit_kind(), core::Dagp::RefitKind::kFull);
+
+  FeedObservations(&dagp, 8, 3, 100);
+  ASSERT_TRUE(dagp.Refit(&rng).ok());
+  EXPECT_EQ(dagp.last_refit_kind(), core::Dagp::RefitKind::kAppend);
+  EXPECT_EQ(dagp.model_observations(), 24u);
+
+  // Every ensemble member must equal a from-scratch fixed-hyperparameter
+  // fit on the full history (the appends only skip the MCMC, never change
+  // the math). Reconstruct the assembled inputs the same way Dagp does.
+  FeedObservations(&dagp, 1, 3, 101);
+  ASSERT_TRUE(dagp.Refit(&rng).ok());
+  ASSERT_EQ(dagp.last_refit_kind(), core::Dagp::RefitKind::kAppend);
+  ASSERT_EQ(dagp.model_observations(), 25u);
+
+  Matrix all(25, 4);
+  Vector ylog(25);
+  {
+    Rng r1(99), r2(100), r3(101);
+    size_t row = 0;
+    for (Rng* r : {&r1, &r2, &r3}) {
+      const size_t count = r == &r1 ? 16 : (r == &r2 ? 8 : 1);
+      for (size_t i = 0; i < count; ++i) {
+        double s = 0.0;
+        for (size_t j = 0; j < 3; ++j) {
+          const double v = r->NextDouble();
+          all(row, j) = v;
+          s += std::sin(2.5 * v + static_cast<double>(j));
+        }
+        const double ds = 80.0 + 40.0 * r->NextDouble();
+        all(row, 3) = ds / 1000.0;  // Dagp's default datasize scale
+        ylog[row] = std::log(60.0 + 25.0 * s * s + 2.0 * r->NextDouble());
+        ++row;
+      }
+    }
+    ASSERT_EQ(row, 25u);
+  }
+  for (const auto& member : dagp.model().ensemble()) {
+    GaussianProcess reference;
+    ASSERT_TRUE(reference.Fit(all, ylog, member.hyperparams()).ok());
+    Rng prng(57);
+    for (int t = 0; t < 10; ++t) {
+      Vector q(4);
+      for (size_t j = 0; j < 4; ++j) q[j] = prng.NextDouble();
+      const auto a = member.Predict(q);
+      const auto b = reference.Predict(q);
+      EXPECT_NEAR(a.mean, b.mean, 1e-8 * std::max(1.0, std::abs(b.mean)));
+      EXPECT_NEAR(a.variance, b.variance,
+                  1e-8 * std::max(1.0, std::abs(b.variance)));
+    }
+  }
+}
+
+TEST(SparseGpTest, GreedyMaxMinSelectionProperties) {
+  Rng rng(61);
+  const size_t n = 50, d = 4;
+  Matrix x(n, d);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < d; ++j) x(i, j) = rng.NextDouble();
+
+  const size_t seed = 17;
+  const auto subset = ml::GreedyMaxMinSubset(x, 12, seed);
+  ASSERT_EQ(subset.size(), 12u);
+  // Sorted ascending, unique, seed included.
+  for (size_t i = 1; i < subset.size(); ++i)
+    EXPECT_LT(subset[i - 1], subset[i]);
+  EXPECT_TRUE(std::find(subset.begin(), subset.end(), seed) != subset.end());
+
+  // m >= n returns everything.
+  const auto everything = ml::GreedyMaxMinSubset(x, n + 5, 0);
+  ASSERT_EQ(everything.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(everything[i], i);
+
+  // Degenerate duplicates must not loop or repeat indices.
+  Matrix dup(8, 2);
+  for (size_t i = 0; i < 8; ++i) {
+    dup(i, 0) = 0.5;
+    dup(i, 1) = 0.5;
+  }
+  const auto dsel = ml::GreedyMaxMinSubset(dup, 4, 2);
+  ASSERT_EQ(dsel.size(), 4u);
+  for (size_t i = 1; i < dsel.size(); ++i) EXPECT_LT(dsel[i - 1], dsel[i]);
+
+  // Farthest-point property on a line: selecting 3 of {0, 0.1, ..., 1.0}
+  // from seed 0 must pick both extremes.
+  Matrix line(11, 1);
+  for (size_t i = 0; i < 11; ++i) line(i, 0) = 0.1 * static_cast<double>(i);
+  const auto lsel = ml::GreedyMaxMinSubset(line, 3, 0);
+  ASSERT_EQ(lsel.size(), 3u);
+  EXPECT_EQ(lsel[0], 0u);
+  EXPECT_EQ(lsel[2], 10u);  // the far end is always the first pick
+}
+
+TEST(SparseGpTest, DagpSparseModeRefitsOnIncumbentSeededSubset) {
+  core::Dagp::Options opts;
+  opts.gp_mode = ml::GpMode::kSparse;
+  opts.gp_switch_threshold = 20;
+  opts.sparse_inducing = 12;
+  opts.ei.num_hyper_samples = 3;
+  opts.ei.burn_in = 4;
+  core::Dagp dagp(opts);
+  FeedObservations(&dagp, 40, 3, 7);
+  Rng rng(62);
+  ASSERT_TRUE(dagp.Refit(&rng).ok());
+  EXPECT_EQ(dagp.last_refit_kind(), core::Dagp::RefitKind::kSparse);
+  EXPECT_EQ(dagp.model_observations(), 12u);
+  // The incumbent seeds the subset, so the model's best observed target
+  // is the GLOBAL best, not merely the subset's.
+  EXPECT_EQ(std::exp(dagp.model().best_observed()), dagp.best_seconds());
+  // The sparse surrogate stays usable for acquisition + prediction.
+  Vector probe(3, 0.5);
+  EXPECT_TRUE(std::isfinite(dagp.ExpectedImprovement(probe, 100.0)));
+  EXPECT_GT(dagp.Predict(probe, 100.0).seconds, 0.0);
+}
+
 // ------------------------------------------- end-to-end tuner invariance
 
 TEST(BoHotPathTest, TunerOutputBitIdenticalAcrossThreadCounts) {
@@ -387,6 +789,116 @@ TEST(BoHotPathTest, TunerOutputBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one.optimization_seconds, eight.optimization_seconds);
   EXPECT_TRUE(one.best_conf == four.best_conf);
   EXPECT_TRUE(one.best_conf == eight.best_conf);
+}
+
+TEST(BoHotPathTest, TunerOutputBitIdenticalAcrossGpModesAtSmallN) {
+  // A short tune never crosses the gp switch threshold (default 240), so
+  // every --gp-mode must take the identical exact full-refit path and
+  // reproduce the recommendation bit-for-bit — at every thread count.
+  const auto cluster = sparksim::X86Cluster();
+  const auto app = workloads::HiBenchAggregation();
+  auto run = [&](ml::GpMode mode, int threads) {
+    ml::SetGpMode(mode);
+    common::ThreadPool::SetGlobalThreads(threads);
+    sparksim::ClusterSimulator sim(cluster, 90);
+    core::TuningSession session(&sim, app);
+    core::LocatTuner::Options opts;
+    opts.n_qcsa = 8;
+    opts.n_iicp = 6;
+    opts.lhs_init = 2;
+    opts.min_iterations = 3;
+    opts.max_iterations = 5;
+    opts.warm_iterations = 3;
+    opts.candidates = 60;
+    opts.seed = 9;
+    core::LocatTuner tuner(opts);
+    return tuner.Tune(&session, 200.0);
+  };
+  const core::TuningResult baseline = run(ml::GpMode::kExact, 1);
+  for (const ml::GpMode mode :
+       {ml::GpMode::kExact, ml::GpMode::kIncremental, ml::GpMode::kSparse}) {
+    for (const int threads : {1, 4, 8}) {
+      if (mode == ml::GpMode::kExact && threads == 1) continue;
+      const core::TuningResult r = run(mode, threads);
+      EXPECT_EQ(baseline.evaluations, r.evaluations)
+          << ml::GpModeName(mode) << " x " << threads << " threads";
+      EXPECT_EQ(baseline.best_observed_seconds, r.best_observed_seconds)
+          << ml::GpModeName(mode) << " x " << threads << " threads";
+      EXPECT_TRUE(baseline.best_conf == r.best_conf)
+          << ml::GpModeName(mode) << " x " << threads << " threads";
+    }
+  }
+  ml::SetGpMode(ml::GpMode::kExact);  // restore the default dispatch
+  common::ThreadPool::SetGlobalThreads(0);
+}
+
+TEST(BoHotPathTest, LongHorizonIncrementalTuneCompletes) {
+  // Acceptance: an e2e long-horizon tune with >= 1000 observations in
+  // incremental mode. Past the (lowered) switch threshold every Refit
+  // must be absorbed by rank-1 appends — no O(n^3) refits, no MCMC — and
+  // the surrogate must stay usable for EI-driven proposals throughout.
+  core::Dagp::Options opts;
+  opts.gp_mode = ml::GpMode::kIncremental;
+  opts.gp_switch_threshold = 64;
+  opts.ei.num_hyper_samples = 2;
+  opts.ei.burn_in = 4;
+  core::Dagp dagp(opts);
+
+  const size_t d = 4;
+  auto objective = [](const Vector& c, double ds) {
+    double s = 0.0;
+    for (size_t j = 0; j < c.size(); ++j) {
+      const double t = c[j] - 0.2 - 0.1 * static_cast<double>(j);
+      s += t * t;
+    }
+    return 30.0 + 120.0 * s + 0.05 * ds;
+  };
+  Rng rng(2026);
+  auto add_random = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      Vector c(d);
+      for (size_t j = 0; j < d; ++j) c[j] = rng.NextDouble();
+      const double ds = 80.0 + 40.0 * rng.NextDouble();
+      dagp.AddObservation(c, ds, objective(c, ds));
+    }
+  };
+
+  add_random(opts.gp_switch_threshold);
+  ASSERT_TRUE(dagp.Refit(&rng).ok());
+  ASSERT_EQ(dagp.last_refit_kind(), core::Dagp::RefitKind::kFull);
+
+  size_t append_refits = 0;
+  while (dagp.num_observations() < 1050) {
+    // One EI-proposed point per round (the tuner's candidate sweep in
+    // miniature), plus random exploration to advance the horizon fast.
+    std::vector<Vector> cands(16, Vector(d));
+    for (auto& c : cands)
+      for (size_t j = 0; j < d; ++j) c[j] = rng.NextDouble();
+    const Vector ei = dagp.ExpectedImprovementBatch(cands, 100.0);
+    size_t best = 0;
+    for (size_t i = 1; i < cands.size(); ++i)
+      if (ei[i] > ei[best]) best = i;
+    ASSERT_TRUE(std::isfinite(ei[best]));
+    dagp.AddObservation(cands[best], 100.0,
+                        objective(cands[best], 100.0));
+    add_random(15);
+    ASSERT_TRUE(dagp.Refit(&rng).ok());
+    ASSERT_EQ(dagp.last_refit_kind(), core::Dagp::RefitKind::kAppend)
+        << "n = " << dagp.num_observations();
+    ++append_refits;
+  }
+  EXPECT_GE(dagp.model_observations(), 1000u);
+  EXPECT_EQ(dagp.model_observations(),
+            static_cast<size_t>(dagp.num_observations()));
+  EXPECT_GT(append_refits, 50u);
+  // The long-horizon posterior still ranks a near-optimal configuration
+  // well below the prior mean region.
+  Vector good(d);
+  for (size_t j = 0; j < d; ++j)
+    good[j] = 0.2 + 0.1 * static_cast<double>(j);
+  Vector bad(d, 0.95);
+  EXPECT_LT(dagp.Predict(good, 100.0).seconds,
+            dagp.Predict(bad, 100.0).seconds);
 }
 
 }  // namespace

@@ -368,6 +368,229 @@ TEST(KernCholesky, JitterRetryPathBitIdentical) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Rank-1 Cholesky maintenance: the O(n^2) bordered append and the
+// LINPACK update/downdate sweeps must (a) agree with a from-scratch
+// factorization to tight tolerance and (b) be bit-identical across
+// backends, including every remainder-lane class.
+
+Matrix MakeSpd(Rng* rng, size_t n) {
+  Matrix bmat(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) bmat(i, j) = rng->NextGaussian();
+  Matrix spd = bmat.MultiplyTransposed(bmat);
+  spd.AddToDiagonal(static_cast<double>(n));
+  return spd;
+}
+
+TEST(KernCholUpdate, AppendRowBackendBitIdentical) {
+  Rng rng(404);
+  for (size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 31u, 64u, 97u}) {
+    const Matrix spd = MakeSpd(&rng, n);
+    const auto cross = RandomVec(&rng, n, 0.25);
+    const double diag = static_cast<double>(n) + 1.0;
+    std::vector<double> ref_row;
+    double ref_d = 0.0;
+    CompareBackends([&](bool is_reference) {
+      // Factor into an (n+1)-stride buffer so the appended row shares the
+      // storage layout Cholesky::AppendRow uses.
+      const size_t stride = n + 1;
+      std::vector<double> l(stride * stride, 0.0);
+      {
+        std::vector<double> a(n * n);
+        for (size_t i = 0; i < n; ++i)
+          for (size_t j = 0; j < n; ++j) a[i * n + j] = spd(i, j);
+        ASSERT_EQ(CholeskyFactorInPlace(a.data(), n), -1);
+        for (size_t i = 0; i < n; ++i)
+          for (size_t j = 0; j <= i; ++j) l[i * stride + j] = a[i * n + j];
+      }
+      std::vector<double> row = cross;
+      const double d =
+          CholUpdateAppendRow(l.data(), n, stride, row.data(), diag);
+      if (is_reference) {
+        ref_row = row;
+        ref_d = d;
+        EXPECT_GT(d, 0.0);
+      } else {
+        EXPECT_SAME_BITS(ref_d, d) << "completion n=" << n;
+        for (size_t j = 0; j < n; ++j)
+          EXPECT_SAME_BITS(ref_row[j], row[j]) << "w[" << j << "] n=" << n;
+      }
+    });
+  }
+}
+
+TEST(KernCholUpdate, AppendMatchesFullRefactorToTolerance) {
+  Rng rng(405);
+  for (size_t n : {2u, 5u, 8u, 33u, 40u, 63u}) {
+    const Matrix spd = MakeSpd(&rng, n);
+    // Factor the leading (n-1) block, append the last row/col, compare
+    // against factoring the whole matrix at once. Different op order =>
+    // tolerance, not bits.
+    Matrix leading(n - 1, n - 1);
+    for (size_t i = 0; i + 1 < n; ++i)
+      for (size_t j = 0; j + 1 < n; ++j) leading(i, j) = spd(i, j);
+    auto partial = Cholesky::Factor(leading);
+    ASSERT_TRUE(partial.ok());
+    Vector cross(n - 1);
+    for (size_t j = 0; j + 1 < n; ++j) cross[j] = spd(n - 1, j);
+    ASSERT_TRUE(partial->AppendRow(cross, spd(n - 1, n - 1)).ok());
+
+    auto full = Cholesky::Factor(spd);
+    ASSERT_TRUE(full.ok());
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j <= i; ++j) {
+        const double ref = full->L()(i, j);
+        EXPECT_NEAR(partial->L()(i, j), ref,
+                    1e-9 * std::max(1.0, std::fabs(ref)))
+            << "L(" << i << "," << j << ") n=" << n;
+      }
+  }
+}
+
+TEST(KernCholUpdate, AppendRejectsIndefiniteExtensionAndKeepsFactor) {
+  Rng rng(406);
+  const size_t n = 12;
+  const Matrix spd = MakeSpd(&rng, n);
+  auto chol = Cholesky::Factor(spd);
+  ASSERT_TRUE(chol.ok());
+  const Matrix before = chol->L();
+  // diag far below the cross energy => negative Schur completion.
+  Vector cross(n);
+  for (size_t j = 0; j < n; ++j) cross[j] = spd(0, j);
+  EXPECT_FALSE(chol->AppendRow(cross, /*diag=*/1e-9).ok());
+  ASSERT_EQ(chol->L().rows(), n);  // unchanged
+  EXPECT_EQ(before.MaxAbsDiff(chol->L()), 0.0);
+}
+
+TEST(KernCholUpdate, AppendRowJitterContract) {
+  // A rank-deficient Gram forces FactorWithJitter to regularize; the
+  // append must then extend the factor of (A + jitter I), i.e. apply the
+  // stored jitter to the new diagonal. Reference: factor the extended
+  // matrix with the same jitter added explicitly.
+  Rng rng(407);
+  const size_t n = 20;
+  Matrix bmat(n + 1, 3);  // rank-3: every leading block is deficient
+  for (size_t i = 0; i <= n; ++i)
+    for (size_t j = 0; j < 3; ++j) bmat(i, j) = rng.NextGaussian();
+  const Matrix gram_ext = bmat.MultiplyTransposed(bmat);
+  Matrix gram(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) gram(i, j) = gram_ext(i, j);
+
+  auto chol = Cholesky::FactorWithJitter(gram);
+  ASSERT_TRUE(chol.ok());
+  ASSERT_GT(chol->jitter(), 0.0) << "test needs the jitter-retry path";
+  const double jitter = chol->jitter();
+
+  Vector cross(n);
+  for (size_t j = 0; j < n; ++j) cross[j] = gram_ext(n, j);
+  ASSERT_TRUE(chol->AppendRow(cross, gram_ext(n, n)).ok());
+  EXPECT_EQ(chol->jitter(), jitter);  // appending never changes the jitter
+
+  Matrix reference = gram_ext;
+  reference.AddToDiagonal(jitter);
+  auto ref = Cholesky::Factor(reference);
+  ASSERT_TRUE(ref.ok()) << "extended matrix must be SPD under the same "
+                           "jitter the original needed";
+  for (size_t i = 0; i <= n; ++i)
+    for (size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(chol->L()(i, j), ref->L()(i, j),
+                  1e-8 * std::max(1.0, std::fabs(ref->L()(i, j))))
+          << "L(" << i << "," << j << ")";
+    }
+}
+
+TEST(KernCholUpdate, Rank1UpdateMatchesRefactorAndBackendsBitEqual) {
+  Rng rng(408);
+  for (size_t n : {1u, 2u, 3u, 5u, 8u, 13u, 31u}) {
+    const Matrix spd = MakeSpd(&rng, n);
+    const auto vraw = RandomVec(&rng, n, 0.7);
+    Vector v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = vraw[i];
+
+    Matrix ref_l(1, 1);
+    bool have_ref = false;
+    CompareBackends([&](bool is_reference) {
+      auto chol = Cholesky::Factor(spd);
+      ASSERT_TRUE(chol.ok());
+      ASSERT_TRUE(chol->RankOneUpdate(v).ok());
+      if (is_reference) {
+        ref_l = chol->L();
+        have_ref = true;
+      } else {
+        ASSERT_TRUE(have_ref);
+        for (size_t i = 0; i < n; ++i)
+          for (size_t j = 0; j <= i; ++j)
+            EXPECT_SAME_BITS(ref_l(i, j), chol->L()(i, j)) << "n=" << n;
+      }
+    });
+
+    // Tolerance check against factoring A + v v^T from scratch.
+    Matrix bumped = spd;
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j) bumped(i, j) += v[i] * v[j];
+    auto full = Cholesky::Factor(bumped);
+    ASSERT_TRUE(full.ok());
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j <= i; ++j)
+        EXPECT_NEAR(ref_l(i, j), full->L()(i, j),
+                    1e-9 * std::max(1.0, std::fabs(full->L()(i, j))))
+            << "n=" << n;
+  }
+}
+
+TEST(KernCholUpdate, DowndateRoundTripRestoresFactor) {
+  Rng rng(409);
+  for (size_t n : {1u, 3u, 8u, 13u, 31u}) {
+    const Matrix spd = MakeSpd(&rng, n);
+    const auto vraw = RandomVec(&rng, n, 0.5);
+    Vector v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = vraw[i];
+    auto chol = Cholesky::Factor(spd);
+    ASSERT_TRUE(chol.ok());
+    const Matrix original = chol->L();
+    ASSERT_TRUE(chol->RankOneUpdate(v).ok());
+    ASSERT_TRUE(chol->RankOneDowndate(v).ok());
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j <= i; ++j)
+        EXPECT_NEAR(chol->L()(i, j), original(i, j),
+                    1e-9 * std::max(1.0, std::fabs(original(i, j))))
+            << "n=" << n;
+  }
+}
+
+TEST(KernCholUpdate, DowndateFailureIsDeterministicAndRollsBack) {
+  // Downdating by a vector with more energy than the matrix must fail on
+  // the same column for every backend and leave the factor unchanged.
+  Rng rng(410);
+  const size_t n = 9;
+  const Matrix spd = MakeSpd(&rng, n);
+  Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = 100.0 * (i == 4 ? 1.0 : 0.01);
+  ptrdiff_t ref_col = -2;
+  CompareBackends([&](bool is_reference) {
+    auto chol = Cholesky::Factor(spd);
+    ASSERT_TRUE(chol.ok());
+    const Matrix before = chol->L();
+    std::vector<double> l(n * n);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = 0; j < n; ++j) l[i * n + j] = before(i, j);
+    std::vector<double> work(n);
+    for (size_t i = 0; i < n; ++i) work[i] = v[i];
+    const ptrdiff_t col = CholRank1Downdate(l.data(), n, n, work.data());
+    ASSERT_GE(col, 0);
+    if (is_reference) {
+      ref_col = col;
+    } else {
+      EXPECT_EQ(ref_col, col);
+    }
+    // The class API rolls back on failure.
+    EXPECT_FALSE(chol->RankOneDowndate(v).ok());
+    EXPECT_EQ(before.MaxAbsDiff(chol->L()), 0.0);
+  });
+}
+
 TEST(KernDispatch, NamesAndAvailability) {
   EXPECT_TRUE(BackendAvailable(Backend::kScalar));
   EXPECT_TRUE(BackendAvailable(BestBackend()));
