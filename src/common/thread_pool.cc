@@ -130,6 +130,18 @@ void ThreadPool::ParallelForEach(size_t n,
   });
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  if (num_threads_ <= 1 || g_current_pool == this) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
 ThreadPool* ThreadPool::Global() {
   auto& slot = GlobalSlot();
   if (slot == nullptr) slot = std::make_unique<ThreadPool>(DefaultThreads());

@@ -50,6 +50,16 @@ class ThreadPool {
   /// Per-index convenience wrapper over ParallelFor.
   void ParallelForEach(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Enqueues one fire-and-forget task. Unlike ParallelFor the caller
+  /// does NOT participate or wait; completion is the task's own business
+  /// (pair with a promise/future or condition variable). A pool with no
+  /// workers (`num_threads() <= 1`) runs the task inline before
+  /// returning, so single-threaded configurations stay deterministic and
+  /// never deadlock a waiter. Tasks submitted from inside a pool task of
+  /// the same pool also run inline — queueing them behind a full queue of
+  /// blocked parents could deadlock.
+  void Submit(std::function<void()> task);
+
   /// The process-wide pool used by the BO hot path. Defaults to
   /// `std::thread::hardware_concurrency()` threads; `SetGlobalThreads`
   /// rebuilds it (not thread-safe against concurrent ParallelFor — call it

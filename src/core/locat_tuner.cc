@@ -200,11 +200,22 @@ LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
   math::Vector best_unit = space.ToUnit(best_conf_);
   if (dagp_.fitted() && !observations_.empty()) {
     std::vector<math::Vector> encoded;
-    encoded.reserve(observations_.size());
+    encoded.reserve(observations_.size() + priors_.size());
     for (const auto& obs : observations_) {
       encoded.push_back(EncodeUnit(obs.unit));
     }
-    const std::vector<double> sizes(observations_.size(), datasize_gb);
+    // Transferred prior units compete for the anchor too: the donor's
+    // optimum is exactly the region a warm start exists to reach, and the
+    // incumbent-anchored local/line families are the only way the
+    // proposal loop gets there (the global family is uniform noise in 38
+    // dimensions). The posterior mean at a prior reflects the rescaled
+    // donor objective, so a genuinely better donor region wins the anchor
+    // and this app's next evaluations refine it — with real runs, which
+    // then take over the incumbent. Without priors the scan is unchanged.
+    for (const auto& p : priors_) {
+      encoded.push_back(EncodeUnit(p.unit));
+    }
+    const std::vector<double> sizes(encoded.size(), datasize_gb);
     const std::vector<Dagp::Prediction> preds =
         dagp_.PredictBatch(encoded, sizes);
     double best_score = 0.0;
@@ -212,7 +223,9 @@ LocatTuner::Proposal LocatTuner::ProposeNext(TuningSession* session,
       const double score = preds[i].seconds;
       if (best_score <= 0.0 || score < best_score) {
         best_score = score;
-        best_unit = observations_[i].unit;
+        best_unit = i < observations_.size()
+                        ? observations_[i].unit
+                        : priors_[i - observations_.size()].unit;
       }
     }
   }
@@ -348,6 +361,20 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
     rqa_.resize(static_cast<size_t>(num_queries));
     for (int q = 0; q < num_queries; ++q) rqa_[static_cast<size_t>(q)] = q;
   }
+  // A transferred CSQ hint replaces the local estimate: the donor (or
+  // this app's own pre-eviction tune) computed its sensitivity statistics
+  // from a full sampling budget, while a warm start's shrunken schedule
+  // observed too few samples for the CV ranking to mean anything — an
+  // arbitrary RQA makes the reduced objective a proxy uncorrelated with
+  // the full application and the whole refinement phase optimizes noise.
+  if (!priors_.empty() && !prior_rqa_.empty()) {
+    std::vector<int> hinted;
+    hinted.reserve(prior_rqa_.size());
+    for (int q : prior_rqa_) {
+      if (q >= 0 && q < num_queries) hinted.push_back(q);
+    }
+    if (!hinted.empty()) rqa_ = std::move(hinted);
+  }
 
   // --- IICP on the first N_IICP *successful* samples (matrix S',
   // equation (5)): censored penalty values are imputed, not measured, and
@@ -413,6 +440,101 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
                          obs.objective_seconds);
   }
   if (rqa_ratio_count > 0) rqa_share_ = rqa_ratio_sum / rqa_ratio_count;
+
+  // Transferred priors enter the surrogate here — and only here. They are
+  // donor-app objectives on the donor's own RQA scale; mixing that scale
+  // with this app's raw observations would skew the whole GP fit, so each
+  // prior is rescaled to this app's objective scale first. The factor is
+  // calibrated pointwise: each of this app's (just re-scaled) phase-A
+  // observations is paired with the nearest donor prior in unit space —
+  // restricted to the donor data size closest (log-wise) to this cold
+  // start's size — and the factor is the median of the pairwise log
+  // ratios. Comparing nearest configurations, not whole histories, keeps
+  // the calibration honest when the donor export mixes random samples
+  // with exploitation samples near its own optimum. The single
+  // multiplicative factor preserves the *shape* of the donor's cost
+  // surface (which is all a transfer can promise) while the absolute
+  // level matches the observations just recorded.
+  if (!priors_.empty()) {
+    double own_ds = 0.0;
+    for (const auto& obs : observations_) {
+      if (!obs.failed) own_ds = obs.datasize_gb;
+    }
+    double best_gap = 1e300;
+    double anchor_ds = priors_.front().datasize_gb;
+    for (const auto& p : priors_) {
+      const double gap = std::fabs(std::log(p.datasize_gb / own_ds));
+      if (gap < best_gap) {
+        best_gap = gap;
+        anchor_ds = p.datasize_gb;
+      }
+    }
+    std::vector<double> log_ratios;
+    for (const auto& obs : observations_) {
+      if (obs.failed || obs.objective_seconds <= 0.0) continue;
+      const PriorObservation* nearest = nullptr;
+      double nearest_d2 = 1e300;
+      for (const auto& p : priors_) {
+        if (p.datasize_gb != anchor_ds) continue;
+        double d2 = 0.0;
+        for (size_t k = 0; k < obs.unit.size() && k < p.unit.size(); ++k) {
+          const double d = obs.unit[k] - p.unit[k];
+          d2 += d * d;
+        }
+        if (d2 < nearest_d2) {
+          nearest_d2 = d2;
+          nearest = &p;
+        }
+      }
+      if (nearest != nullptr && nearest->objective_seconds > 0.0) {
+        log_ratios.push_back(std::log(obs.objective_seconds /
+                                      nearest->objective_seconds));
+      }
+    }
+    if (!log_ratios.empty()) {
+      std::nth_element(log_ratios.begin(),
+                       log_ratios.begin() + log_ratios.size() / 2,
+                       log_ratios.end());
+      const double factor = std::exp(log_ratios[log_ratios.size() / 2]);
+      // Pessimism (>= 1) is applied after the rescale so it survives the
+      // normalization: donor knowledge sits slightly above this app's
+      // level and real observations win ties near the optimum.
+      const double lift = factor * std::max(1.0, prior_pessimism_);
+      for (const auto& p : priors_) {
+        dagp_.AddObservation(EncodeUnit(p.unit), p.datasize_gb,
+                             p.objective_seconds * lift);
+      }
+      // The donors' claimed optima — at the data size most comparable to
+      // this cold start — are worth real runs (the probes after the
+      // rebuild): the latent encoding was fitted on a handful of this
+      // app's own samples and can project the donors' discriminating
+      // dimensions away, so trusting the surrogate alone to rediscover
+      // the region is not reliable. Greedily pick up to three priors by
+      // ascending objective, skipping near-duplicates, so one probe
+      // failing (a donor optimum can sit just past this app's memory
+      // edge) does not void the transfer.
+      std::vector<const PriorObservation*> ranked;
+      for (const auto& p : priors_) {
+        if (p.datasize_gb == anchor_ds) ranked.push_back(&p);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const PriorObservation* a, const PriorObservation* b) {
+                  return a->objective_seconds < b->objective_seconds;
+                });
+      for (const PriorObservation* p : ranked) {
+        if (prior_probe_units_.size() >= 3) break;
+        bool close = false;
+        for (const auto& u : prior_probe_units_) {
+          if ((u - p->unit).Norm() < 0.5) {
+            close = true;
+            break;
+          }
+        }
+        if (!close) prior_probe_units_.push_back(p->unit);
+      }
+    }
+  }
+
   // Recompute the incumbent (and the censored-cost anchor) under the RQA
   // objective; failed runs never hold either.
   best_objective_ = 0.0;
@@ -451,6 +573,64 @@ void LocatTuner::RunQcsaAndIicp(TuningSession* session) {
       observer()->OnPhase(ev);
     }
   }
+}
+
+void LocatTuner::SeedPriorObservations(std::vector<PriorObservation> priors,
+                                       double pessimism) {
+  if (cold_started_) return;
+  std::vector<PriorObservation> valid;
+  valid.reserve(priors.size());
+  for (auto& p : priors) {
+    if (p.objective_seconds <= 0.0 || p.datasize_gb <= 0.0) continue;
+    if (static_cast<int>(p.unit.size()) != sparksim::kNumParams) continue;
+    valid.push_back(std::move(p));
+  }
+  if (valid.empty()) return;
+  // The priors do NOT enter the surrogate yet: donor objectives live on
+  // the donor's scale, and phase A observes raw full-app times — mixing
+  // the two would bias every phase-A refit. RunQcsaAndIicp injects them,
+  // rescaled to this app's objective level, when the cold start switches
+  // to the RQA objective.
+  priors_ = std::move(valid);
+  prior_pessimism_ = std::max(1.0, pessimism);
+  // The transferred surrogate (plus the probe runs of the donors' best
+  // configurations) stands in for most of the cold-start samples: cut
+  // the QCSA sampling budget to a third (never below the LHS points) and
+  // the reduced-space floor/cap likewise.
+  options_.n_qcsa = std::max(options_.lhs_init, options_.n_qcsa / 3);
+  options_.min_iterations = std::max(1, options_.min_iterations / 3);
+  options_.max_iterations =
+      std::max(options_.min_iterations, options_.max_iterations / 3);
+}
+
+void LocatTuner::SeedRqaHint(std::vector<int> csq_indices) {
+  if (cold_started_) return;
+  prior_rqa_ = std::move(csq_indices);
+}
+
+std::vector<LocatTuner::PriorObservation> LocatTuner::ExportObservations(
+    size_t cap) const {
+  std::vector<size_t> ok;
+  ok.reserve(observations_.size());
+  for (size_t i = 0; i < observations_.size(); ++i) {
+    if (!observations_[i].failed) ok.push_back(i);
+  }
+  std::vector<PriorObservation> out;
+  if (ok.empty() || cap == 0) return out;
+  const size_t n = std::min(cap, ok.size());
+  out.reserve(n);
+  // Even stride over the successful history: the sample spans LHS
+  // exploration through reduced-space refinement instead of clustering at
+  // either end.
+  for (size_t k = 0; k < n; ++k) {
+    const size_t i = ok[(k * ok.size()) / n];
+    PriorObservation p;
+    p.unit = observations_[i].unit;
+    p.datasize_gb = observations_[i].datasize_gb;
+    p.objective_seconds = observations_[i].objective_seconds;
+    out.push_back(std::move(p));
+  }
+  return out;
 }
 
 void LocatTuner::ObserveExternalRun(const sparksim::ConfigSpace& space,
@@ -573,6 +753,24 @@ TuningResult LocatTuner::Tune(TuningSession* session, double datasize_gb) {
     // Phase B: BO on the RQA in the (possibly) reduced encoding.
     obs::ScopedSpan span(tracer(), "tune/reduced", "tuner");
     phase_label_ = "reduced";
+    // Transfer probes: real RQA runs of the donors' claimed-best
+    // configurations (one batched fan-out). A good transfer takes over
+    // the incumbent here and the candidate families below refine it; a
+    // bad one costs an evaluation and the observation steers the
+    // surrogate away. Never runs without priors, keeping the prior-free
+    // path byte-identical.
+    if (!prior_probe_units_.empty()) {
+      pending_relative_ei_ = 0.0;
+      pending_candidate_pool_ = 0;
+      pending_acq_seconds_ = 0.0;
+      std::vector<sparksim::SparkConf> probe_confs;
+      probe_confs.reserve(prior_probe_units_.size());
+      for (const auto& u : prior_probe_units_) {
+        probe_confs.push_back(space.Repair(space.FromUnit(u)));
+      }
+      EvaluateAndRecordBatch(session, probe_confs, datasize_gb,
+                             /*full_app=*/false);
+    }
     int iterations = 0;
     while (iterations < options_.max_iterations) {
       exploit_only_ = iterations >= (options_.max_iterations * 3) / 5;

@@ -69,6 +69,61 @@ class LocatTuner : public Tuner {
   TuningResult Tune(TuningSession* session, double datasize_gb) override;
   void SetObservability(const obs::ObsContext& obs) override;
 
+  /// One transferable observation: a full-space unit configuration, the
+  /// data size it ran at and the objective it achieved. This is the
+  /// currency of cross-application warm starts — unit coordinates are
+  /// app-independent, so observations harvested from one tuner can seed
+  /// another app's surrogate.
+  struct PriorObservation {
+    math::Vector unit;              // full 38-dim unit configuration
+    double datasize_gb = 0.0;
+    double objective_seconds = 0.0;
+  };
+
+  /// Seeds the DAGP with observations transferred from other (similar)
+  /// applications BEFORE the cold start — the retrieval-augmented warm
+  /// start of ROADMAP item 1. The priors enter the surrogate only (never
+  /// the incumbent, QCSA/IICP statistics or the trajectory), and only at
+  /// the QCSA/IICP rebuild, rescaled (median-to-median, anchored at the
+  /// donor data size nearest this tune's size) to this app's objective
+  /// level so the two scales never mix; `pessimism` (>= 1) lifts the
+  /// rescaled donor objectives so real observations win ties. The donor's
+  /// claimed-best configuration additionally gets one real probe run
+  /// right after the rebuild, so a good transfer immediately becomes the
+  /// incumbent. The cold start runs a reduced schedule: a third of the
+  /// QCSA sampling budget and of the reduced-space iteration floor/cap,
+  /// because the transferred surrogate stands in for the missing
+  /// samples. Entries with a
+  /// non-positive objective or a wrong dimension are dropped. Calls after
+  /// the cold start (or with nothing valid to seed) are no-ops, so a
+  /// tuner that never receives priors behaves byte-identically to one
+  /// where this method does not exist.
+  void SeedPriorObservations(std::vector<PriorObservation> priors,
+                             double pessimism = 1.0);
+
+  /// Seeds the configuration-sensitive query set from a donor app (or
+  /// this app's own pre-eviction history). QCSA sensitivity is a property
+  /// of the application's queries, so a similar app's full-budget CSQ
+  /// statistics beat the handful of samples a warm start's shrunken
+  /// schedule can afford; when set (and priors were seeded), the cold
+  /// start adopts these indices as the RQA instead of its own QCSA
+  /// estimate. Out-of-range indices are dropped; an empty (or fully
+  /// invalid) hint, or a call after the cold start, is a no-op.
+  void SeedRqaHint(std::vector<int> csq_indices);
+
+  /// Exports up to `cap` successful observations (evenly strided over the
+  /// history so the sample spans the whole search, most representative
+  /// first-to-last) for transfer to another application's warm start.
+  /// Failed/censored observations are never exported.
+  std::vector<PriorObservation> ExportObservations(size_t cap) const;
+
+  /// Number of observations recorded so far (successful + censored).
+  size_t num_observations() const { return observations_.size(); }
+
+  /// True once prior observations were seeded (and will shape the cold
+  /// start).
+  bool warm_started() const { return !priors_.empty(); }
+
   /// Feeds an already-executed production run into the DAGP (the online
   /// path: production runs are free observations). The full-application
   /// time is converted to the RQA-equivalent objective via the CSQ share
@@ -167,6 +222,26 @@ class LocatTuner : public Tuner {
   Options options_;
   Rng rng_;
   bool cold_started_ = false;
+  /// Transferred observations (cross-app warm start). They live in the
+  /// DAGP only — never in observations_, so the incumbent, trajectory,
+  /// QCSA/IICP statistics and duplicate checks see exclusively this
+  /// app's own runs.
+  std::vector<PriorObservation> priors_;
+  /// Multiplier (>= 1) applied to prior objectives after they are rescaled
+  /// to this app's objective level at the QCSA/IICP rebuild.
+  double prior_pessimism_ = 1.0;
+  /// The donors' claimed-best units (lowest prior objectives at the
+  /// anchor data size, pairwise-diverse); probed with real evaluations
+  /// right after the QCSA/IICP rebuild so a genuinely good transfer
+  /// immediately becomes the incumbent the reduced-space families refine.
+  /// Several diverse probes instead of the single best: a tuned donor
+  /// configuration often sits at a resource-efficiency edge (tight
+  /// memory overhead), and the recipient's slightly different profile
+  /// can push exactly that point into failure. Empty without priors.
+  std::vector<math::Vector> prior_probe_units_;
+  /// Transferred CSQ indices (see SeedRqaHint); adopted as the RQA at the
+  /// rebuild when priors were seeded.
+  std::vector<int> prior_rqa_;
   std::optional<QcsaResult> qcsa_;
   std::optional<IicpResult> iicp_;
   std::vector<int> rqa_;

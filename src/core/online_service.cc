@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "obs/clock.h"
 #include "sparksim/properties_io.h"
@@ -11,7 +12,11 @@ namespace locat::core {
 
 OnlineTuningService::OnlineTuningService(TuningSession* session,
                                          Options options)
-    : session_(session), options_(options), tuner_(options.tuner) {}
+    : session_(session), options_(options), tuner_(options.tuner) {
+  // Published() must never return null, even before the first mutator.
+  published_.store(std::make_shared<const PublishedState>(),
+                   std::memory_order_release);
+}
 
 void OnlineTuningService::SetObservability(const obs::ObsContext& obs) {
   obs_ = obs;
@@ -66,10 +71,20 @@ void OnlineTuningService::SetObservability(const obs::ObsContext& obs) {
   }
 }
 
-double OnlineTuningService::NearestTunedKey(double datasize_gb) const {
+void OnlineTuningService::EnableLatencyTracking() {
+  if (owned_latency_ != nullptr) return;
+  owned_latency_ = std::make_unique<obs::Histogram>(
+      "locat_service_recommend_seconds",
+      "Wall-clock latency of RecommendedConf",
+      obs::LatencySecondsBuckets());
+}
+
+double OnlineTuningService::NearestTunedKeyIn(
+    const std::map<double, sparksim::SparkConf>& tuned, double datasize_gb,
+    double threshold) {
   double best_gap = 1e300;
   double best_key = std::numeric_limits<double>::quiet_NaN();
-  for (const auto& [ds, conf] : tuned_) {
+  for (const auto& [ds, conf] : tuned) {
     const double gap =
         std::fabs(ds - datasize_gb) / std::max(ds, datasize_gb);
     if (gap < best_gap) {
@@ -77,10 +92,35 @@ double OnlineTuningService::NearestTunedKey(double datasize_gb) const {
       best_key = ds;
     }
   }
-  if (best_gap > options_.retune_threshold) {
+  if (best_gap > threshold) {
     return std::numeric_limits<double>::quiet_NaN();
   }
   return best_key;
+}
+
+void OnlineTuningService::Publish() {
+  auto next = std::make_shared<PublishedState>();
+  next->tuned = tuned_;
+  next->penalized = penalized_;
+  next->recommendations = recommendations_;
+  next->reuses = reuses_;
+  next->tuning_passes = tuning_passes_;
+  next->failed_reports = failed_reports_;
+  next->last_datasize_gb = last_datasize_gb_;
+  next->last_conf = last_conf_;
+  next->has_last_conf = has_last_conf_;
+  next->optimization_seconds = session_->optimization_seconds();
+  published_.store(std::move(next), std::memory_order_release);
+}
+
+std::optional<sparksim::SparkConf> OnlineTuningService::PublishedReuse(
+    double datasize_gb) const {
+  if (!(datasize_gb > 0.0)) return std::nullopt;
+  const std::shared_ptr<const PublishedState> plan = Published();
+  const double key = NearestTunedKeyIn(plan->tuned, datasize_gb,
+                                       options_.retune_threshold);
+  if (std::isnan(key)) return std::nullopt;
+  return plan->tuned.at(key);
 }
 
 StatusOr<sparksim::SparkConf> OnlineTuningService::RecommendedConf(
@@ -97,17 +137,17 @@ StatusOr<sparksim::SparkConf> OnlineTuningService::RecommendedConf(
   }
   // Latency is only clocked when a histogram is wired: the disabled path
   // must never read a clock.
-  const uint64_t t0_ns = recommend_latency_ != nullptr
-                             ? obs::MonotonicClock::Default()->NowNanos()
-                             : 0;
-  auto finish = [&](const sparksim::SparkConf& conf)
-      -> const sparksim::SparkConf& {
+  obs::Histogram* latency = latency_sink();
+  const uint64_t t0_ns =
+      latency != nullptr ? obs::MonotonicClock::Default()->NowNanos() : 0;
+  auto finish = [&](const sparksim::SparkConf& conf) -> sparksim::SparkConf {
     last_datasize_gb_ = datasize_gb;
     last_conf_ = conf;
     has_last_conf_ = true;
-    if (recommend_latency_ != nullptr) {
+    Publish();
+    if (latency != nullptr) {
       const uint64_t t1_ns = obs::MonotonicClock::Default()->NowNanos();
-      recommend_latency_->Observe(static_cast<double>(t1_ns - t0_ns) * 1e-9);
+      latency->Observe(static_cast<double>(t1_ns - t0_ns) * 1e-9);
     }
     return conf;
   };
@@ -156,6 +196,7 @@ Status OnlineTuningService::ReportRun(double datasize_gb,
   if (runs_ok_ != nullptr) runs_ok_->Increment();
   const double key = NearestTunedKey(datasize_gb);
   if (!std::isnan(key)) last_good_[key] = conf;
+  Publish();
   return Status::OK();
 }
 
@@ -190,40 +231,47 @@ Status OnlineTuningService::ReportFailedRun(double datasize_gb,
       tuned_.erase(key);
     }
   }
+  Publish();
   return Status::OK();
 }
 
 int OnlineTuningService::penalized_count(double datasize_gb) const {
-  const double key = NearestTunedKey(datasize_gb);
+  const std::shared_ptr<const PublishedState> plan = Published();
+  const double key = NearestTunedKeyIn(plan->tuned, datasize_gb,
+                                       options_.retune_threshold);
   if (std::isnan(key)) return 0;
-  const auto it = penalized_.find(key);
-  return it == penalized_.end() ? 0 : it->second;
+  const auto it = plan->penalized.find(key);
+  return it == plan->penalized.end() ? 0 : it->second;
 }
 
 OnlineTuningService::StatusSnapshot OnlineTuningService::Snapshot() const {
+  const std::shared_ptr<const PublishedState> plan = Published();
   StatusSnapshot snap;
   snap.app = session_->app().name;
-  snap.recommendations = recommendations_;
-  snap.reuses = reuses_;
-  snap.tuning_passes = tuning_passes_;
-  snap.failed_reports = failed_reports_;
-  snap.tuned_sizes = tuned_sizes();
-  snap.last_datasize_gb = last_datasize_gb_;
-  if (has_last_conf_) {
-    snap.last_conf = sparksim::SparkPropertiesToString(last_conf_);
+  snap.recommendations = plan->recommendations;
+  snap.reuses = plan->reuses;
+  snap.tuning_passes = plan->tuning_passes;
+  snap.failed_reports = plan->failed_reports;
+  snap.tuned_sizes.reserve(plan->tuned.size());
+  for (const auto& [ds, conf] : plan->tuned) snap.tuned_sizes.push_back(ds);
+  snap.last_datasize_gb = plan->last_datasize_gb;
+  snap.optimization_seconds = plan->optimization_seconds;
+  if (plan->has_last_conf) {
+    snap.last_conf = sparksim::SparkPropertiesToString(plan->last_conf);
   }
-  if (recommend_latency_ != nullptr) {
-    snap.recommend_p50_s = recommend_latency_->Quantile(0.50);
-    snap.recommend_p95_s = recommend_latency_->Quantile(0.95);
-    snap.recommend_p99_s = recommend_latency_->Quantile(0.99);
+  if (const obs::Histogram* latency = latency_sink(); latency != nullptr) {
+    snap.recommend_p50_s = latency->Quantile(0.50);
+    snap.recommend_p95_s = latency->Quantile(0.95);
+    snap.recommend_p99_s = latency->Quantile(0.99);
   }
   return snap;
 }
 
 std::vector<double> OnlineTuningService::tuned_sizes() const {
+  const std::shared_ptr<const PublishedState> plan = Published();
   std::vector<double> sizes;
-  sizes.reserve(tuned_.size());
-  for (const auto& [ds, conf] : tuned_) sizes.push_back(ds);
+  sizes.reserve(plan->tuned.size());
+  for (const auto& [ds, conf] : plan->tuned) sizes.push_back(ds);
   return sizes;
 }
 

@@ -1,8 +1,11 @@
 #ifndef LOCAT_CORE_ONLINE_SERVICE_H_
 #define LOCAT_CORE_ONLINE_SERVICE_H_
 
+#include <atomic>
 #include <limits>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +31,14 @@ namespace locat::core {
 /// anything tuned before (relative gap > retune_threshold); otherwise the
 /// nearest tuned configuration is reused instantly. Reported production
 /// runs feed the DAGP as free observations.
+///
+/// Threading: the three mutators (RecommendedConf, ReportRun,
+/// ReportFailedRun) must be externally serialized — the ServiceRegistry
+/// does this with per-app single-flight; a single-threaded caller gets it
+/// for free. Every mutator re-publishes an immutable state snapshot, so
+/// the const readers (Snapshot, tuned_sizes, penalized_count, Published,
+/// PublishedReuse) are safe to call concurrently with one running mutator
+/// from any number of threads.
 class OnlineTuningService {
  public:
   struct Options {
@@ -70,7 +81,7 @@ class OnlineTuningService {
                          double partial_seconds = 0.0);
 
   /// Failed production runs reported so far.
-  int failed_reports() const { return failed_reports_; }
+  int failed_reports() const { return Published()->failed_reports; }
 
   /// How many failure reports have hit the tuned size nearest to
   /// `datasize_gb` (0 when nothing nearby was ever penalized).
@@ -83,16 +94,76 @@ class OnlineTuningService {
   }
 
   /// Number of cold/warm tuning passes performed.
-  int tuning_passes() const { return tuning_passes_; }
+  int tuning_passes() const { return Published()->tuning_passes; }
 
   /// Data sizes with a tuned configuration, ascending.
   std::vector<double> tuned_sizes() const;
 
   const LocatTuner& tuner() const { return tuner_; }
 
+  /// Seeds the tuner with observations transferred from similar apps
+  /// (cross-app warm start). Must run before the first RecommendedConf;
+  /// later calls are no-ops. See LocatTuner::SeedPriorObservations.
+  void SeedPriorObservations(std::vector<LocatTuner::PriorObservation> p,
+                             double pessimism = 1.0) {
+    tuner_.SeedPriorObservations(std::move(p), pessimism);
+  }
+
+  /// Transfers a donor's configuration-sensitive query set; adopted as
+  /// the RQA during a warm-started cold start. See
+  /// LocatTuner::SeedRqaHint.
+  void SeedRqaHint(std::vector<int> csq_indices) {
+    tuner_.SeedRqaHint(std::move(csq_indices));
+  }
+
+  /// Exports up to `cap` of the tuner's successful observations for
+  /// transfer to another app. See LocatTuner::ExportObservations.
+  std::vector<LocatTuner::PriorObservation> ExportObservations(
+      size_t cap) const {
+    return tuner_.ExportObservations(cap);
+  }
+
+  /// Immutable serving plan, re-published by every mutator and read
+  /// lock-free (one atomic shared_ptr load) by any thread. This is the
+  /// structure the ServiceRegistry's hot lookup path consumes.
+  struct PublishedState {
+    std::map<double, sparksim::SparkConf> tuned;  // ds -> best conf
+    std::map<double, int> penalized;              // tuned ds -> failures
+    int recommendations = 0;
+    int reuses = 0;
+    int tuning_passes = 0;
+    int failed_reports = 0;
+    double last_datasize_gb = std::numeric_limits<double>::quiet_NaN();
+    sparksim::SparkConf last_conf;
+    bool has_last_conf = false;
+    /// Session optimization meter at publish time, so concurrent readers
+    /// never touch the session itself.
+    double optimization_seconds = 0.0;
+  };
+
+  /// Current serving plan; never null. The snapshot stays valid (and
+  /// immutable) for as long as the caller holds the shared_ptr, even
+  /// across concurrent re-tunes.
+  std::shared_ptr<const PublishedState> Published() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  /// Lock-free fast path: the tuned conf closest to `datasize_gb` when
+  /// its symmetric gap is within retune_threshold, nullopt when the
+  /// request must go through a (cold or warm) tuning pass. Does NOT count
+  /// as a recommendation — callers that serve from it are expected to
+  /// report it via the owning registry's bookkeeping.
+  std::optional<sparksim::SparkConf> PublishedReuse(double datasize_gb) const;
+
+  /// Key of the tuned size in `tuned` closest to `datasize_gb` when its
+  /// symmetric gap is within `threshold`; NaN when nothing is close
+  /// enough.
+  static double NearestTunedKeyIn(
+      const std::map<double, sparksim::SparkConf>& tuned, double datasize_gb,
+      double threshold);
+
   /// Point-in-time serving state of this service, the row /statusz renders
-  /// for each app. Quantiles are 0 until a metrics registry is wired (the
-  /// latency histogram lives there).
+  /// for each app.
   struct StatusSnapshot {
     std::string app;
     int recommendations = 0;
@@ -108,8 +179,21 @@ class OnlineTuningService {
     double recommend_p50_s = 0.0;
     double recommend_p95_s = 0.0;
     double recommend_p99_s = 0.0;
+    /// Optimization meter as of the last mutation (see PublishedState).
+    double optimization_seconds = 0.0;
   };
+  /// Latency-quantile source, in order of preference: the registry-backed
+  /// labeled histogram (when SetObservability wired a metrics registry),
+  /// else the owned histogram (when EnableLatencyTracking was called),
+  /// else the quantiles are 0 — with neither wired the recommend path
+  /// never reads a clock, so there is nothing to report. This is the one
+  /// place that behavior is defined.
   StatusSnapshot Snapshot() const;
+
+  /// Makes the service clock RecommendedConf latency into an owned
+  /// histogram even without a metrics registry, so Snapshot() can report
+  /// quantiles. A registry wired later takes precedence as the sink.
+  void EnableLatencyTracking();
 
   /// Wires observability into the service and its tuner (the session is
   /// wired separately by whoever owns it). Purely observational. Besides
@@ -123,7 +207,20 @@ class OnlineTuningService {
  private:
   /// Key of the tuned size closest to `datasize_gb` when its symmetric
   /// gap is within retune_threshold; NaN when nothing is close enough.
-  double NearestTunedKey(double datasize_gb) const;
+  double NearestTunedKey(double datasize_gb) const {
+    return NearestTunedKeyIn(tuned_, datasize_gb, options_.retune_threshold);
+  }
+
+  /// Rebuilds the immutable snapshot from the mutable state and swaps it
+  /// in. Called at the end of every mutator.
+  void Publish();
+
+  /// The histogram RecommendedConf clocks into: the registry child when
+  /// wired, else the owned one, else null (no clock reads).
+  obs::Histogram* latency_sink() const {
+    return recommend_latency_ != nullptr ? recommend_latency_
+                                         : owned_latency_.get();
+  }
 
   TuningSession* session_;
   Options options_;
@@ -140,6 +237,8 @@ class OnlineTuningService {
   double last_datasize_gb_ = std::numeric_limits<double>::quiet_NaN();
   sparksim::SparkConf last_conf_;
   bool has_last_conf_ = false;
+  std::atomic<std::shared_ptr<const PublishedState>> published_;
+  std::unique_ptr<obs::Histogram> owned_latency_;
   obs::ObsContext obs_;
   obs::Counter* recommendations_counter_ = nullptr;
   obs::Counter* reuse_counter_ = nullptr;

@@ -1,0 +1,314 @@
+#ifndef LOCAT_CORE_SERVICE_REGISTRY_H_
+#define LOCAT_CORE_SERVICE_REGISTRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/online_service.h"
+#include "core/qcsa.h"
+#include "obs/metrics.h"
+#include "sparksim/query_profile.h"
+
+namespace locat::core {
+
+/// Compact description of *what kind of workload* an application is, used
+/// to pick warm-start donors for new tenants (the retrieval-augmented
+/// transfer of Suri et al., PAPERS.md). Two sources feed it:
+///   - static query-profile aggregates, available at admission time
+///     (query-category mix, shuffle intensity, memory pressure, skew);
+///   - the QCSA sensitivity signature, available once the donor finished
+///     its cold start (how much of the app is configuration-sensitive).
+/// All features are scaled to roughly [0, 1] so the unweighted Euclidean
+/// distance treats them comparably.
+struct AppFingerprint {
+  math::Vector features;
+
+  /// Builds the static part from the app's query profiles; the
+  /// sensitivity slots start at zero ("unknown").
+  static AppFingerprint FromProfile(const sparksim::SparkSqlApp& app);
+
+  /// Fills in the sensitivity slots from a finished QCSA analysis.
+  void AddSensitivity(const QcsaResult& qcsa, int num_queries);
+
+  /// Euclidean distance between two fingerprints (both always have the
+  /// same fixed dimension).
+  static double Distance(const AppFingerprint& a, const AppFingerprint& b);
+};
+
+/// Everything the registry owns per application besides the service
+/// itself: typically the simulator/session stack the service tunes
+/// against. Destroyed when the entry is evicted and the last in-flight
+/// reader drops it.
+class AppBackend {
+ public:
+  virtual ~AppBackend() = default;
+  /// The per-app tuning service; the registry serializes its mutators.
+  virtual OnlineTuningService* service() = 0;
+  /// The application profile (fingerprint source).
+  virtual const sparksim::SparkSqlApp& app() const = 0;
+};
+
+/// Multi-tenant front door for OnlineTuningService: a 16-way sharded
+/// (hash-on-app-name) registry serving hundreds of applications whose
+/// input sizes drift over time (ROADMAP item 1, Section 3.1 of the
+/// paper).
+///
+/// Request path. `Lookup(app, ds)` is read-mostly and lock-free on the
+/// hot path: the shard's entry map is an immutable snapshot swapped via
+/// std::atomic<std::shared_ptr> (copy-on-write on admission/eviction,
+/// same pattern as the obs flight recorder), and each service publishes
+/// its serving plan the same way — a warm hit costs two atomic loads and
+/// a map lookup, no mutex. Cold misses and drift re-tunes take the
+/// entry's mutex and run the tuning pass on a background worker pool with
+/// per-app single-flight dedup: concurrent requests for the same drifting
+/// app coalesce behind exactly one tuning pass and are served from its
+/// published result.
+///
+/// Lifecycle. Cross-app-visible state — LRU/TTL eviction and the
+/// transfer store warm starts read from — mutates ONLY inside
+/// `AdvanceTick()`, which the driver calls at quiescent barriers (e.g.
+/// between serve rounds), scanning entries in sorted-name order. Because
+/// request timing can therefore never influence which apps are evicted
+/// or which donors a warm start sees, served configurations are
+/// bit-identical for any worker-pool size on a fixed request trace.
+/// Evicted apps persist their observation history; re-admission seeds the
+/// new tuner from it instead of cold-tuning from scratch.
+class ServiceRegistry {
+ public:
+  struct Options {
+    /// Per-app service options applied by the backend factory (kept here
+    /// for the drift threshold the hot path shares with the service).
+    double retune_threshold = 0.25;
+    /// Maximum live apps; the excess is evicted (least-recently-used
+    /// first) at the next AdvanceTick. 0 = unlimited.
+    size_t capacity = 0;
+    /// Evict apps idle for more than this many ticks. 0 = never.
+    int ttl_ticks = 0;
+    /// Cross-app transfer: seed new apps from the K nearest tuned apps'
+    /// observation histories. `false` leaves every tuner byte-identical
+    /// to a registry-less cold start.
+    bool warm_start = true;
+    /// Donor count and total transferred-observation cap per admission.
+    int transfer_k = 3;
+    size_t transfer_cap = 12;
+    /// Multiplier on transferred objectives, applied inside the tuner
+    /// AFTER donor priors are rescaled to the recipient's own objective
+    /// level (> 1 biases the surrogate to treat donor knowledge as
+    /// slightly pessimistic, so the new app's own observations win ties
+    /// near the optimum). Re-admission from an app's own evicted history
+    /// always uses 1.0.
+    double transfer_pessimism = 1.0;
+    /// Worker threads for background tuning passes. 1 = run inline on
+    /// the requesting thread (fully deterministic single-threaded mode).
+    int tune_threads = 1;
+    /// Clock Lookup latency into an owned histogram (and each service's
+    /// RecommendedConf latency) even without a metrics registry, so
+    /// statusz/bench can report quantiles. Off by default: disabled
+    /// observability must not read clocks.
+    bool track_latency = false;
+
+    Options() {}
+  };
+
+  /// Creates the per-app backend on first lookup (and on re-admission
+  /// after eviction). Returning null fails the lookup with
+  /// InvalidArgument.
+  using BackendFactory =
+      std::function<std::unique_ptr<AppBackend>(const std::string& app)>;
+
+  ServiceRegistry(BackendFactory factory, Options options = Options());
+  ~ServiceRegistry();
+
+  ServiceRegistry(const ServiceRegistry&) = delete;
+  ServiceRegistry& operator=(const ServiceRegistry&) = delete;
+
+  /// Returns the configuration to run `app` with at `datasize_gb`,
+  /// admitting (and warm-starting) the app on first sight and tuning
+  /// (single-flight, on the worker pool) when nothing close enough is
+  /// published. Safe to call from any number of threads.
+  StatusOr<sparksim::SparkConf> Lookup(const std::string& app,
+                                       double datasize_gb);
+
+  /// Feeds a finished production run back into `app`'s model. NotFound
+  /// when the app was never admitted (or was evicted).
+  Status ReportRun(const std::string& app, double datasize_gb,
+                   const sparksim::SparkConf& conf, double observed_seconds);
+
+  /// Reports a died production run (censored observation + graceful
+  /// degradation, see OnlineTuningService::ReportFailedRun).
+  Status ReportFailedRun(const std::string& app, double datasize_gb,
+                         const sparksim::SparkConf& conf,
+                         double partial_seconds = 0.0);
+
+  /// Advances the registry clock one tick and commits all cross-app
+  /// state in deterministic (sorted-name) order: refreshes the transfer
+  /// store from tuned entries, applies TTL eviction, then trims to
+  /// capacity evicting least-recently-used entries (older tick first,
+  /// name as the tie-break). Call from the driver at quiescent barriers;
+  /// entries busy in a tuning pass are skipped and retried next tick.
+  /// Returns the new tick value.
+  uint64_t AdvanceTick();
+
+  /// Point-in-time registry counters for /statusz and benches.
+  struct Stats {
+    size_t live_apps = 0;
+    uint64_t tick = 0;
+    uint64_t lookups_hit = 0;
+    uint64_t lookups_miss = 0;
+    uint64_t lookups_coalesced = 0;
+    uint64_t retunes_cold = 0;
+    uint64_t retunes_drift = 0;
+    uint64_t evictions_ttl = 0;
+    uint64_t evictions_capacity = 0;
+    uint64_t warm_start_hits = 0;
+    std::vector<size_t> shard_occupancy;  // kNumShards entries
+  };
+  Stats GetStats() const;
+
+  /// Lookup-latency quantile in seconds (0 unless track_latency or a
+  /// metrics registry is wired — same contract as
+  /// OnlineTuningService::Snapshot).
+  double LookupLatencyQuantile(double q) const;
+
+  /// One serving row per live app, ordered by name: the service snapshot
+  /// plus the registry's own per-app bookkeeping.
+  struct AppRow {
+    OnlineTuningService::StatusSnapshot snapshot;
+    uint64_t hits = 0;       // lock-free reuse serves (fast path)
+    uint64_t coalesced = 0;  // waiters served by another request's tune
+    bool warm_started = false;
+    uint64_t last_used_tick = 0;
+  };
+  std::vector<AppRow> AppRows() const;
+  std::optional<AppRow> GetAppRow(const std::string& app) const;
+
+  /// Monospace registry table for /statusz: shard occupancy, eviction and
+  /// coalesce counters, warm-start hits.
+  std::string RenderStatusTable() const;
+
+  /// Wires tracing/metrics into the registry and every current and
+  /// future entry (services get the same context). Labeled families:
+  ///   locat_registry_lookups_total{result="hit"|"miss"|"coalesced"}
+  ///   locat_registry_retunes_total{reason="cold"|"drift"}
+  ///   locat_registry_evictions_total{reason="ttl"|"capacity"}
+  ///   locat_registry_warm_starts_total
+  ///   locat_registry_lookup_seconds (histogram)
+  void SetObservability(const obs::ObsContext& obs);
+
+  static constexpr int kNumShards = 16;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<AppBackend> backend;
+    AppFingerprint fingerprint;
+    /// Serializes the service's mutators; the in_flight flag extends the
+    /// critical section over the (pool-executed) tuning pass without
+    /// holding the mutex while it runs.
+    std::mutex mu;
+    std::condition_variable done;
+    bool tuning_in_flight = false;
+    bool sensitivity_added = false;
+    bool warm_started = false;
+    std::atomic<uint64_t> last_used_tick{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> coalesced{0};
+    /// Size and conf of the last successful Lookup (the service only
+    /// records tuned recommendations; fast-path hits land here so the
+    /// statusz "last conf" column covers every served request).
+    std::atomic<std::shared_ptr<const std::pair<double, sparksim::SparkConf>>>
+        last_served;
+  };
+  using EntryMap = std::map<std::string, std::shared_ptr<Entry>>;
+
+  struct Shard {
+    /// Immutable snapshot, COW-swapped under `mu` on admission/eviction;
+    /// the read path loads it without the mutex.
+    std::atomic<std::shared_ptr<const EntryMap>> map;
+    std::mutex mu;  // serializes admissions/evictions on this shard
+  };
+
+  /// What an evicted (or tuned) app leaves behind for future warm starts.
+  struct TransferRecord {
+    AppFingerprint fingerprint;
+    std::vector<LocatTuner::PriorObservation> observations;
+    /// The app's configuration-sensitive query indices (QCSA result),
+    /// handed to warm-started recipients as the RQA hint: sensitivity is
+    /// a property of the queries, and the donor estimated it from a full
+    /// sampling budget the recipient's shrunken schedule cannot afford.
+    std::vector<int> csq;
+  };
+
+  static size_t ShardIndex(const std::string& app);
+
+  /// Finds the entry for `app`, admitting it (with warm-start seeding)
+  /// when absent. Never returns null on OK status.
+  StatusOr<std::shared_ptr<Entry>> FindOrAdmit(const std::string& app);
+
+  /// Builds the distance-weighted prior set for a new app from the
+  /// transfer store; `csq_hint` receives the nearest donor's CSQ indices
+  /// (left untouched when there is no donor). Caller holds
+  /// `transfer_mu_`.
+  std::vector<LocatTuner::PriorObservation> BuildPriorsLocked(
+      const std::string& app, const AppFingerprint& fp,
+      std::vector<int>* csq_hint) const;
+
+  /// Removes `entry` from its shard map and persists its history into
+  /// the transfer store. Caller holds the shard mutex and `entry->mu`.
+  void EvictLocked(Shard& shard, const std::shared_ptr<Entry>& entry);
+
+  /// Assembles one AppRow from the entry's service snapshot plus the
+  /// registry-side bookkeeping (lock-free reads only).
+  static AppRow BuildRow(const Entry& entry);
+
+  BackendFactory factory_;
+  Options options_;
+  Shard shards_[kNumShards];
+  common::ThreadPool tune_pool_;
+  std::atomic<uint64_t> tick_{0};
+
+  /// Donor knowledge: live tuned apps (refreshed each tick) and evicted
+  /// apps (persisted until re-admission). Guarded by transfer_mu_; read
+  /// only on admissions and ticks, never on the hot path.
+  mutable std::mutex transfer_mu_;
+  std::map<std::string, TransferRecord> transfer_store_;
+  std::map<std::string, TransferRecord> evicted_store_;
+
+  // Always-on counters (relaxed atomics; metrics mirror them when wired).
+  std::atomic<uint64_t> lookups_hit_{0};
+  std::atomic<uint64_t> lookups_miss_{0};
+  std::atomic<uint64_t> lookups_coalesced_{0};
+  std::atomic<uint64_t> retunes_cold_{0};
+  std::atomic<uint64_t> retunes_drift_{0};
+  std::atomic<uint64_t> evictions_ttl_{0};
+  std::atomic<uint64_t> evictions_capacity_{0};
+  std::atomic<uint64_t> warm_start_hits_{0};
+
+  /// Owned lookup-latency histogram; observed only when latency tracking
+  /// is on (track_latency option or metrics wired).
+  obs::Histogram lookup_latency_;
+  std::atomic<bool> clock_latency_{false};
+
+  obs::ObsContext obs_;
+  obs::Counter* m_hit_ = nullptr;
+  obs::Counter* m_miss_ = nullptr;
+  obs::Counter* m_coalesced_ = nullptr;
+  obs::Counter* m_retune_cold_ = nullptr;
+  obs::Counter* m_retune_drift_ = nullptr;
+  obs::Counter* m_evict_ttl_ = nullptr;
+  obs::Counter* m_evict_cap_ = nullptr;
+  obs::Counter* m_warm_starts_ = nullptr;
+  obs::Histogram* m_lookup_latency_ = nullptr;
+};
+
+}  // namespace locat::core
+
+#endif  // LOCAT_CORE_SERVICE_REGISTRY_H_

@@ -37,6 +37,7 @@
 #include "common/thread_pool.h"
 #include "core/locat_tuner.h"
 #include "core/online_service.h"
+#include "core/service_registry.h"
 #include "core/qcsa.h"
 #include "core/tuning.h"
 #include "harness/experiments.h"
@@ -136,6 +137,20 @@ int Usage() {
       "  --serve-linger S    after the rounds, keep serving the admin\n"
       "                      endpoint up to S seconds or until /quitz\n"
       "                      (default 0)\n"
+      "  --serve-threads N   concurrent app drivers + background tuning\n"
+      "                      workers (default 1; served confs are\n"
+      "                      bit-identical for any value)\n"
+      "  --registry-cap N    max apps live in the serving registry; the\n"
+      "                      LRU excess is evicted between rounds\n"
+      "                      (default 0 = unlimited)\n"
+      "  --registry-ttl N    evict apps idle for more than N rounds\n"
+      "                      (default 0 = never)\n"
+      "  --warm-start on|off seed new/re-admitted apps from similar tuned\n"
+      "                      apps' observations (default on; off\n"
+      "                      reproduces the registry-less cold start)\n"
+      "  --dump-confs FILE   append one line per served request (round,\n"
+      "                      app, size, raw conf values) — the byte-diff\n"
+      "                      artifact for determinism checks\n"
       "clusters: arm | x86; apps: TPC-DS | TPC-H | Join | Scan | "
       "Aggregation\n");
   return 2;
@@ -288,6 +303,11 @@ struct ObsFlags {
   std::string flight_path;
   int rounds = 6;
   double serve_linger = 0.0;
+  int serve_threads = 1;
+  size_t registry_cap = 0;  // 0: unlimited
+  int registry_ttl = 0;     // 0: never evict on idleness
+  bool warm_start = true;
+  std::string dump_confs_path;
 };
 
 /// Error/diagnostic output. Routed through the structured logger when one
@@ -587,9 +607,46 @@ int CmdTune(const std::string& app_name, const std::string& cluster,
   return 0;
 }
 
-/// `locat serve`: the production loop of ROADMAP item 1 as a demo — one
-/// OnlineTuningService per app, a deterministic schedule of data sizes,
-/// and (with --admin-port) a live admin endpoint to scrape while it runs.
+/// Per-app state the CLI keeps across registry evictions: the profile and
+/// the simulator. The sim survives eviction on purpose — its noise stream
+/// and cache are "the cluster", which does not forget an app; only the
+/// tuner state (session + service, owned by the backend below) is rebuilt
+/// on re-admission.
+struct ServeHost {
+  sparksim::SparkSqlApp app;
+  std::unique_ptr<sparksim::ClusterSimulator> sim;
+};
+
+/// Registry backend for `locat serve`: owns the tuning session and
+/// service, borrows the CLI-owned host. The registry wires the service's
+/// observability at admission; the session is wired here.
+class ServeBackend : public core::AppBackend {
+ public:
+  ServeBackend(ServeHost* host, const core::OnlineTuningService::Options& opts,
+               const obs::ObsContext& ctx)
+      : host_(host),
+        session_(std::make_unique<core::TuningSession>(host->sim.get(),
+                                                       host->app)) {
+    session_->SetObservability(ctx);
+    service_ =
+        std::make_unique<core::OnlineTuningService>(session_.get(), opts);
+  }
+  core::OnlineTuningService* service() override { return service_.get(); }
+  const sparksim::SparkSqlApp& app() const override { return host_->app; }
+
+ private:
+  ServeHost* host_;
+  std::unique_ptr<core::TuningSession> session_;
+  std::unique_ptr<core::OnlineTuningService> service_;
+};
+
+/// `locat serve`: the production loop of ROADMAP item 1 as a demo — a
+/// ServiceRegistry of per-app OnlineTuningServices, concurrent app
+/// drivers (--serve-threads), a deterministic schedule of data sizes, and
+/// (with --admin-port) a live admin endpoint to scrape while it runs.
+/// Served confs are bit-identical for any --serve-threads value; in
+/// single-threaded mode the round lines and the "serving:" summary line
+/// are byte-identical to the sequential pre-registry loop.
 int CmdServe(const std::string& cluster, std::vector<std::string> app_names,
              const ObsFlags& flags, obs::FlightRecorder* flight) {
   if (app_names.empty()) app_names = {"TPC-DS", "TPC-H"};
@@ -609,23 +666,14 @@ int CmdServe(const std::string& cluster, std::vector<std::string> app_names,
     ctx.observer = observer.get();
   }
 
-  struct AppServing {
-    sparksim::SparkSqlApp app;
-    std::unique_ptr<sparksim::ClusterSimulator> sim;
-    std::unique_ptr<core::TuningSession> session;
-    std::unique_ptr<core::OnlineTuningService> service;
-  };
-  std::vector<AppServing> apps;
-  // Guards the services and simulators against the admin thread's
-  // /statusz snapshots.
-  std::mutex state_mu;
-
+  std::map<std::string, ServeHost> hosts;
   for (const std::string& name : app_names) {
-    AppServing s;
-    s.app = harness::MakeApp(name);
-    s.sim = std::make_unique<sparksim::ClusterSimulator>(
+    if (hosts.count(name) != 0) continue;
+    ServeHost h;
+    h.app = harness::MakeApp(name);
+    h.sim = std::make_unique<sparksim::ClusterSimulator>(
         harness::MakeCluster(cluster), 21 + flags.seed);
-    if (flight != nullptr) s.sim->set_flight_recorder(flight);
+    if (flight != nullptr) h.sim->set_flight_recorder(flight);
     if (flags.faults != "off") {
       const auto spec_or =
           sparksim::FaultSpec::FromName(flags.faults, flags.fault_seed);
@@ -633,34 +681,49 @@ int CmdServe(const std::string& cluster, std::vector<std::string> app_names,
         Diag("cli", spec_or.status().ToString());
         return 2;
       }
-      s.sim->set_faults(*spec_or);
+      h.sim->set_faults(*spec_or);
     }
-    s.session = std::make_unique<core::TuningSession>(s.sim.get(), s.app);
-    core::OnlineTuningService::Options opts;
-    // Demo-sized budgets: serve is about the serving loop, not tuning
-    // quality — cold start in seconds, warm adaptation near-instant.
-    opts.tuner.n_qcsa = 8;
-    opts.tuner.n_iicp = 6;
-    opts.tuner.lhs_init = 2;
-    opts.tuner.min_iterations = 3;
-    opts.tuner.max_iterations = 5;
-    opts.tuner.warm_iterations = 3;
-    opts.tuner.candidates = 60;
-    opts.tuner.seed = 31 + flags.seed;
-    s.service =
-        std::make_unique<core::OnlineTuningService>(s.session.get(), opts);
-    s.session->SetObservability(ctx);
-    s.service->SetObservability(ctx);
-    apps.push_back(std::move(s));
+    hosts.emplace(name, std::move(h));
   }
 
-  auto statusz_table = [&apps, &state_mu]() {
-    std::lock_guard<std::mutex> lock(state_mu);
+  core::OnlineTuningService::Options sopts;
+  // Demo-sized budgets: serve is about the serving loop, not tuning
+  // quality — cold start in seconds, warm adaptation near-instant.
+  sopts.tuner.n_qcsa = 8;
+  sopts.tuner.n_iicp = 6;
+  sopts.tuner.lhs_init = 2;
+  sopts.tuner.min_iterations = 3;
+  sopts.tuner.max_iterations = 5;
+  sopts.tuner.warm_iterations = 3;
+  sopts.tuner.candidates = 60;
+  sopts.tuner.seed = 31 + flags.seed;
+
+  core::ServiceRegistry::Options ropts;
+  ropts.retune_threshold = sopts.retune_threshold;
+  ropts.capacity = flags.registry_cap;
+  ropts.ttl_ticks = flags.registry_ttl;
+  ropts.warm_start = flags.warm_start;
+  ropts.tune_threads = flags.serve_threads;
+  core::ServiceRegistry registry(
+      [&hosts, &sopts, &ctx](const std::string& name)
+          -> std::unique_ptr<core::AppBackend> {
+        const auto it = hosts.find(name);
+        if (it == hosts.end()) return nullptr;
+        return std::make_unique<ServeBackend>(&it->second, sopts, ctx);
+      },
+      ropts);
+  registry.SetObservability(ctx);
+
+  auto statusz_table = [&registry]() {
     std::ostringstream os;
     TablePrinter tp({"app", "recs", "reuse", "tunes", "fails", "sizes",
                      "p50 (ms)", "p99 (ms)", "last conf"});
-    for (const AppServing& s : apps) {
-      const auto snap = s.service->Snapshot();
+    for (const core::ServiceRegistry::AppRow& row : registry.AppRows()) {
+      const auto& snap = row.snapshot;
+      // Registry fast-path hits never enter the service, but each one is
+      // a served (reused) recommendation; merging reproduces the counts
+      // the registry-less loop reported.
+      const int extra = static_cast<int>(row.hits + row.coalesced);
       std::string sizes;
       for (double ds : snap.tuned_sizes) {
         if (!sizes.empty()) sizes += ',';
@@ -670,8 +733,8 @@ int CmdServe(const std::string& cluster, std::vector<std::string> app_names,
       // the table row stays a single line.
       std::string conf = snap.last_conf;
       std::replace(conf.begin(), conf.end(), '\n', ' ');
-      tp.AddRow({snap.app, std::to_string(snap.recommendations),
-                 std::to_string(snap.reuses),
+      tp.AddRow({snap.app, std::to_string(snap.recommendations + extra),
+                 std::to_string(snap.reuses + extra),
                  std::to_string(snap.tuning_passes),
                  std::to_string(snap.failed_reports), sizes,
                  TablePrinter::Num(snap.recommend_p50_s * 1e3, 1),
@@ -679,6 +742,7 @@ int CmdServe(const std::string& cluster, std::vector<std::string> app_names,
                  conf.substr(0, 48)});
     }
     tp.Print(os);
+    os << registry.RenderStatusTable();
     return os.str();
   };
 
@@ -703,7 +767,7 @@ int CmdServe(const std::string& cluster, std::vector<std::string> app_names,
 
   obs::Log::Global()->Info(
       "serve", "serving started",
-      {{"apps", static_cast<double>(apps.size())},
+      {{"apps", static_cast<double>(app_names.size())},
        {"rounds", flags.rounds},
        {"cluster", cluster}});
 
@@ -711,46 +775,86 @@ int CmdServe(const std::string& cluster, std::vector<std::string> app_names,
   // sit within the service's 25% reuse gap, so the loop exercises both
   // instant reuse and warm re-tunes.
   static const double kSizes[] = {100.0, 120.0, 300.0, 330.0, 500.0};
+  std::ofstream dump_os;
+  if (!flags.dump_confs_path.empty()) {
+    dump_os.open(flags.dump_confs_path);
+    if (!dump_os) {
+      Diag("cli", "cannot write " + flags.dump_confs_path);
+      return 1;
+    }
+  }
   int ok_runs = 0;
   int failed_runs = 0;
+  // The round drivers interleave apps through the registry (concurrent
+  // tenants); stdout stays deterministic because the round lines print
+  // after the barrier, in app order, from per-app slots.
+  common::ThreadPool drivers(flags.serve_threads);
+  struct RoundResult {
+    bool served = false;
+    double ds = 0.0;
+    double seconds = 0.0;
+    bool failed = false;
+    sparksim::SparkConf conf;
+  };
   for (int r = 0; r < flags.rounds; ++r) {
     if (admin != nullptr && admin->quit_requested()) break;
-    for (size_t ai = 0; ai < apps.size(); ++ai) {
-      AppServing& s = apps[ai];
+    std::vector<RoundResult> round(app_names.size());
+    drivers.ParallelForEach(app_names.size(), [&](size_t ai) {
+      const std::string& name = app_names[ai];
       const double ds = kSizes[(static_cast<size_t>(r) + ai) % 5];
-      std::unique_lock<std::mutex> lock(state_mu);
-      const auto conf_or = s.service->RecommendedConf(ds);
+      const auto conf_or = registry.Lookup(name, ds);
       if (!conf_or.ok()) {
-        lock.unlock();
         Diag("serve", conf_or.status().ToString());
-        continue;
+        return;
       }
       const sparksim::SparkConf conf = *conf_or;
+      ServeHost& host = hosts.at(name);
       // The production run itself: happens anyway, reported back as a
       // free observation (or as a failure).
-      const auto run = s.sim->RunApp(s.app, conf, ds);
+      const auto run = host.sim->RunApp(host.app, conf, ds);
       const Status report =
           run.failed
-              ? s.service->ReportFailedRun(ds, conf, run.total_seconds)
-              : s.service->ReportRun(ds, conf, run.total_seconds);
-      lock.unlock();
+              ? registry.ReportFailedRun(name, ds, conf, run.total_seconds)
+              : registry.ReportRun(name, ds, conf, run.total_seconds);
       if (!report.ok()) Diag("serve", report.ToString());
-      if (run.failed) {
+      obs::Log::Global()->Info(
+          "serve", run.failed ? "production run failed" : "production run",
+          {{"app", name},
+           {"round", r},
+           {"datasize_gb", ds},
+           {"seconds", run.total_seconds}});
+      round[ai] = {true, ds, run.total_seconds, run.failed, conf};
+    });
+    // Tick barrier: all cross-app registry state (LRU eviction, the
+    // transfer store warm starts read) commits here, in deterministic
+    // order — request timing inside the round can never affect it.
+    registry.AdvanceTick();
+    for (size_t ai = 0; ai < app_names.size(); ++ai) {
+      const RoundResult& res = round[ai];
+      if (!res.served) continue;
+      if (res.failed) {
         ++failed_runs;
       } else {
         ++ok_runs;
       }
-      obs::Log::Global()->Info(
-          "serve", run.failed ? "production run failed" : "production run",
-          {{"app", s.app.name},
-           {"round", r},
-           {"datasize_gb", ds},
-           {"seconds", run.total_seconds}});
       std::printf("round %2d %-12s @ %3.0f GB: %6.0f s%s\n", r,
-                  s.app.name.c_str(), ds, run.total_seconds,
-                  run.failed ? "  FAILED" : "");
+                  app_names[ai].c_str(), res.ds, res.seconds,
+                  res.failed ? "  FAILED" : "");
+      if (dump_os.is_open()) {
+        dump_os << r << ' ' << app_names[ai] << ' ' << res.ds;
+        char num[32];
+        for (double v : res.conf.values()) {
+          std::snprintf(num, sizeof(num), " %.17g", v);
+          dump_os << num;
+        }
+        dump_os << '\n';
+      }
     }
     std::fflush(stdout);
+  }
+  if (dump_os.is_open()) {
+    dump_os.close();
+    std::printf("confs: %s\n", flags.dump_confs_path.c_str());
   }
 
   // Summary: one aggregate line plus the same table /statusz serves.
@@ -758,28 +862,27 @@ int CmdServe(const std::string& cluster, std::vector<std::string> app_names,
   int reuses = 0;
   int tunes = 0;
   double opt_seconds = 0.0;
-  {
-    std::lock_guard<std::mutex> lock(state_mu);
-    for (const AppServing& s : apps) {
-      const auto snap = s.service->Snapshot();
-      recs += snap.recommendations;
-      reuses += snap.reuses;
-      tunes += snap.tuning_passes;
-      opt_seconds += s.service->optimization_seconds();
-      if (ctx.observer != nullptr) {
-        obs::PhaseEvent ev;
-        ev.tuner = snap.app;
-        ev.phase = "serving";
-        ev.fields = {
-            {"recommendations", static_cast<double>(snap.recommendations)},
-            {"reuses", static_cast<double>(snap.reuses)},
-            {"tuning_passes", static_cast<double>(snap.tuning_passes)},
-            {"failed_reports", static_cast<double>(snap.failed_reports)},
-            {"recommend_p50_s", snap.recommend_p50_s},
-            {"recommend_p99_s", snap.recommend_p99_s},
-        };
-        ctx.observer->OnPhase(ev);
-      }
+  for (const core::ServiceRegistry::AppRow& row : registry.AppRows()) {
+    const auto& snap = row.snapshot;
+    const int extra = static_cast<int>(row.hits + row.coalesced);
+    recs += snap.recommendations + extra;
+    reuses += snap.reuses + extra;
+    tunes += snap.tuning_passes;
+    opt_seconds += snap.optimization_seconds;
+    if (ctx.observer != nullptr) {
+      obs::PhaseEvent ev;
+      ev.tuner = snap.app;
+      ev.phase = "serving";
+      ev.fields = {
+          {"recommendations",
+           static_cast<double>(snap.recommendations + extra)},
+          {"reuses", static_cast<double>(snap.reuses + extra)},
+          {"tuning_passes", static_cast<double>(snap.tuning_passes)},
+          {"failed_reports", static_cast<double>(snap.failed_reports)},
+          {"recommend_p50_s", snap.recommend_p50_s},
+          {"recommend_p99_s", snap.recommend_p99_s},
+      };
+      ctx.observer->OnPhase(ev);
     }
   }
   std::printf(
@@ -1156,6 +1259,32 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Usage();
       flags.serve_linger = std::atof(v);
+    } else if (arg == "--serve-threads") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.serve_threads = std::atoi(v);
+      if (flags.serve_threads < 1) return Usage();
+    } else if (arg == "--registry-cap") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.registry_cap =
+          static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--registry-ttl") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.registry_ttl = std::atoi(v);
+      if (flags.registry_ttl < 0) return Usage();
+    } else if (arg == "--warm-start") {
+      const char* v = value();
+      if (v == nullptr || (std::strcmp(v, "on") != 0 &&
+                           std::strcmp(v, "off") != 0)) {
+        return Usage();
+      }
+      flags.warm_start = (std::strcmp(v, "on") == 0);
+    } else if (arg == "--dump-confs") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      flags.dump_confs_path = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage();

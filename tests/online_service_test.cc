@@ -200,5 +200,48 @@ TEST(OnlineServiceTest, ReportFailedRunWithoutGoodRunForcesRetune) {
   EXPECT_EQ(service.tuning_passes(), 2);
 }
 
+TEST(OnlineServiceTest, SnapshotQuantilesNeedALatencySink) {
+  // Regression: Snapshot() used to leave the latency quantiles at zero
+  // even when latency *was* being measured. The contract now: no sink
+  // wired -> no clock reads and zero quantiles; EnableLatencyTracking
+  // wires an owned histogram and the quantiles become real.
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 608);
+  TuningSession session(&sim, workloads::HiBenchScan());
+  OnlineTuningService service(&session, TinyOptions());
+
+  ASSERT_TRUE(service.RecommendedConf(100.0).ok());
+  EXPECT_DOUBLE_EQ(service.Snapshot().recommend_p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(service.Snapshot().recommend_p99_s, 0.0);
+
+  service.EnableLatencyTracking();
+  ASSERT_TRUE(service.RecommendedConf(105.0).ok());  // reuse, but clocked
+  const auto snap = service.Snapshot();
+  EXPECT_GT(snap.recommend_p50_s, 0.0);
+  EXPECT_GE(snap.recommend_p99_s, snap.recommend_p50_s);
+  EXPECT_GT(snap.optimization_seconds, 0.0);
+}
+
+TEST(OnlineServiceTest, PublishedPlanTracksMutations) {
+  sparksim::ClusterSimulator sim(sparksim::X86Cluster(), 609);
+  TuningSession session(&sim, workloads::HiBenchJoin());
+  OnlineTuningService service(&session, TinyOptions());
+
+  const auto before = service.Published();
+  ASSERT_NE(before, nullptr);
+  EXPECT_TRUE(before->tuned.empty());
+  EXPECT_FALSE(service.PublishedReuse(100.0).has_value());
+
+  const auto conf = service.RecommendedConf(100.0).value();
+  // The pre-mutation snapshot is immutable; the fresh one has the plan.
+  EXPECT_TRUE(before->tuned.empty());
+  const auto after = service.Published();
+  EXPECT_EQ(after->tuning_passes, 1);
+  ASSERT_EQ(after->tuned.size(), 1u);
+  const auto reuse = service.PublishedReuse(110.0);
+  ASSERT_TRUE(reuse.has_value());
+  EXPECT_TRUE(*reuse == conf);
+  EXPECT_FALSE(service.PublishedReuse(400.0).has_value());
+}
+
 }  // namespace
 }  // namespace locat::core

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/online_service.h"
+#include "core/service_registry.h"
+#include "sparksim/properties_io.h"
+#include "sparksim/simulator.h"
+#include "workloads/workloads.h"
+
+namespace locat::core {
+namespace {
+
+OnlineTuningService::Options TinyOptions() {
+  OnlineTuningService::Options opts;
+  opts.tuner.n_qcsa = 8;
+  opts.tuner.n_iicp = 6;
+  opts.tuner.lhs_init = 2;
+  opts.tuner.min_iterations = 3;
+  opts.tuner.max_iterations = 5;
+  opts.tuner.warm_iterations = 3;
+  opts.tuner.candidates = 60;
+  opts.tuner.seed = 31;
+  return opts;
+}
+
+sparksim::SparkSqlApp AppByName(const std::string& name) {
+  for (const auto& app : workloads::AllBenchmarks()) {
+    if (app.name == name) return app;
+  }
+  ADD_FAILURE() << "unknown app " << name;
+  return workloads::TpcH();
+}
+
+/// Deterministic per-app simulator seed: a function of the name alone, so
+/// re-admitting an app recreates the identical backend.
+uint64_t NameSeed(const std::string& name) {
+  uint64_t h = 0;
+  for (unsigned char c : name) h = h * 131 + c;
+  return 700 + h % 1000;
+}
+
+/// Simulator + session + service stack per app, deterministic in the app
+/// name alone.
+class SimBackend : public AppBackend {
+ public:
+  explicit SimBackend(const std::string& name,
+                      const OnlineTuningService::Options& opts)
+      : app_(AppByName(name)),
+        sim_(std::make_unique<sparksim::ClusterSimulator>(
+            sparksim::X86Cluster(), NameSeed(name))),
+        session_(std::make_unique<TuningSession>(sim_.get(), app_)),
+        service_(std::make_unique<OnlineTuningService>(session_.get(), opts)) {
+  }
+
+  OnlineTuningService* service() override { return service_.get(); }
+  const sparksim::SparkSqlApp& app() const override { return app_; }
+
+ private:
+  sparksim::SparkSqlApp app_;
+  std::unique_ptr<sparksim::ClusterSimulator> sim_;
+  std::unique_ptr<TuningSession> session_;
+  std::unique_ptr<OnlineTuningService> service_;
+};
+
+ServiceRegistry::BackendFactory Factory(
+    const OnlineTuningService::Options& opts) {
+  return [opts](const std::string& name) -> std::unique_ptr<AppBackend> {
+    return std::make_unique<SimBackend>(name, opts);
+  };
+}
+
+TEST(ServiceRegistryTest, ColdLookupAdmitsAndTunes) {
+  ServiceRegistry registry(Factory(TinyOptions()));
+  const auto conf = registry.Lookup("TPC-H", 100.0);
+  ASSERT_TRUE(conf.ok()) << conf.status().ToString();
+
+  const auto stats = registry.GetStats();
+  EXPECT_EQ(stats.live_apps, 1u);
+  EXPECT_EQ(stats.lookups_miss, 1u);
+  EXPECT_EQ(stats.retunes_cold, 1u);
+  EXPECT_EQ(stats.retunes_drift, 0u);
+
+  // Within the reuse gap: a lock-free hit, no new tuning pass.
+  const auto again = registry.Lookup("TPC-H", 110.0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(*again == *conf);
+  EXPECT_EQ(registry.GetStats().lookups_hit, 1u);
+  EXPECT_EQ(registry.GetStats().retunes_cold, 1u);
+
+  // Far outside the gap: a drift re-tune, not a cold start.
+  ASSERT_TRUE(registry.Lookup("TPC-H", 400.0).ok());
+  EXPECT_EQ(registry.GetStats().retunes_drift, 1u);
+
+  const auto row = registry.GetAppRow("TPC-H");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->snapshot.tuning_passes, 2);
+  EXPECT_FALSE(row->warm_started);  // nothing to transfer from
+}
+
+TEST(ServiceRegistryTest, LookupRejectsBadArguments) {
+  ServiceRegistry registry(Factory(TinyOptions()));
+  EXPECT_EQ(registry.Lookup("TPC-H", 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Lookup("TPC-H", -3.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.GetStats().live_apps, 0u);
+
+  ServiceRegistry broken(
+      [](const std::string&) -> std::unique_ptr<AppBackend> {
+        return nullptr;
+      });
+  EXPECT_EQ(broken.Lookup("TPC-H", 100.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceRegistryTest, ReportsForUnknownAppAreNotFound) {
+  ServiceRegistry registry(Factory(TinyOptions()));
+  sparksim::ConfigSpace space(sparksim::X86Cluster());
+  const auto conf = space.Repair(space.DefaultConf());
+  EXPECT_EQ(registry.ReportRun("ghost", 100.0, conf, 50.0).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.ReportFailedRun("ghost", 100.0, conf).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ServiceRegistryTest, ConcurrentColdLookupsSingleFlight) {
+  // N concurrent requests for the same never-seen app must coalesce
+  // behind exactly one cold tuning pass and all serve its result.
+  constexpr int kThreads = 6;
+  ServiceRegistry::Options ropts;
+  ropts.tune_threads = 4;
+  ServiceRegistry registry(Factory(TinyOptions()), ropts);
+
+  std::vector<std::thread> threads;
+  std::vector<StatusOr<sparksim::SparkConf>> confs(
+      kThreads, Status::Internal("not served"));
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(
+        [&, i] { confs[i] = registry.Lookup("TPC-H", 100.0); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_TRUE(confs[i].ok()) << confs[i].status().ToString();
+    EXPECT_TRUE(*confs[i] == *confs[0]);
+  }
+  const auto row = registry.GetAppRow("TPC-H");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->snapshot.tuning_passes, 1) << "single-flight must dedup";
+  const auto stats = registry.GetStats();
+  EXPECT_EQ(stats.retunes_cold, 1u);
+  // Everyone who didn't own the pass was served without tuning.
+  EXPECT_EQ(stats.lookups_hit + stats.lookups_coalesced,
+            static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(ServiceRegistryTest, ConcurrentDriftLookupsSingleFlight) {
+  constexpr int kThreads = 5;
+  ServiceRegistry::Options ropts;
+  ropts.tune_threads = 2;
+  ServiceRegistry registry(Factory(TinyOptions()), ropts);
+  ASSERT_TRUE(registry.Lookup("TPC-H", 100.0).ok());  // cold start, alone
+
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      if (!registry.Lookup("TPC-H", 500.0).ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto row = registry.GetAppRow("TPC-H");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->snapshot.tuning_passes, 2)
+      << "the drifted size must be tuned exactly once";
+  EXPECT_EQ(registry.GetStats().retunes_drift, 1u);
+}
+
+/// Drives a fixed multi-app trace with per-round quiescent barriers and
+/// appends every served conf as a properties string, in (round, app)
+/// order, to `served`.
+void ServeTrace(ServiceRegistry& registry, int rounds,
+                const std::vector<std::string>& apps, bool threaded_rounds,
+                std::vector<std::string>* served) {
+  static const double kSizes[] = {100.0, 120.0, 300.0, 330.0, 500.0};
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::string> round(apps.size());
+    auto drive = [&](size_t ai) {
+      const double ds = kSizes[(static_cast<size_t>(r) + ai) % 5];
+      const auto conf = registry.Lookup(apps[ai], ds);
+      if (conf.ok()) round[ai] = sparksim::SparkPropertiesToString(*conf);
+    };
+    if (threaded_rounds) {
+      std::vector<std::thread> threads;
+      for (size_t ai = 0; ai < apps.size(); ++ai) {
+        threads.emplace_back(drive, ai);
+      }
+      for (auto& t : threads) t.join();
+    } else {
+      for (size_t ai = 0; ai < apps.size(); ++ai) drive(ai);
+    }
+    registry.AdvanceTick();
+    for (auto& s : round) {
+      ASSERT_FALSE(s.empty()) << "a lookup failed in round " << r;
+      served->push_back(std::move(s));
+    }
+  }
+}
+
+TEST(ServiceRegistryTest, ServedConfsBitIdenticalAcrossThreadCounts) {
+  // The tentpole determinism contract: on a fixed trace the served confs
+  // are byte-identical whether tuning runs inline, on a small pool, or on
+  // a large pool with concurrent per-round drivers.
+  const std::vector<std::string> apps = {"TPC-H", "Join", "Scan"};
+  std::vector<std::vector<std::string>> runs;
+  for (const auto& [tune_threads, threaded_rounds] :
+       std::vector<std::pair<int, bool>>{{1, false}, {4, true}, {8, true}}) {
+    ServiceRegistry::Options ropts;
+    ropts.tune_threads = tune_threads;
+    ServiceRegistry registry(Factory(TinyOptions()), ropts);
+    runs.emplace_back();
+    ServeTrace(registry, 4, apps, threaded_rounds, &runs.back());
+    if (HasFatalFailure()) return;
+  }
+  ASSERT_EQ(runs[0].size(), 12u);
+  EXPECT_EQ(runs[0], runs[1]) << "tune_threads=4 diverged";
+  EXPECT_EQ(runs[0], runs[2]) << "tune_threads=8 diverged";
+}
+
+TEST(ServiceRegistryWarmStartTest, OffIsByteExactToPlainService) {
+  // --warm-start off contract: the registry is a pure front door; the
+  // tuner underneath must behave byte-identically to a hand-driven
+  // OnlineTuningService on the same session/seed.
+  sparksim::ClusterSimulator sim(
+      sparksim::X86Cluster(), NameSeed("TPC-H"));
+  TuningSession session(&sim, workloads::TpcH());
+  OnlineTuningService plain(&session, TinyOptions());
+
+  ServiceRegistry::Options ropts;
+  ropts.warm_start = false;
+  ServiceRegistry registry(Factory(TinyOptions()), ropts);
+
+  for (double ds : {100.0, 120.0, 300.0, 330.0, 500.0, 100.0}) {
+    const auto direct = plain.RecommendedConf(ds);
+    const auto via_registry = registry.Lookup("TPC-H", ds);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(via_registry.ok());
+    EXPECT_EQ(sparksim::SparkPropertiesToString(*direct),
+              sparksim::SparkPropertiesToString(*via_registry))
+        << "diverged at ds=" << ds;
+  }
+  const auto row = registry.GetAppRow("TPC-H");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_FALSE(row->warm_started);
+  EXPECT_EQ(row->snapshot.tuning_passes, plain.tuning_passes());
+}
+
+TEST(ServiceRegistryWarmStartTest, EvictedAppReadmitsFromOwnHistory) {
+  ServiceRegistry::Options ropts;
+  ropts.capacity = 1;  // admitting a second app forces an eviction
+  ServiceRegistry registry(Factory(TinyOptions()), ropts);
+
+  ASSERT_TRUE(registry.Lookup("TPC-H", 100.0).ok());
+  const int evals_cold = registry.GetAppRow("TPC-H")->snapshot.tuning_passes;
+  ASSERT_EQ(evals_cold, 1);
+  registry.AdvanceTick();
+
+  // A second app overflows capacity; TPC-H is least recently used.
+  ASSERT_TRUE(registry.Lookup("Join", 100.0).ok());
+  registry.AdvanceTick();
+  EXPECT_EQ(registry.GetStats().evictions_capacity, 1u);
+  EXPECT_FALSE(registry.GetAppRow("TPC-H").has_value());
+
+  // Re-admission: the persisted history seeds the new tuner, so the
+  // first recommendation is a warm start, not a from-scratch cold pass.
+  ASSERT_TRUE(registry.Lookup("TPC-H", 100.0).ok());
+  const auto row = registry.GetAppRow("TPC-H");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_TRUE(row->warm_started);
+  // Two warm starts happened: Join seeded cross-app from the tuned TPC-H
+  // donor, then TPC-H re-admitted from its own persisted history.
+  EXPECT_EQ(registry.GetStats().warm_start_hits, 2u);
+}
+
+TEST(ServiceRegistryWarmStartTest, NewAppSeedsFromSimilarTunedApps) {
+  ServiceRegistry registry(Factory(TinyOptions()));
+  ASSERT_TRUE(registry.Lookup("TPC-H", 100.0).ok());
+  ASSERT_TRUE(registry.Lookup("Join", 100.0).ok());
+  EXPECT_FALSE(registry.GetAppRow("Join")->warm_started)
+      << "donor knowledge only lands in the store at the tick barrier";
+  registry.AdvanceTick();
+
+  ASSERT_TRUE(registry.Lookup("Aggregation", 100.0).ok());
+  const auto row = registry.GetAppRow("Aggregation");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_TRUE(row->warm_started);
+  EXPECT_GE(registry.GetStats().warm_start_hits, 1u);
+}
+
+TEST(ServiceRegistryTest, TtlEvictsIdleApps) {
+  ServiceRegistry::Options ropts;
+  ropts.ttl_ticks = 2;
+  ServiceRegistry registry(Factory(TinyOptions()), ropts);
+  ASSERT_TRUE(registry.Lookup("TPC-H", 100.0).ok());
+
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_TRUE(registry.Lookup("Scan", 100.0).ok());  // stays warm
+    registry.AdvanceTick();
+  }
+  const auto stats = registry.GetStats();
+  EXPECT_EQ(stats.evictions_ttl, 1u);
+  EXPECT_FALSE(registry.GetAppRow("TPC-H").has_value());
+  EXPECT_TRUE(registry.GetAppRow("Scan").has_value());
+}
+
+TEST(ServiceRegistryTest, FingerprintDistanceSeparatesWorkloads) {
+  const AppFingerprint tpch = AppFingerprint::FromProfile(workloads::TpcH());
+  const AppFingerprint tpch2 = AppFingerprint::FromProfile(workloads::TpcH());
+  const AppFingerprint scan =
+      AppFingerprint::FromProfile(workloads::HiBenchScan());
+  const AppFingerprint join =
+      AppFingerprint::FromProfile(workloads::HiBenchJoin());
+
+  EXPECT_DOUBLE_EQ(AppFingerprint::Distance(tpch, tpch2), 0.0);
+  EXPECT_GT(AppFingerprint::Distance(tpch, scan), 0.0);
+  // A scan (no shuffle, selection-only) sits farther from a shuffle-heavy
+  // join than another join-bearing workload does.
+  EXPECT_GT(AppFingerprint::Distance(scan, join),
+            AppFingerprint::Distance(tpch, join));
+}
+
+TEST(ServiceRegistryTest, ConcurrentReadersDuringTunes) {
+  // Readers (status rows, stats, published plans) must be safe while
+  // tuning passes mutate services — the tsan leg runs this.
+  ServiceRegistry::Options ropts;
+  ropts.tune_threads = 2;
+  ServiceRegistry registry(Factory(TinyOptions()), ropts);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& row : registry.AppRows()) {
+        ASSERT_FALSE(row.snapshot.app.empty());
+      }
+      (void)registry.GetStats();
+      (void)registry.GetAppRow("TPC-H");
+      (void)registry.RenderStatusTable();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 2; ++i) {
+    writers.emplace_back([&, i] {
+      const std::string app = i == 0 ? "TPC-H" : "Join";
+      for (double ds : {100.0, 400.0, 120.0, 500.0}) {
+        ASSERT_TRUE(registry.Lookup(app, ds).ok());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(registry.GetStats().live_apps, 2u);
+}
+
+TEST(ServiceRegistryTest, TrackLatencyReportsLookupQuantiles) {
+  ServiceRegistry::Options ropts;
+  ropts.track_latency = true;
+  ServiceRegistry registry(Factory(TinyOptions()), ropts);
+  ASSERT_TRUE(registry.Lookup("TPC-H", 100.0).ok());
+  ASSERT_TRUE(registry.Lookup("TPC-H", 105.0).ok());
+  EXPECT_GT(registry.LookupLatencyQuantile(0.5), 0.0);
+  const auto row = registry.GetAppRow("TPC-H");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_GT(row->snapshot.recommend_p50_s, 0.0)
+      << "track_latency must flow into the per-service histograms";
+}
+
+}  // namespace
+}  // namespace locat::core
